@@ -1,0 +1,139 @@
+"""E13 (ablation) — design choices of the direct engine.
+
+Not a paper artifact: this file measures the engines' load-bearing
+design choices against their ablated variants, with fixpoint-equality
+assertions:
+
+* **delta vs naive saturation** — semi-naive delta rounds (with naive
+  verification rounds) against plain naive re-derivation;
+* **inverted-label candidate narrowing** — the `_narrow_candidates`
+  optimization that starts a query from the hosts of a ground label
+  value instead of the whole type extent;
+* **greedy vs textual join ordering** — the selectivity-ordered joins
+  of `engine.join` against the textual body order, on translated
+  bodies that lead with wide `object/1` typing atoms.
+"""
+
+import pytest
+
+from repro.core.terms import Const
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_query
+
+from workloads import chain_graph_program, extensional_path_db
+
+SIZES = [16, 32]
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_e13_saturation_naive(benchmark, nodes):
+    program = chain_graph_program(nodes)
+
+    def run():
+        engine = DirectEngine(program, saturation_mode="naive")
+        engine.saturate()
+        return engine.store.fact_count()
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_e13_saturation_delta(benchmark, nodes):
+    program = chain_graph_program(nodes)
+    reference = DirectEngine(program, saturation_mode="naive")
+    reference.saturate()
+
+    def run():
+        engine = DirectEngine(program, saturation_mode="delta")
+        engine.saturate()
+        return engine.store
+
+    store = benchmark(run)
+    assert store.fact_count() == reference.store.fact_count()
+    assert store.all_ids() == reference.store.all_ids()
+
+
+def test_e13_modes_agree_on_answers():
+    program = chain_graph_program(12)
+    query = parse_query(":- path: P[src => n0, dest => D, length => L].")
+    naive = DirectEngine(program, saturation_mode="naive").solve(query)
+    delta = DirectEngine(program, saturation_mode="delta").solve(query)
+    normalize = lambda answers: {tuple(sorted(a.items())) for a in answers}
+    assert normalize(naive) == normalize(delta)
+    assert len(naive) == 11
+
+
+@pytest.mark.parametrize("size", [50, 200])
+def test_e13_ground_value_query_with_narrowing(benchmark, size):
+    """Query with a ground label value: the inverted index jumps
+    straight to the single host."""
+    program = extensional_path_db(size)
+    engine = DirectEngine(program)
+    engine.saturate()
+    query = parse_query(f":- path: X[src => s{size - 1}].")
+
+    def run():
+        return engine.solve(query)
+
+    answers = benchmark(run)
+    assert [a["X"] for a in answers] == [Const(f"p{size - 1}")]
+
+
+@pytest.mark.parametrize("size", [50, 200])
+def test_e13_ground_value_query_without_narrowing(benchmark, size):
+    """Ablation: scan the whole type extent instead (what the engine
+    would do without the inverted label index)."""
+    program = extensional_path_db(size)
+    engine = DirectEngine(program)
+    engine.saturate()
+    query = parse_query(f":- path: X[src => s{size - 1}].")
+    original = engine._narrow_candidates
+    engine._narrow_candidates = lambda term, binding, candidates: list(candidates)
+
+    def run():
+        return engine.solve(query)
+
+    answers = benchmark(run)
+    engine._narrow_candidates = original
+    assert [a["X"] for a in answers] == [Const(f"p{size - 1}")]
+
+
+@pytest.mark.parametrize("reorder", [True, False], ids=["greedy", "textual"])
+def test_e13_join_ordering(benchmark, reorder):
+    """Third ablation: greedy selectivity-ordered joins vs textual body
+    order on the translated path program, whose bodies lead with wide
+    object/1 typing atoms."""
+    from repro.engine.bottomup import EvaluationStats, normalize_clauses
+    from repro.engine.factbase import FactBase
+    from repro.engine.join import check_range_restricted, join_body
+    from repro.fol.atoms import FAtom
+    from repro.fol.atoms import substitute_fatom
+    from repro.transform.clauses import program_to_fol
+
+    fol = program_to_fol(chain_graph_program(7))
+    generalized = normalize_clauses(fol)
+
+    def run():
+        facts = FactBase()
+        for clause in generalized:
+            check_range_restricted(clause.heads, clause.body)
+            if clause.is_fact:
+                for head in clause.heads:
+                    facts.add(head)
+        rules = [clause for clause in generalized if not clause.is_fact]
+        for _ in range(10_000):
+            facts.next_round()
+            changed = False
+            for clause in rules:
+                for subst in join_body(clause.body, facts, reorder=reorder):
+                    for head in clause.heads:
+                        derived = substitute_fatom(head, subst)
+                        assert isinstance(derived, FAtom)
+                        if facts.add(derived):
+                            changed = True
+            if not changed:
+                return facts
+        raise AssertionError("no fixpoint")
+
+    facts = benchmark(run)
+    assert facts.count(("path", 1)) == 7 * 6 // 2

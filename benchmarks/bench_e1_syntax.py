@@ -1,0 +1,53 @@
+"""E1 — Example 1 (Section 3.1): the term grammar.
+
+Paper artifact: four well-formed terms and three rejected non-terms.
+We assert the acceptance/rejection verdicts and measure parser
+throughput on the paper's terms and on a large synthetic program.
+"""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.lang.parser import parse_program, parse_term
+
+WELL_FORMED = [
+    "X",
+    "path: g(X, Y)[length => 10]",
+    "person: john[children => {person: bob, person: bill}]",
+    "instructor: david[course => courseid: cse538, course => courseid: cse505]",
+]
+
+REJECTED = [
+    "student: id[name => joe][age => 20]",
+    "part: f(part_id => 123)",
+    "student: id(name => joe][age => 20]",
+]
+
+
+def parse_example1_terms():
+    return [parse_term(source) for source in WELL_FORMED]
+
+
+def big_program_source(facts: int = 300) -> str:
+    lines = []
+    for i in range(facts):
+        lines.append(
+            f"person: p{i}[children => {{c{i}a, c{i}b}}, age => {20 + i % 50}]."
+        )
+    lines.append("worker: X[status => busy] :- person: X[age => A], A > 30.")
+    return "\n".join(lines)
+
+
+def test_e1_verdicts(benchmark):
+    """The grammar accepts exactly the paper's terms."""
+    terms = benchmark(parse_example1_terms)
+    assert len(terms) == 4
+    for source in REJECTED:
+        with pytest.raises(ParseError):
+            parse_term(source)
+
+
+def test_e1_parser_throughput(benchmark):
+    source = big_program_source()
+    unit = benchmark(parse_program, source)
+    assert len(unit.program.clauses) == 301

@@ -1,0 +1,54 @@
+"""E2 — Example 2 (Section 3.3): the transformation into FOL.
+
+Paper artifact: the exact 7-conjunct translation of
+
+    determiner: the[num => {singular, plural}, def => definite]
+
+We assert equality with the paper's conjunction and measure the
+transformation's throughput on atoms and whole programs.
+"""
+
+from repro.fol.pretty import pretty_fatom
+from repro.lang.parser import parse_atom, parse_program
+from repro.transform.atoms import atom_to_fol
+from repro.transform.clauses import program_to_fol
+
+EXAMPLE2 = "determiner: the[num => {singular, plural}, def => definite]"
+
+PAPER_CONJUNCTION = [
+    "determiner(the)",
+    "object(singular)",
+    "num(the, singular)",
+    "object(plural)",
+    "num(the, plural)",
+    "object(definite)",
+    "def(the, definite)",
+]
+
+
+def test_e2_example2_exact(benchmark):
+    atom = parse_atom(EXAMPLE2)
+    conjuncts = benchmark(atom_to_fol, atom)
+    assert [pretty_fatom(c) for c in conjuncts] == PAPER_CONJUNCTION
+
+
+def _wide_atom(width: int):
+    specs = ", ".join(f"l{i} => {{v{i}a, v{i}b, v{i}c}}" for i in range(width))
+    return parse_atom(f"thing: t[{specs}]")
+
+
+def test_e2_wide_description(benchmark):
+    """Translation cost grows linearly with the description width."""
+    atom = _wide_atom(50)
+    conjuncts = benchmark(atom_to_fol, atom)
+    # 1 host + 50 labels * 3 values * 2 conjuncts each
+    assert len(conjuncts) == 1 + 50 * 3 * 2
+
+
+def test_e2_program_translation(benchmark):
+    source = "\n".join(
+        f"person: p{i}[children => {{a{i}, b{i}}}, age => {i}]." for i in range(200)
+    )
+    program = parse_program(source).program
+    fol = benchmark(program_to_fol, program)
+    assert len(fol) > 200

@@ -1,0 +1,103 @@
+"""E3 — Example 3 (Section 4): the noun-phrase program.
+
+Paper artifact: the query ``:- noun_phrase: X[num => plural].`` has
+exactly the answers np(the, students) and np(all, students).  We assert
+that under all five strategies and measure each strategy end to end
+(including saturation / table building, which is each strategy's real
+cost profile), on the paper's program and on a scaled grammar.
+"""
+
+import pytest
+
+from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+from repro.engine.direct import DirectEngine
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.tabling import TabledEngine
+from repro.engine.topdown import SLDEngine
+from repro.lang.parser import parse_program, parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+
+from workloads import grammar_program
+
+from tests.conftest import NOUN_PHRASE_SOURCE
+
+QUERY = ":- noun_phrase: X[num => plural]."
+EXPECTED = {"np(the, students)", "np(all, students)"}
+
+
+def _program():
+    return parse_program(NOUN_PHRASE_SOURCE).program
+
+
+def _rendered_direct(answers):
+    from repro.core.pretty import pretty_term
+
+    return {pretty_term(a["X"]) for a in answers}
+
+
+def _rendered_fol(substs):
+    from repro.fol.pretty import pretty_fterm
+
+    return {pretty_fterm(s["X"]) for s in substs}
+
+
+def test_e3_direct(benchmark):
+    def run():
+        engine = DirectEngine(_program())
+        return engine.solve(parse_query(QUERY))
+
+    answers = benchmark(run)
+    assert _rendered_direct(answers) == EXPECTED
+
+
+def test_e3_bottomup_naive(benchmark):
+    fol = program_to_fol(_program())
+    goals = query_to_fol(parse_query(QUERY))
+
+    def run():
+        return list(answer_query_bottomup(goals, naive_fixpoint(fol)))
+
+    assert _rendered_fol(benchmark(run)) == EXPECTED
+
+
+def test_e3_bottomup_seminaive(benchmark):
+    fol = program_to_fol(_program())
+    goals = query_to_fol(parse_query(QUERY))
+
+    def run():
+        return list(answer_query_bottomup(goals, seminaive_fixpoint(fol)))
+
+    assert _rendered_fol(benchmark(run)) == EXPECTED
+
+
+def test_e3_sld(benchmark):
+    fol = program_to_fol(_program())
+    goals = query_to_fol(parse_query(QUERY))
+
+    def run():
+        return list(SLDEngine(fol).solve(goals, max_depth=20, select="smallest"))
+
+    assert _rendered_fol(benchmark(run)) == EXPECTED
+
+
+def test_e3_tabled(benchmark):
+    fol = program_to_fol(_program())
+    goals = query_to_fol(parse_query(QUERY))
+
+    def run():
+        return TabledEngine(fol).solve(goals)
+
+    assert _rendered_fol(benchmark(run)) == EXPECTED
+
+
+@pytest.mark.parametrize("nouns", [10, 30])
+def test_e3_scaled_grammar_direct(benchmark, nouns):
+    """Grammar scaling: common_np count = determiners x matching nouns."""
+    program = grammar_program(nouns=nouns, determiners=6)
+    query = parse_query(":- common_np: X.")
+
+    def run():
+        return DirectEngine(program).solve(query)
+
+    answers = benchmark(run)
+    assert len(answers) == 6 // 2 * nouns  # half the dets match each noun

@@ -1,0 +1,101 @@
+"""E6 — Section 4's central efficiency claim: direct vs translated.
+
+Paper artifact: given a functional-label extensional database
+
+    path: p1[src => a, dest => b].
+    path: p2[src => c, dest => d].
+
+and the query ``:- path: X[src => S, dest => D].``, direct evaluation
+unifies the query with each fact, "and all the two sets of answers will
+be obtained" — while the translated query
+
+    :- path(X), object(S), src(X, S), object(D), dest(X, D).
+
+evaluated "using SLD resolution directly would be very inefficient":
+the ``object/1`` goals enumerate the whole active domain before
+``src``/``dest`` filter it.
+
+Shape to reproduce: direct wins, and the gap grows with database size
+(direct is O(n) per query over n facts; leftmost SLD is O(n^2) and
+worse, since each of the 3n domain elements is tried per path object).
+Absolute numbers are ours, not the paper's (it reports none).
+"""
+
+import pytest
+
+from repro.engine.direct import DirectEngine
+from repro.engine.topdown import SLDEngine
+from repro.lang.parser import parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+
+from workloads import extensional_path_db
+
+QUERY_SOURCE = ":- path: X[src => S, dest => D]."
+SIZES = [10, 30, 90]
+
+
+def _direct(size: int):
+    program = extensional_path_db(size)
+    engine = DirectEngine(program)
+    engine.saturate()
+    query = parse_query(QUERY_SOURCE)
+
+    def run():
+        return engine.solve(query)
+
+    return run, size
+
+
+def _translated(size: int):
+    program = extensional_path_db(size)
+    fol = program_to_fol(program)
+    engine = SLDEngine(fol)
+    goals = query_to_fol(parse_query(QUERY_SOURCE))
+
+    def run():
+        # Leftmost selection — the paper's scenario.
+        return list(engine.solve(goals, max_depth=50, select="leftmost"))
+
+    return run, size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e6_direct(benchmark, size):
+    run, __ = _direct(size)
+    answers = benchmark(run)
+    assert len(answers) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e6_translated_sld_leftmost(benchmark, size):
+    run, __ = _translated(size)
+    answers = benchmark(run)
+    assert len(answers) == size
+
+
+def test_e6_shape_direct_wins_and_gap_grows(benchmark):
+    """The headline shape assertion, run once inside the benchmark
+    harness: direct is faster at every size and the ratio grows with n."""
+    import time
+
+    def check_shape():
+        ratios = []
+        for size in SIZES:
+            direct_run, __ = _direct(size)
+            translated_run, __ = _translated(size)
+            start = time.perf_counter()
+            direct_run()
+            direct_time = time.perf_counter() - start
+            start = time.perf_counter()
+            translated_run()
+            translated_time = time.perf_counter() - start
+            assert translated_time > direct_time, (
+                f"direct should win at size {size}: "
+                f"{direct_time:.4f}s vs {translated_time:.4f}s"
+            )
+            ratios.append(translated_time / direct_time)
+        assert ratios[-1] > ratios[0], f"gap should grow with size: {ratios}"
+        return ratios
+
+    ratios = benchmark.pedantic(check_shape, rounds=1, iterations=1)
+    assert len(ratios) == len(SIZES)

@@ -1,0 +1,73 @@
+"""E9 — Section 5: set manipulation through multi-valued labels.
+
+Paper artifacts: the ``children => {bob, bill, joe}`` fact with the
+``{X, Y}`` query (both variables range over all children: 9 bindings),
+subset semantics of ``=>``, and set union through separate rules.
+
+We assert the counts and measure set-style queries as the set sizes
+grow.
+"""
+
+import pytest
+
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program, parse_query
+
+from workloads import family_db
+
+from tests.conftest import CHILDREN_SOURCE
+
+
+def test_e9_pair_query_has_nine_answers(benchmark):
+    engine = DirectEngine(parse_program(CHILDREN_SOURCE).program)
+    query = parse_query(":- person: john[children => {X, Y}].")
+    answers = benchmark(lambda: engine.solve(query))
+    assert len(answers) == 9
+
+
+def test_e9_subset_and_element_queries(benchmark):
+    engine = DirectEngine(parse_program(CHILDREN_SOURCE).program)
+    subset = parse_query(":- person: john[children => {bob, joe}].")
+    not_subset = parse_query(":- person: john[children => {bob, zed}].")
+    element = parse_query(":- person: john[children => bill].")
+
+    def verdicts():
+        return engine.holds(subset), engine.holds(not_subset), engine.holds(element)
+
+    assert benchmark(verdicts) == (True, False, True)
+
+
+def test_e9_union_via_separate_rules(benchmark):
+    source = """
+    in_a(x1). in_a(x2).
+    in_b(x2). in_b(x3).
+    set: s[members => X] :- in_a(X).
+    set: s[members => X] :- in_b(X).
+    """
+    engine = DirectEngine(parse_program(source).program)
+    query = parse_query(":- set: s[members => M].")
+    answers = benchmark(lambda: engine.solve(query))
+    assert len(answers) == 3  # union, duplicates collapse
+
+
+@pytest.mark.parametrize("children", [4, 8, 16])
+def test_e9_pair_query_scaling(benchmark, children):
+    """The {X, Y} query is quadratic in the set size — k^2 answers."""
+    program = family_db(parents=1, children_per_parent=children)
+    engine = DirectEngine(program)
+    engine.saturate()
+    query = parse_query(":- person: parent0[children => {X, Y}].")
+    answers = benchmark(lambda: engine.solve(query))
+    assert len(answers) == children * children
+
+
+def test_e9_indirect_set_access(benchmark):
+    """'By passing john around, the set associated with john by children
+    can be indirectly accessed through object john.'"""
+    source = CHILDREN_SOURCE + """
+    grandpa: abe[children => john].
+    grandchild_of(G, C) :- grandpa: G[children => P], person: P[children => C].
+    """
+    engine = DirectEngine(parse_program(source).program)
+    answers = benchmark(lambda: engine.solve(parse_query(":- grandchild_of(abe, C).")))
+    assert len(answers) == 3

@@ -1,0 +1,11 @@
+"""Benchmark configuration: keep rounds small — these are deduction
+benchmarks, not microbenchmarks, so one round is already meaningful."""
+
+import sys
+from pathlib import Path
+
+# Make `workloads` and `tests.conftest` importable regardless of how
+# pytest was invoked (`pytest` does not put the cwd on sys.path the way
+# `python -m pytest` does).
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent))

@@ -1,0 +1,506 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md measurements.
+
+Runs every experiment E1–E12 once (the pytest-benchmark files measure
+the same code paths statistically; this script produces the readable
+paper-vs-measured report) and prints a markdown document to stdout::
+
+    python benchmarks/run_experiments.py > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from repro.core.errors import ParseError
+from repro.core.pretty import pretty_term
+from repro.engine.bottomup import EvaluationStats, answer_query_bottomup, naive_fixpoint
+from repro.engine.direct import DirectEngine
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.tabling import TabledEngine
+from repro.engine.topdown import SLDEngine
+from repro.fol.pretty import pretty_fatom, pretty_generalized
+from repro.lang.parser import parse_atom, parse_program, parse_query, parse_term
+from repro.olog import TOP, check_consistency, lattice_label_value
+from repro.transform.atoms import atom_to_fol
+from repro.transform.clauses import (
+    program_to_fol,
+    program_to_generalized,
+    query_to_fol,
+)
+from repro.transform.optimize import optimize_program
+
+from workloads import (
+    chain_graph_program,
+    deep_hierarchy_program,
+    extensional_path_db,
+    family_db,
+    grammar_program,
+    split_multivalued_db,
+)
+
+from tests.conftest import (
+    CHILDREN_SOURCE,
+    JOHN_NAMES_SOURCE,
+    NOUN_PHRASE_SOURCE,
+    RESIDUAL_SOURCE,
+)
+
+OUT: list[str] = []
+
+
+def emit(text: str = "") -> None:
+    OUT.append(text)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def e1() -> None:
+    emit("## E1 — Example 1: the term grammar (§3.1)")
+    emit()
+    emit("Paper: four terms are well-formed; three strings are not terms.")
+    emit()
+    well_formed = [
+        "X",
+        "path: g(X, Y)[length => 10]",
+        "person: john[children => {person: bob, person: bill}]",
+        "instructor: david[course => courseid: cse538, course => courseid: cse505]",
+    ]
+    rejected = [
+        "student: id[name => joe][age => 20]",
+        "part: f(part_id => 123)",
+        "student: id(name => joe][age => 20]",
+    ]
+    emit("| input | paper | measured |")
+    emit("|---|---|---|")
+    for source in well_formed:
+        parse_term(source)
+        emit(f"| `{source}` | term | accepted |")
+    for source in rejected:
+        try:
+            parse_term(source)
+            verdict = "accepted (!)"
+        except ParseError:
+            verdict = "rejected"
+        emit(f"| `{source}` | not a term | {verdict} |")
+    emit()
+
+
+def e2() -> None:
+    emit("## E2 — Example 2: transformation into FOL (§3.3)")
+    emit()
+    atom = parse_atom("determiner: the[num => {singular, plural}, def => definite]")
+    conjuncts = [pretty_fatom(c) for c in atom_to_fol(atom)]
+    paper = [
+        "determiner(the)",
+        "object(singular)",
+        "num(the, singular)",
+        "object(plural)",
+        "num(the, plural)",
+        "object(definite)",
+        "def(the, definite)",
+    ]
+    emit(f"Paper's conjunction (7 atoms): `{' & '.join(paper)}`")
+    emit()
+    emit(f"Measured: `{' & '.join(conjuncts)}`")
+    emit()
+    emit(f"**Exact match: {conjuncts == paper}**")
+    emit()
+
+
+def e3() -> None:
+    emit("## E3 — Example 3: the noun-phrase program (§4)")
+    emit()
+    emit("Paper: `:- noun_phrase: X[num => plural].` has exactly the answers")
+    emit("`np(the, students)` and `np(all, students)`.")
+    emit()
+    program = parse_program(NOUN_PHRASE_SOURCE).program
+    query = parse_query(":- noun_phrase: X[num => plural].")
+    goals = query_to_fol(query)
+    fol = program_to_fol(program)
+    emit("| engine | answers | time (ms) |")
+    emit("|---|---|---|")
+
+    answers, elapsed = timed(lambda: DirectEngine(program).solve(query))
+    rendered = sorted(pretty_term(a["X"]) for a in answers)
+    emit(f"| direct | {rendered} | {elapsed * 1e3:.1f} |")
+
+    for name, run in [
+        ("bottom-up (naive)", lambda: list(answer_query_bottomup(goals, naive_fixpoint(fol)))),
+        ("bottom-up (semi-naive)", lambda: list(answer_query_bottomup(goals, seminaive_fixpoint(fol)))),
+        ("SLD (smallest, depth 20)", lambda: list(SLDEngine(fol).solve(goals, max_depth=20, select="smallest"))),
+        ("tabled SLD", lambda: TabledEngine(fol).solve(goals)),
+    ]:
+        substs, elapsed = timed(run)
+        from repro.fol.pretty import pretty_fterm
+
+        rendered = sorted(pretty_fterm(s["X"]) for s in substs)
+        emit(f"| {name} | {rendered} | {elapsed * 1e3:.1f} |")
+    emit()
+
+
+def e4() -> None:
+    emit("## E4 — The three identity readings of the path rules (§2.1)")
+    emit()
+    emit("Paper: the entity-creating path rules admit three quantification")
+    emit("readings; the created objects differ.  Asymmetric diamond graph")
+    emit("(two a→d routes of lengths 2 and 3):")
+    emit()
+    from repro import KnowledgeBase
+
+    diamond = """
+node: a[linkto => {b, c}].
+node: b[linkto => d].
+node: c[linkto => c2].
+node: c2[linkto => d].
+"""
+    rules = """
+path: C[src => X, dest => Y, length => L] :- node: X[linkto => Y], L is 1.
+path: C[src => X, dest => Y, length => L] :-
+    node: X[linkto => Z],
+    path: C0[src => Z, dest => Y, length => L0],
+    L is L0 + 1.
+"""
+    readings = {
+        "ends only": (("X", "Y"), ("X", "Y")),
+        "ends + length": (("X", "Y", "L"), ("X", "Y", "L")),
+        "node sequence": (("X", "Y"), ("X", "C0")),
+    }
+    emit("| reading | path objects | objects for a→d |")
+    emit("|---|---|---|")
+    for title, (base_deps, rec_deps) in readings.items():
+        kb = KnowledgeBase.from_source(diamond + rules)
+        kb.declare_identity("C", depends_on=base_deps, clause_index=4)
+        kb.declare_identity("C", depends_on=rec_deps, clause_index=5)
+        total = len(kb.ask("path: P"))
+        a_to_d = len(kb.ask("path: P[src => a, dest => d]"))
+        emit(f"| {title} | {total} | {a_to_d} |")
+    emit()
+    engine = DirectEngine(chain_graph_program(24))
+    __, elapsed = timed(engine.saturate)
+    paths = len(engine.store.ids_of_type("path"))
+    emit(
+        f"Saturation, reading 1, 24-node chain: {paths} path objects "
+        f"(expected 276) in {elapsed * 1e3:.0f} ms."
+    )
+    emit()
+
+
+def e5() -> None:
+    emit("## E5 — Redundancy elimination (§4)")
+    emit()
+    program = parse_program(NOUN_PHRASE_SOURCE).program
+    raw = program_to_generalized(program, dedupe=False)
+    (optimized, report), elapsed = timed(lambda: optimize_program(raw))
+    paper_clause = (
+        "common_np(np(Det, Noun)), object(3), pers(np(Det, Noun), 3), "
+        "num(np(Det, Noun), N), def(np(Det, Noun), D) :- "
+        "determiner(Det), object(N), num(Det, N), object(D), def(Det, D), "
+        "noun(Noun), num(Noun, N)."
+    )
+    rendered = [pretty_generalized(c) for c in optimized.clauses]
+    emit(f"Paper's optimized `common_np` clause reproduced exactly: "
+         f"**{paper_clause in rendered}**")
+    emit()
+    emit(f"- atoms before/after: {raw.atom_count()} → {optimized.atom_count()}")
+    emit(f"- head atoms deleted: {report.head_atoms_deleted}; "
+         f"body atoms deleted: {report.body_atoms_deleted}")
+    emit(f"- optimizer time: {elapsed * 1e3:.2f} ms")
+    scaled = program_to_generalized(grammar_program(40, 10), dedupe=False)
+    opt_scaled, rep_scaled = optimize_program(scaled)
+    emit(f"- scaled grammar (40 nouns, 10 dets): "
+         f"{scaled.atom_count()} → {opt_scaled.atom_count()} atoms")
+    emit()
+
+
+def e6() -> None:
+    emit("## E6 — Direct vs translated evaluation (§4, the headline claim)")
+    emit()
+    emit("Paper: direct unification answers the functional-label path query")
+    emit("in one step per fact; SLD over the translation \"would be very")
+    emit("inefficient\" (the `object/1` goals enumerate the active domain).")
+    emit()
+    emit("| facts | direct (ms) | translated SLD leftmost (ms) | ratio |")
+    emit("|---|---|---|---|")
+    query = parse_query(":- path: X[src => S, dest => D].")
+    ratios = []
+    for size in (10, 30, 90):
+        program = extensional_path_db(size)
+        engine = DirectEngine(program)
+        engine.saturate()
+        answers, direct_time = timed(lambda: engine.solve(query))
+        assert len(answers) == size
+        fol = program_to_fol(program)
+        goals = query_to_fol(query)
+        sld = SLDEngine(fol)
+        substs, sld_time = timed(
+            lambda: list(sld.solve(goals, max_depth=50, select="leftmost"))
+        )
+        assert len(substs) == size
+        ratio = sld_time / direct_time
+        ratios.append(ratio)
+        emit(
+            f"| {size} | {direct_time * 1e3:.2f} | {sld_time * 1e3:.2f} "
+            f"| {ratio:.0f}x |"
+        )
+    emit()
+    emit(f"Shape check — direct wins everywhere and the gap grows: "
+         f"**{all(r > 1 for r in ratios) and ratios[-1] > ratios[0]}**")
+    emit()
+
+
+def e7() -> None:
+    emit("## E7 — Multi-valued labels need residuals (§4)")
+    emit()
+    program = parse_program(RESIDUAL_SOURCE).program
+    engine = DirectEngine(program)
+    query = parse_query(":- path: p[src => a, dest => d].")
+    emit("Facts: `path: p[src => a, dest => b].` and `path: p[src => c, dest => d].`")
+    emit("Query: `:- path: p[src => a, dest => d].`")
+    emit()
+    emit("| strategy | paper says | measured |")
+    emit("|---|---|---|")
+    emit(f"| residual solving | succeeds | {engine.holds(query)} |")
+    emit(f"| naive whole-term unification | fails | "
+         f"{bool(engine.solve_whole_term(query))} |")
+    emit(f"| subsumption on merged fact | succeeds | "
+         f"{bool(engine.solve_subsumption(query))} |")
+    merged = engine.store.merged_description(parse_term("p"))
+    emit()
+    emit(f"Merged fact (paper: `path: p[src => {{a, c}}, dest => {{b, d}}]`): "
+         f"`{pretty_term(merged)}`")
+    emit()
+    big = DirectEngine(split_multivalued_db(45, 3))
+    big.saturate()
+    cross = parse_query(":- path: p0[src => a0, dest => b2].")
+    __, r_time = timed(lambda: big.solve(cross))
+    __, w_time = timed(lambda: big.solve_whole_term(cross))
+    __, s_time = timed(lambda: big.solve_subsumption(cross))
+    emit(f"Scaling (45 objects × 3 values/label): residual {r_time*1e3:.2f} ms, "
+         f"whole-term {w_time*1e3:.2f} ms (finds nothing), "
+         f"subsumption {s_time*1e3:.2f} ms.")
+    emit()
+
+
+def e8() -> None:
+    emit("## E8 — The O-logic comparison (§2.2)")
+    emit()
+    program = parse_program(JOHN_NAMES_SOURCE).program
+    violations = check_consistency(program)
+    emit("| check | paper says | measured |")
+    emit("|---|---|---|")
+    emit(f"| two names for john, as O-logic | no models | "
+         f"{len(violations)} violation(s): {violations[0]} |")
+    clogic_answers = DirectEngine(program).solve(parse_query(":- john[name => N]."))
+    emit(f"| same data, as C-logic | consistent | {len(clogic_answers)} answers |")
+    emit(f"| lattice alternative | derives T | "
+         f"john[name => {lattice_label_value(['John', 'John Smith'])}] |")
+    fam = family_db(parents=20, children_per_parent=4)
+    fam_violations, elapsed = timed(lambda: check_consistency(fam))
+    emit(f"| 20 multi-child parents, as O-logic | no models | "
+         f"{len(fam_violations)} violations in {elapsed * 1e3:.1f} ms |")
+    emit()
+    emit("Consistency checking requires evaluating the whole program:")
+    chain = chain_graph_program(16)
+    __, check_time = timed(lambda: check_consistency(chain))
+    engine = DirectEngine(chain)
+    __, saturate_time = timed(engine.saturate)
+    emit(f"16-node chain — consistency check {check_time * 1e3:.0f} ms vs "
+         f"plain saturation {saturate_time * 1e3:.0f} ms (same order).")
+    emit()
+
+
+def e9() -> None:
+    emit("## E9 — Sets via multi-valued labels (§5)")
+    emit()
+    engine = DirectEngine(parse_program(CHILDREN_SOURCE).program)
+    pairs = engine.solve(parse_query(":- person: john[children => {X, Y}]."))
+    emit("| check | paper says | measured |")
+    emit("|---|---|---|")
+    emit(f"| `{{X, Y}}` query bindings | each of bob/bill/joe for both | "
+         f"{len(pairs)} pairs |")
+    subset = engine.holds(parse_query(":- person: john[children => {bob, joe}]."))
+    emit(f"| subset assertion | holds | {subset} |")
+    union_src = """
+    in_a(x1). in_a(x2). in_b(x2). in_b(x3).
+    set: s[members => X] :- in_a(X).
+    set: s[members => X] :- in_b(X).
+    """
+    union_engine = DirectEngine(parse_program(union_src).program)
+    members = union_engine.solve(parse_query(":- set: s[members => M]."))
+    emit(f"| union via separate rules | supported | {len(members)} members |")
+    emit()
+    emit("| children per parent | answers to {X, Y} | time (ms) |")
+    emit("|---|---|---|")
+    for k in (4, 8, 16):
+        eng = DirectEngine(family_db(1, k))
+        eng.saturate()
+        q = parse_query(":- person: parent0[children => {X, Y}].")
+        answers, elapsed = timed(lambda: eng.solve(q))
+        emit(f"| {k} | {len(answers)} | {elapsed * 1e3:.1f} |")
+    emit()
+
+
+def e10() -> None:
+    emit("## E10 — Theorem 1, checked model-theoretically (§3.3)")
+    emit()
+    import random
+
+    from repro.core.formulas import free_variables
+    from repro.semantics.random_gen import (
+        Signature,
+        random_assignment,
+        random_atom,
+        random_structure,
+    )
+    from repro.semantics.satisfaction import (
+        satisfies_atom,
+        satisfies_fol_conjunction,
+    )
+
+    signature = Signature()
+    rng = random.Random(2026)
+    samples = 3000
+    mismatches = 0
+    start = time.perf_counter()
+    for __ in range(samples):
+        structure = random_structure(rng, signature)
+        atom = random_atom(rng, signature)
+        assignment = random_assignment(rng, structure, free_variables(atom))
+        lhs = satisfies_atom(atom, structure, assignment)
+        rhs = satisfies_fol_conjunction(atom_to_fol(atom), structure, assignment)
+        if lhs != rhs:
+            mismatches += 1
+    elapsed = time.perf_counter() - start
+    emit(f"Random sweep: {samples} (structure, formula, assignment) triples, "
+         f"**{mismatches} mismatches** ({elapsed:.1f} s).")
+    emit()
+    emit("Minimal-model correspondence (direct store vs back-translated")
+    emit("bottom-up model): checked for the path and grammar programs in")
+    emit("`benchmarks/bench_e10_theorem1.py` — both **hold**.")
+    emit()
+
+
+def e11() -> None:
+    emit("## E11 — Bottom-up over generalized clauses; semi-naive (§4)")
+    emit()
+    emit("| chain n | naive derivations | semi-naive derivations | naive (ms) | semi-naive (ms) |")
+    emit("|---|---|---|---|---|")
+    from repro.fol.atoms import FAtom, HornClause
+    from repro.fol.terms import FConst, FVar
+
+    def tc_clauses(n: int):
+        clauses = [
+            HornClause(FAtom("edge", (FConst(i), FConst(i + 1)))) for i in range(n)
+        ]
+        clauses.append(
+            HornClause(
+                FAtom("tc", (FVar("X"), FVar("Y"))),
+                (FAtom("edge", (FVar("X"), FVar("Y"))),),
+            )
+        )
+        clauses.append(
+            HornClause(
+                FAtom("tc", (FVar("X"), FVar("Z"))),
+                (
+                    FAtom("edge", (FVar("X"), FVar("Y"))),
+                    FAtom("tc", (FVar("Y"), FVar("Z"))),
+                ),
+            )
+        )
+        return clauses
+
+    for n in (8, 16, 24):
+        clauses = tc_clauses(n)
+        naive_stats = EvaluationStats()
+        semi_stats = EvaluationStats()
+        __, naive_time = timed(lambda: naive_fixpoint(clauses, stats=naive_stats))
+        __, semi_time = timed(lambda: seminaive_fixpoint(clauses, stats=semi_stats))
+        emit(
+            f"| {n} | {naive_stats.facts_derived} | {semi_stats.facts_derived} "
+            f"| {naive_time * 1e3:.0f} | {semi_time * 1e3:.0f} |"
+        )
+    emit()
+    emit("Multi-head derivation: one body evaluation fills every head atom")
+    emit("(asserted in `bench_e11_seminaive.py::test_e11_multihead_derivation`).")
+    emit()
+
+
+def e12() -> None:
+    emit("## E12 — Order-sorted typing vs clause chains (§4)")
+    emit()
+    emit("| hierarchy depth | direct query (ms) | translated semi-naive (ms) |")
+    emit("|---|---|---|")
+    for depth in (4, 16, 64):
+        program = deep_hierarchy_program(depth, 40)
+        engine = DirectEngine(program)
+        engine.saturate()
+        query = parse_query(f":- t{depth - 1}: X.")
+        answers, direct_time = timed(lambda: engine.solve(query))
+        assert len(answers) == 40
+        fol = program_to_fol(program)
+        goals = query_to_fol(query)
+        substs, translated_time = timed(
+            lambda: list(answer_query_bottomup(goals, seminaive_fixpoint(fol)))
+        )
+        assert len(substs) == 40
+        emit(f"| {depth} | {direct_time * 1e3:.2f} | {translated_time * 1e3:.1f} |")
+    emit()
+    emit("Shape: the direct side is nearly flat in depth (one downset")
+    emit("computation); the translated side re-derives every intermediate")
+    emit("type extent.")
+    emit()
+
+
+def e13() -> None:
+    emit("## E13 — Ablations of the direct engine (not a paper artifact)")
+    emit()
+    emit("| workload | naive saturation (ms) | delta saturation (ms) |")
+    emit("|---|---|---|")
+    for nodes in (16, 24, 32):
+        program = chain_graph_program(nodes)
+        naive_engine = DirectEngine(program, saturation_mode="naive")
+        __, naive_time = timed(naive_engine.saturate)
+        delta_engine = DirectEngine(program, saturation_mode="delta")
+        __, delta_time = timed(delta_engine.saturate)
+        assert naive_engine.store.fact_count() == delta_engine.store.fact_count()
+        emit(
+            f"| {nodes}-node chain | {naive_time * 1e3:.0f} | {delta_time * 1e3:.0f} |"
+        )
+    emit()
+    emit("Both modes reach the identical fixpoint (asserted per row); the")
+    emit("delta mode's verification rounds keep it sound even where the")
+    emit("index-driven delta candidates under-approximate.")
+    emit()
+
+
+def main() -> None:
+    emit("# EXPERIMENTS — paper vs measured")
+    emit()
+    emit("Chen & Warren, *C-Logic of Complex Objects* (PODS 1989) contains")
+    emit("no numeric tables or figures; its evaluation artifacts are worked")
+    emit("examples, Theorem 1 and efficiency claims.  Each section below")
+    emit("reproduces one (the E-numbers match DESIGN.md §3 and the")
+    emit("`benchmarks/bench_e*.py` harness).  Timings are from this")
+    emit("machine, single run; the statistically sampled versions are in")
+    emit("`bench_output.txt`.")
+    emit()
+    for step in (e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13):
+        step()
+    emit("---")
+    emit()
+    emit("Regenerate with `python benchmarks/run_experiments.py > EXPERIMENTS.md`.")
+    print("\n".join(OUT))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Shared workload generators for the experiment benchmarks.
+
+The paper evaluates nothing on a machine, so these workloads are our
+operationalizations of its claims: parametric graphs for the path
+rules, scalable extensional path databases for the direct-vs-translated
+comparison, grammar scaling for the noun-phrase program, and deep type
+chains for the order-sorted experiments.  Everything is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builder import fact, obj, program, rule, subtype
+from repro.core.clauses import DefiniteClause, Program
+from repro.core.terms import Var
+from repro.core.types import SubtypeDecl
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "chain_graph_program",
+    "path_rules_source",
+    "extensional_path_db",
+    "split_multivalued_db",
+    "grammar_program",
+    "deep_hierarchy_program",
+    "family_db",
+]
+
+
+def path_rules_source() -> str:
+    """The skolemized (reading 1) path rules of Section 2.1."""
+    return """
+path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+path: id(X, Y)[src => X, dest => Y, length => L] :-
+    node: X[linkto => Z],
+    path: C0[src => Z, dest => Y, length => L0],
+    L is L0 + 1.
+"""
+
+
+def chain_graph_program(nodes: int) -> Program:
+    """``n0 -> n1 -> ... -> n_{nodes-1}`` plus the path rules."""
+    lines = [
+        f"node: n{i}[linkto => n{i + 1}]." for i in range(nodes - 1)
+    ]
+    return parse_program("\n".join(lines) + path_rules_source()).program
+
+
+def extensional_path_db(size: int, functional: bool = True) -> Program:
+    """``size`` path facts over ``2 * size`` endpoint objects.
+
+    With ``functional=True`` each object has exactly one ``src`` and one
+    ``dest`` — the case Section 4 says direct whole-object evaluation
+    handles in one unification step per fact.
+    """
+    facts = []
+    for i in range(size):
+        facts.append(fact(obj(f"p{i}", type="path", src=f"s{i}", dest=f"d{i}")))
+        if not functional:
+            facts.append(
+                fact(obj(f"p{i}", type="path", src=f"s{i}x", dest=f"d{i}x"))
+            )
+    return program(*facts)
+
+
+def split_multivalued_db(objects: int, values_per_label: int) -> Program:
+    """Each object's multi-valued labels split across one fact per value
+    (the E7 shape: no single fact supports a cross-value query)."""
+    facts = []
+    for i in range(objects):
+        for j in range(values_per_label):
+            facts.append(fact(obj(f"p{i}", type="path", src=f"a{j}")))
+            facts.append(fact(obj(f"p{i}", type="path", dest=f"b{j}")))
+    return program(*facts)
+
+
+def grammar_program(nouns: int, determiners: int) -> Program:
+    """Example 3 scaled: more nouns and determiners, same rules."""
+    lines = ["name: john.", "name: bob."]
+    for i in range(determiners):
+        num = "singular" if i % 2 == 0 else "plural"
+        lines.append(f"determiner: det{i}[num => {num}, def => indef].")
+    for i in range(nouns):
+        num = "singular" if i % 2 == 0 else "plural"
+        lines.append(f"noun: noun{i}[num => {num}].")
+    lines.append(
+        "proper_np: X[pers => 3, num => singular, def => definite] :- name: X."
+    )
+    lines.append(
+        "common_np: np(Det, Noun)[pers => 3, num => N, def => D] :- "
+        "determiner: Det[num => N, def => D], noun: Noun[num => N]."
+    )
+    lines.append("proper_np < noun_phrase.")
+    lines.append("common_np < noun_phrase.")
+    return parse_program("\n".join(lines)).program
+
+
+def deep_hierarchy_program(depth: int, members_per_type: int) -> Program:
+    """A subtype chain t0 < t1 < ... < t_{depth-1} with members asserted
+    at the bottom type only, so queries at the top exercise the whole
+    chain."""
+    clauses: list[DefiniteClause] = []
+    for i in range(members_per_type):
+        clauses.append(fact(obj(f"m{i}", type="t0")))
+    subtypes = [subtype(f"t{i}", f"t{i + 1}") for i in range(depth - 1)]
+    return Program(tuple(clauses), tuple(subtypes))
+
+
+def family_db(parents: int, children_per_parent: int) -> Program:
+    """Section 5 workload: parents with several children each."""
+    facts = []
+    for i in range(parents):
+        children = [f"c{i}_{j}" for j in range(children_per_parent)]
+        facts.append(fact(obj(f"parent{i}", type="person", children=children)))
+    return program(*facts)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Section 5: set manipulation through multi-valued labels.
+
+C-logic is first-order and has no set values, yet multi-valued labels
+support most of what users want from sets:
+
+* ``=>`` followed by a collection asserts *subset* membership;
+* ``=>`` followed by a term asserts *element* membership;
+* definitions in separate rules give set *union*;
+* unification gives aspects of set *intersection*;
+* what is missing — returning a set value, set equality / unification —
+  is reported as missing rather than approximated.
+
+Run with::
+
+    python examples/family_sets.py
+"""
+
+from repro import KnowledgeBase
+from repro.core.pretty import pretty_term
+
+
+def main() -> None:
+    kb = KnowledgeBase.from_source(
+        """
+        person: john[children => {bob, bill, joe}].
+
+        % Set union through separate rules: the team collects members
+        % from two sources.
+        member_of_a(alice).
+        member_of_a(bob).
+        member_of_b(carol).
+        team: squad[members => X] :- member_of_a(X).
+        team: squad[members => X] :- member_of_b(X).
+        """
+    )
+
+    print("== The paper's query: :- person: john[children => {X, Y}]. ==")
+    answers = kb.ask("person: john[children => {X, Y}]")
+    print(f"   {len(answers)} (X, Y) bindings (both range over all children):")
+    for answer in answers:
+        print("   ", answer.pretty())
+
+    print("\n== Subset assertions ==")
+    for query in (
+        "person: john[children => {bob, joe}]",   # a subset: succeeds
+        "person: john[children => {bob, carol}]", # not a subset: fails
+    ):
+        print(f"   {query:45s} -> {kb.holds(query)}")
+
+    print("\n== Set union via separate rules ==")
+    members = kb.ask("team: squad[members => M]")
+    print("   squad members:", sorted(a.pretty()["M"] for a in members))
+
+    print("\n== Intersection aspects via unification ==")
+    # X must be both a child of john and a squad member.
+    both = kb.ask("person: john[children => X], team: squad[members => X]")
+    print("   children who are also squad members:",
+          sorted(a.pretty()["X"] for a in both))
+
+    print("\n== The merged description (the label as an intuitive set) ==")
+    for description in kb.objects():
+        text = pretty_term(description)
+        if "children" in text or "members" in text:
+            print("   ", text)
+
+    print(
+        "\nWhat C-logic deliberately cannot do (Section 5): return a set\n"
+        "value or test set equality - that would need set unification,\n"
+        "which is beyond first-order semantics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Example 3 of the paper, end to end: noun-phrase objects.
+
+Shows the full Section 4 pipeline on the paper's grammar program:
+
+1. the program of objects (subtype declarations + definite clauses);
+2. its translation into a generalized logic program with type axioms;
+3. the static redundancy elimination (cases 1 and 2);
+4. the paper's query answered by all five engines, reproducing the two
+   answers np(the, students) and np(all, students).
+
+Run with::
+
+    python examples/noun_phrase_grammar.py
+"""
+
+from repro import KnowledgeBase
+from repro.fol.pretty import pretty_generalized, pretty_horn
+from repro.transform.clauses import program_to_generalized
+from repro.transform.optimize import optimize_program
+
+GRAMMAR = """
+name: john.
+name: bob.
+
+determiner: the[num => {singular, plural}, def => definite].
+determiner: a[num => singular, def => indef].
+determiner: all[num => plural, def => indef].
+
+noun: student[num => singular].
+noun: students[num => plural].
+
+proper_np: X[pers => 3, num => singular, def => definite] :-
+    name: X.
+common_np: np(Det, Noun)[pers => 3, num => N, def => D] :-
+    determiner: Det[num => N, def => D],
+    noun: Noun[num => N].
+
+proper_np < noun_phrase.
+common_np < noun_phrase.
+"""
+
+
+def main() -> None:
+    kb = KnowledgeBase.from_source(GRAMMAR, sld_depth=20)
+
+    print("== The program of objects ==")
+    print(GRAMMAR.strip())
+
+    generalized = program_to_generalized(kb.program, dedupe=False)
+    print("\n== Translated: generalized definite clauses + type axioms ==")
+    for clause in generalized.clauses:
+        print("  ", pretty_generalized(clause))
+    for axiom in generalized.axioms:
+        print("  ", pretty_horn(axiom))
+    print(f"  ({generalized.atom_count()} atoms before optimization)")
+
+    optimized, report = optimize_program(generalized)
+    print("\n== After redundancy elimination (Section 4, cases 1 & 2) ==")
+    for clause in optimized.clauses:
+        print("  ", pretty_generalized(clause))
+    print(
+        f"  ({optimized.atom_count()} atoms; deleted "
+        f"{report.head_atoms_deleted} head / {report.body_atoms_deleted} body atoms)"
+    )
+
+    print("\n== Query: :- noun_phrase: X[num => plural]. ==")
+    for engine in ("direct", "bottomup", "seminaive", "sld", "tabled"):
+        answers = kb.ask("noun_phrase: X[num => plural]", engine=engine)
+        rendered = sorted(a.pretty()["X"] for a in answers)
+        print(f"  {engine:10s} -> {rendered}")
+    print("\nThe paper's two answers: np(the, students) and np(all, students).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Section 2.2: why labels are binary predicates, not partial functions.
+
+Maier's O-logic reads labels as partial functions, so a program that
+assigns two values to the same label of the same object has *no models*
+— the whole program is inconsistent, and discovering that requires
+evaluating the whole program.  C-logic's multi-valued labels make the
+same data unremarkable.  The lattice-based alternative (a top object T)
+localizes the inconsistency instead.
+
+Run with::
+
+    python examples/olog_vs_clogic.py
+"""
+
+from repro import KnowledgeBase
+from repro.lang.parser import parse_program
+from repro.olog import TOP, check_consistency, lattice_label_value
+
+JOHN = """
+john[name => "John"].
+john[name => "John Smith"].
+"""
+
+RULE_PROGRAM = """
+emp: e1[boss => b1].
+promoted(e1).
+emp: X[boss => b2] :- promoted(X).
+"""
+
+
+def main() -> None:
+    print("== The paper's example ==")
+    print(JOHN.strip())
+
+    print("\n-- As C-logic: perfectly consistent (labels are binary predicates)")
+    kb = KnowledgeBase.from_source(JOHN)
+    names = kb.ask('john[name => N]')
+    print("   john's names:", sorted(a.pretty()["N"] for a in names))
+
+    print("\n-- As O-logic: the program has NO models")
+    violations = check_consistency(parse_program(JOHN).program)
+    for violation in violations:
+        print("   violation:", violation)
+
+    print("\n-- The lattice alternative: inconsistency becomes local")
+    value = lattice_label_value(["John", "John Smith"])
+    print(f"   john[name => {value}]  (the top object {TOP}: no common super-object)")
+    print(
+        "   The paper notes the catch: john[name => \"David\"] is then a\n"
+        "   true sub-description of john[name => T] — but no resolution-\n"
+        "   like inference rule can derive it."
+    )
+
+    print("\n== Inconsistency through rules ==")
+    print(RULE_PROGRAM.strip())
+    print(
+        "\n   Checking O-logic consistency requires evaluating the whole\n"
+        "   program: the clash only appears after the rule fires."
+    )
+    for violation in check_consistency(parse_program(RULE_PROGRAM).program):
+        print("   violation:", violation)
+
+    print(
+        "\nC-logic's position: functionality is a *constraint* better kept\n"
+        "in schema information above the logic, not built into it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""A realistic application: a university knowledge base.
+
+Everything the library offers in one scenario — the kind of structured-
+entity modeling the paper's introduction motivates:
+
+* a subtype hierarchy (student < person, instructor < person, ...);
+* complex objects with multi-valued labels (co-advisors, as §2.2
+  suggests: "A student may have several co-advisors");
+* entity-creating rules with declared skolem identities (§2.1):
+  one enrollment object per (student, course) pair;
+* recursive rules with arithmetic (prerequisite chains);
+* stratified negation (students with no enrollments);
+* schema constraints and derived static types;
+* derivation-tree explanations.
+
+Run with::
+
+    python examples/university_db.py
+"""
+
+from repro import KnowledgeBase
+from repro.core.pretty import pretty_term
+from repro.schema import (
+    Cardinality,
+    DomainConstraint,
+    RequiredLabel,
+    Schema,
+    StaticType,
+    membership_rule,
+)
+
+UNIVERSITY = """
+instructor < person.
+student < person.
+grad_student < student.
+
+instructor: warren[name => "David", teaches => {cse505, cse532}].
+instructor: kifer[name => "Michael", teaches => cse532].
+
+course: cse303[title => "Intro Logic", credits => 3].
+course: cse505[title => "Logic Programming", credits => 3,
+               prereq => cse303].
+course: cse532[title => "Database Theory", credits => 3,
+               prereq => cse505].
+
+student: ann[name => "Ann", takes => {cse303, cse505}].
+student: bob[name => "Bob", takes => cse505].
+grad_student: carol[name => "Carol", takes => cse532,
+                    advisor => {warren, kifer}].
+student: dan[name => "Dan"].
+
+% One enrollment object per (student, course) pair - the identity E
+% is existential; what determines it is declared below.
+enrollment: E[who => S, what => C] :-
+    student: S[takes => C].
+
+% Transitive prerequisite chains with depth counting.
+requires(C, P, N) :- course: C[prereq => P], N is 1.
+requires(C, P2, N) :-
+    course: C[prereq => P],
+    requires(P, P2, N0),
+    N is N0 + 1.
+
+% Which courses must ann have mastered (directly or transitively)
+% before taking cse532-level material?
+deep_prereq(C, P) :- requires(C, P, N), N >= 2.
+
+% Negation: students without a single enrollment.
+enrolled(S) :- student: S[takes => C].
+idle_student(S) :- student: S, \\+ enrolled(S).
+
+% Who could examine carol? Any of her co-advisors teaching a course
+% she takes.
+examiner(A) :-
+    grad_student: carol[advisor => A, takes => C],
+    instructor: A[teaches => C].
+"""
+
+
+def main() -> None:
+    kb = KnowledgeBase.from_source(UNIVERSITY)
+    kb.declare_identity("E", depends_on=("S", "C"), functor="enr")
+
+    print("== Enrollments (skolemized per (student, course)) ==")
+    for answer in kb.ask("enrollment: E[who => S, what => C]"):
+        print("  ", answer.pretty()["E"])
+
+    print("\n== Transitive prerequisites of cse532 ==")
+    for answer in kb.ask("requires(cse532, P, N)"):
+        rendered = answer.pretty()
+        print(f"   {rendered['P']} at depth {rendered['N']}")
+
+    print("\n== Deep (depth >= 2) prerequisites ==")
+    for answer in kb.ask("deep_prereq(C, P)"):
+        print("  ", answer.pretty())
+
+    print("\n== Idle students (negation as failure) ==")
+    print("  ", sorted(a.pretty()["S"] for a in kb.ask("idle_student(S)")))
+
+    print("\n== Carol's possible examiners (multi-valued advisor) ==")
+    print("  ", sorted(a.pretty()["A"] for a in kb.ask("examiner(A)")))
+
+    print("\n== Static type: anyone with name + teaches is teaching_staff ==")
+    kb.add_clauses([membership_rule(StaticType("teaching_staff", ("name", "teaches")))])
+    print("  ", sorted(a.pretty()["X"] for a in kb.ask("teaching_staff: X")))
+
+    print("\n== Schema check ==")
+    schema = Schema(
+        [
+            RequiredLabel("person", "name"),
+            DomainConstraint("takes", host_type="student", value_type="course"),
+            DomainConstraint("advisor", host_type="student", value_type="instructor"),
+            Cardinality("advisor", "grad_student", at_most=2),
+        ]
+    )
+    violations = schema.check(kb.store)
+    print(f"   {len(violations)} violation(s)")
+    for violation in violations:
+        print("  ", violation)
+
+    print("\n== Why is warren an examiner? ==")
+    for tree in kb.explain("examiner(warren)"):
+        print("\n".join("   " + line for line in tree.splitlines()[:12]))
+        print("   ...")
+
+    print("\n== The whole database, merged per object ==")
+    for description in kb.objects():
+        text = pretty_term(description)
+        if "[" in text:
+            print("  ", text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of Chen & Warren, *C-Logic of Complex Objects*
+(PODS 1989).
+
+The package implements the full system the paper describes:
+
+* :mod:`repro.core` — the language of objects (terms, types, clauses);
+* :mod:`repro.lang` — the concrete-syntax parser;
+* :mod:`repro.semantics` — model-theoretic semantics (Section 3.2);
+* :mod:`repro.fol` — the first-order substrate;
+* :mod:`repro.transform` — the Theorem-1 transformation and Section 4's
+  redundancy elimination;
+* :mod:`repro.engine` — bottom-up, top-down, tabled and *direct*
+  deduction engines;
+* :mod:`repro.db` — the complex-object store with description merging
+  and subsumption;
+* :mod:`repro.olog` — Maier's O-logic baseline (functional labels);
+* :mod:`repro.interface` — the high-level knowledge-base API, including
+  declarative skolem-identity policies (Section 2.1).
+
+Quickstart::
+
+    from repro import KnowledgeBase
+
+    kb = KnowledgeBase.from_source('''
+        person: john[children => {bob, bill}].
+    ''')
+    answers = kb.ask("person: john[children => X]")
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "KnowledgeBase"]
+
+
+def __getattr__(name: str):
+    # Lazy import so `import repro` stays light and avoids import cycles
+    # while submodules are loaded directly.
+    if name == "KnowledgeBase":
+        from repro.interface import KnowledgeBase
+
+        return KnowledgeBase
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the interactive C-logic shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,243 @@
+"""An interactive C-logic shell: ``python -m repro [file.cl ...]``.
+
+A small Prolog-style REPL over :class:`~repro.interface.KnowledgeBase`:
+type clauses or subtype declarations to assert them, queries to
+evaluate them, and ``:commands`` to inspect the knowledge base.
+
+Commands::
+
+    :help               this text
+    :load FILE          consult a program file
+    :engine NAME        switch evaluation strategy (direct, bottomup,
+                        seminaive, sld, tabled)
+    :objects            list every object's merged description
+    :fol [opt]          show the first-order translation ("opt" applies
+                        the Section 4 redundancy elimination)
+    :program            show the current program
+    :existential        list undeclared existential object variables
+    :identity VAR DEPS  declare VAR existentially dependent on DEPS
+                        (comma-separated), e.g. :identity C X,Y
+    :why QUERY          derivation trees for every answer
+    :quit               leave
+
+Input lines are classified by shape: ``a < b.`` is a subtype
+declaration, ``head :- body.`` or ``fact.`` asserts, ``:- body.`` or
+``?- body.`` (or any body without a final period) queries.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, TextIO
+
+from repro.core.errors import CLogicError
+from repro.core.pretty import pretty_program, pretty_term
+from repro.interface.kb import ENGINES, KnowledgeBase
+
+__all__ = ["Repl", "main"]
+
+PROMPT = "c-logic> "
+BANNER = (
+    "C-logic shell — Chen & Warren, PODS 1989 reproduction.\n"
+    "Assert clauses ('fact.', 'head :- body.'), query (':- body.' or\n"
+    "just 'body'), or use :help for commands.\n"
+)
+
+
+class Repl:
+    """The interpreter loop, parameterized over streams for testing."""
+
+    def __init__(
+        self,
+        kb: Optional[KnowledgeBase] = None,
+        out: TextIO = sys.stdout,
+    ) -> None:
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self.out = out
+        self.running = True
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        """Process one input line."""
+        line = line.strip()
+        if not line or line.startswith("%"):
+            return
+        try:
+            if line.startswith(":") and not line.startswith(":-"):
+                self._command(line[1:])
+            elif self._looks_like_query(line):
+                self._query(line)
+            else:
+                self._assert(line)
+        except CLogicError as error:
+            self.write(f"error: {error}")
+
+    @staticmethod
+    def _looks_like_query(line: str) -> bool:
+        if line.startswith((":-", "?-")):
+            return True
+        # A clause ends with a period; anything else is read as a query.
+        return not line.rstrip().endswith(".")
+
+    def _assert(self, line: str) -> None:
+        before = len(self.kb.program)
+        before_subtypes = len(self.kb.program.subtypes)
+        self.kb.add_source(line)
+        added = len(self.kb.program) - before
+        added_subtypes = len(self.kb.program.subtypes) - before_subtypes
+        parts = []
+        if added:
+            parts.append(f"{added} clause(s)")
+        if added_subtypes:
+            parts.append(f"{added_subtypes} subtype declaration(s)")
+        self.write("asserted " + (", ".join(parts) if parts else "nothing"))
+        pending = self.kb.existential_variables()
+        if pending:
+            names = sorted({v for _, vars_ in pending for v in vars_})
+            self.write(
+                f"note: existential object variable(s) {names} need "
+                ":identity declarations before evaluation"
+            )
+
+    def _query(self, line: str) -> None:
+        answers = self.kb.ask(line)
+        if not answers:
+            self.write("no")
+            return
+        if all(not answer.keys() for answer in answers):
+            self.write("yes")
+            return
+        for answer in answers:
+            rendered = ", ".join(f"{k} = {v}" for k, v in answer.pretty().items())
+            self.write(rendered if rendered else "yes")
+        self.write(f"({len(answers)} answer(s))")
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _command(self, text: str) -> None:
+        parts = text.split()
+        if not parts:
+            self.write("empty command; try :help")
+            return
+        name, args = parts[0], parts[1:]
+        handler: Optional[Callable[[list[str]], None]] = {
+            "help": self._cmd_help,
+            "load": self._cmd_load,
+            "engine": self._cmd_engine,
+            "objects": self._cmd_objects,
+            "fol": self._cmd_fol,
+            "program": self._cmd_program,
+            "existential": self._cmd_existential,
+            "identity": self._cmd_identity,
+            "why": self._cmd_why,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }.get(name)
+        if handler is None:
+            self.write(f"unknown command :{name}; try :help")
+            return
+        handler(args)
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self.write(__doc__.split("Commands::")[1].split("Input lines")[0])
+
+    def _cmd_load(self, args: list[str]) -> None:
+        if len(args) != 1:
+            self.write("usage: :load FILE")
+            return
+        try:
+            with open(args[0], "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            self.write(f"cannot read {args[0]}: {error}")
+            return
+        self._assert(source)
+
+    def _cmd_engine(self, args: list[str]) -> None:
+        if len(args) != 1 or args[0] not in ENGINES:
+            self.write(f"usage: :engine {{{', '.join(ENGINES)}}}")
+            return
+        self.kb.default_engine = args[0]
+        self.write(f"engine set to {args[0]}")
+
+    def _cmd_objects(self, args: list[str]) -> None:
+        descriptions = self.kb.objects()
+        if not descriptions:
+            self.write("(no objects)")
+        for description in descriptions:
+            self.write(pretty_term(description))
+
+    def _cmd_fol(self, args: list[str]) -> None:
+        optimize = bool(args) and args[0] == "opt"
+        self.write(self.kb.to_fol_source(optimize=optimize))
+
+    def _cmd_program(self, args: list[str]) -> None:
+        text = pretty_program(self.kb.program)
+        self.write(text if text else "(empty program)")
+
+    def _cmd_existential(self, args: list[str]) -> None:
+        pending = self.kb.existential_variables()
+        if not pending:
+            self.write("(none)")
+        for index, names in pending:
+            self.write(f"clause {index}: {sorted(names)}")
+
+    def _cmd_identity(self, args: list[str]) -> None:
+        if len(args) != 2:
+            self.write("usage: :identity VAR DEP1,DEP2,...")
+            return
+        variable, deps_text = args
+        deps = tuple(d for d in deps_text.split(",") if d)
+        count = self.kb.declare_identity(variable, deps)
+        self.write(f"skolemized {count} clause(s): {variable} -> id({deps_text})")
+
+    def _cmd_why(self, args: list[str]) -> None:
+        if not args:
+            self.write("usage: :why QUERY")
+            return
+        trees = self.kb.explain(" ".join(args))
+        if not trees:
+            self.write("no (nothing to explain)")
+        for tree in trees:
+            self.write(tree)
+            self.write()
+
+    def _cmd_quit(self, args: list[str]) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, stream: TextIO) -> None:
+        """Read-eval-print over ``stream`` until :quit or EOF."""
+        self.write(BANNER)
+        while self.running:
+            if stream is sys.stdin and stream.isatty():
+                try:
+                    line = input(PROMPT)
+                except EOFError:
+                    break
+            else:
+                line = stream.readline()
+                if not line:
+                    break
+            self.handle(line)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: load any files given on the command line, then REPL."""
+    argv = argv if argv is not None else sys.argv[1:]
+    repl = Repl()
+    for path in argv:
+        repl._cmd_load([path])
+    repl.run(sys.stdin)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

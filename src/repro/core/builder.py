@@ -1,0 +1,200 @@
+"""A small Python DSL for constructing C-logic syntax programmatically.
+
+The concrete-syntax parser (:mod:`repro.lang`) is the most faithful way
+to write programs, but building syntax trees from Python is often more
+convenient in tests and applications.  This module provides terse,
+explicit constructors::
+
+    from repro.core.builder import V, c, fn, obj, pred, fact, rule, query
+
+    john = obj("john", type="person", children={"bob", "bill"})
+    r = rule(
+        obj(fn("id", V("X"), V("Y")), type="path", src=V("X"), dest=V("Y")),
+        obj(V("X"), type="node", linkto=V("Y")),
+    )
+
+Plain Python values are *lifted* automatically: strings and ints become
+constants, sets/frozensets become collections, and terms pass through
+unchanged.  (Sets are sorted when lifted so construction is
+deterministic.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.clauses import BuiltinAtom, BodyAtom, DefiniteClause, NegatedAtom, Program, Query
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import (
+    Collection,
+    Const,
+    Func,
+    LabelSpec,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+    is_term,
+)
+from repro.core.types import SubtypeDecl
+
+__all__ = [
+    "V",
+    "c",
+    "fn",
+    "lift",
+    "obj",
+    "labeled",
+    "pred",
+    "atom",
+    "builtin",
+    "arith",
+    "fact",
+    "naf",
+    "rule",
+    "query",
+    "subtype",
+    "program",
+]
+
+Liftable = Union[Term, str, int]
+
+
+def V(name: str, type: str = OBJECT) -> Var:
+    """A variable, optionally typed: ``V("X")`` is ``object: X``."""
+    return Var(name, type)
+
+
+def c(value: Union[str, int], type: str = OBJECT) -> Const:
+    """A constant, optionally typed."""
+    return Const(value, type)
+
+
+def fn(functor: str, *args: Liftable, type: str = OBJECT) -> Func:
+    """A function application with lifted arguments."""
+    return Func(functor, tuple(lift(arg) for arg in args), type)
+
+
+def lift(value: Union[Liftable, Iterable[Liftable]]) -> Union[Term, Collection]:
+    """Lift a plain Python value into a term or collection.
+
+    Strings and ints become constants; terms pass through; sets,
+    frozensets, lists and tuples become collections (sorted for
+    determinism when unordered).
+    """
+    if is_term(value) or isinstance(value, Collection):
+        return value
+    if isinstance(value, (str, int)):
+        return Const(value)
+    if isinstance(value, (set, frozenset)):
+        items = sorted(value, key=lambda item: (str(type(item)), str(item)))
+        return Collection(tuple(_lift_term(item) for item in items))
+    if isinstance(value, (list, tuple)):
+        return Collection(tuple(_lift_term(item) for item in value))
+    raise SyntaxKindError(f"cannot lift {value!r} into a term")
+
+
+def _lift_term(value: Liftable) -> Term:
+    lifted = lift(value)
+    if isinstance(lifted, Collection):
+        raise SyntaxKindError("collections cannot be nested")
+    return lifted
+
+
+def obj(
+    identity: Liftable,
+    type: str = OBJECT,
+    **labels: Union[Liftable, Iterable[Liftable]],
+) -> Term:
+    """A complex object description.
+
+    ``obj("john", type="person", age=28, children={"bob", "bill"})``
+    builds ``person: john[age => 28, children => {bill, bob}]``.
+    Without labels it is just the typed identity.
+    """
+    base = lift(identity)
+    if isinstance(base, Collection) or isinstance(base, LTerm):
+        raise SyntaxKindError("object identity must be a variable, constant or function term")
+    if type != OBJECT:
+        if isinstance(base, Var):
+            base = Var(base.name, type)
+        elif isinstance(base, Const):
+            base = Const(base.value, type)
+        else:
+            base = Func(base.functor, base.args, type)
+    if not labels:
+        return base
+    specs = tuple(LabelSpec(label, lift(value)) for label, value in labels.items())
+    return LTerm(base, specs)
+
+
+def labeled(base: Term, *specs: tuple[str, Union[Liftable, Iterable[Liftable]]]) -> LTerm:
+    """Attach label specs to a base term, for labels that are not valid
+    Python keyword names (or to control spec order explicitly)."""
+    if isinstance(base, LTerm):
+        raise SyntaxKindError("cannot label an already labelled term")
+    return LTerm(base, tuple(LabelSpec(label, lift(value)) for label, value in specs))
+
+
+def pred(name: str, *args: Liftable) -> PredAtom:
+    """A predicate atom ``name(args...)`` with lifted arguments."""
+    return PredAtom(name, tuple(_lift_term(arg) for arg in args))
+
+
+def atom(value: Union[Term, Atom, BuiltinAtom]) -> BodyAtom:
+    """Coerce a term into a term atom; atoms pass through."""
+    if isinstance(value, (TermAtom, PredAtom, BuiltinAtom, NegatedAtom)):
+        return value
+    if is_term(value):
+        return TermAtom(value)
+    raise SyntaxKindError(f"cannot treat {value!r} as an atom")
+
+
+def naf(value: Union[Term, Atom]) -> NegatedAtom:
+    """A negated body atom ``\\+ value`` (terms are lifted to atoms)."""
+    inner = atom(value)
+    if isinstance(inner, (BuiltinAtom, NegatedAtom)):
+        raise SyntaxKindError("only atomic formulas can be negated")
+    return NegatedAtom(inner)
+
+
+def builtin(op: str, lhs: Liftable, rhs: Liftable) -> BuiltinAtom:
+    """A builtin atom, e.g. ``builtin("is", V("L"), arith("+", V("L0"), 1))``."""
+    return BuiltinAtom(op, (_lift_term(lhs), _lift_term(rhs)))
+
+
+def arith(op: str, lhs: Liftable, rhs: Liftable) -> Func:
+    """An arithmetic expression term, e.g. ``arith("+", V("L0"), 1)``."""
+    return Func(op, (_lift_term(lhs), _lift_term(rhs)))
+
+
+def fact(head: Union[Term, Atom]) -> DefiniteClause:
+    """A unit clause."""
+    head_atom = atom(head)
+    if isinstance(head_atom, BuiltinAtom):
+        raise SyntaxKindError("a builtin atom cannot be a clause head")
+    return DefiniteClause(head_atom)
+
+
+def rule(head: Union[Term, Atom], *body: Union[Term, Atom, BuiltinAtom]) -> DefiniteClause:
+    """A definite clause ``head :- body...``."""
+    head_atom = atom(head)
+    if isinstance(head_atom, BuiltinAtom):
+        raise SyntaxKindError("a builtin atom cannot be a clause head")
+    return DefiniteClause(head_atom, tuple(atom(b) for b in body))
+
+
+def query(*body: Union[Term, Atom, BuiltinAtom]) -> Query:
+    """A negative clause (goal)."""
+    return Query(tuple(atom(b) for b in body))
+
+
+def subtype(sub: str, sup: str) -> SubtypeDecl:
+    return SubtypeDecl(sub, sup)
+
+
+def program(
+    *clauses: DefiniteClause, subtypes: Iterable[SubtypeDecl] = ()
+) -> Program:
+    return Program(tuple(clauses), tuple(subtypes))

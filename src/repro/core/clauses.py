@@ -1,0 +1,299 @@
+"""The clausal subset of C-logic (Section 4).
+
+A *program* is a finite set of subtype declarations and definite
+clauses.  A *definite clause* ``A :- B1, ..., Bm`` has one positive
+literal (the head, an atomic formula) and zero or more body atoms; a
+*negative clause* (a query or goal) ``:- B1, ..., Bm`` has no positive
+literal.  All variables are implicitly universally quantified at the
+outermost level.
+
+We extend body atoms with *builtin* atoms for the arithmetic the paper
+uses in its path example (``L is L0 + 1``) and the usual comparisons.
+Builtins are evaluation devices, not part of the declarative semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import (
+    Term,
+    is_ground,
+    is_term,
+    labels_of,
+    substitute_term,
+    types_of,
+    variables_of,
+)
+from repro.core.types import SubtypeDecl, TypeHierarchy
+
+__all__ = [
+    "BUILTIN_OPS",
+    "ARITH_FUNCTORS",
+    "BuiltinAtom",
+    "NegatedAtom",
+    "BodyAtom",
+    "DefiniteClause",
+    "Query",
+    "Program",
+    "atom_variables",
+    "atom_is_ground",
+    "substitute_atom",
+    "substitute_body",
+]
+
+#: Comparison / evaluation operators usable in builtin atoms.
+BUILTIN_OPS = frozenset({"is", "<", ">", "=<", ">=", "=:=", "=\\=", "="})
+#: Function symbols interpreted arithmetically inside ``is`` expressions.
+ARITH_FUNCTORS = frozenset({"+", "-", "*", "//", "mod"})
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinAtom:
+    """A builtin body atom such as ``L is L0 + 1`` or ``X < Y``.
+
+    For ``is`` the arguments are ``(result, expression)``; the
+    expression is an ordinary term tree whose functors are drawn from
+    :data:`ARITH_FUNCTORS` and whose leaves are integer constants or
+    variables.  ``=`` is plain unification.
+    """
+
+    op: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in BUILTIN_OPS:
+            raise SyntaxKindError(f"unknown builtin operator {self.op!r}")
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        if len(args) != 2:
+            raise SyntaxKindError(f"builtin {self.op!r} takes exactly two arguments")
+        for arg in args:
+            if not is_term(arg):
+                raise SyntaxKindError(f"builtin argument must be a term, got {arg!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class NegatedAtom:
+    """A negated body atom ``\\+ alpha`` (negation as failure).
+
+    The paper defers negation ("Negation can also be added although we
+    do not include it in this paper"); this is the standard stratified
+    extension.  The inner atom may be any atomic formula — a complex
+    description negates its whole conjunction (the transformation uses
+    a Lloyd–Topor auxiliary predicate when it has several conjuncts).
+    """
+
+    atom: Union[TermAtom, PredAtom]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, (TermAtom, PredAtom)):
+            raise SyntaxKindError(
+                f"only atomic formulas can be negated, got {self.atom!r}"
+            )
+
+
+#: Anything allowed in a clause body.
+BodyAtom = Union[TermAtom, PredAtom, BuiltinAtom, NegatedAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class DefiniteClause:
+    """``head :- body``; a fact when the body is empty."""
+
+    head: Atom
+    body: tuple[BodyAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, (TermAtom, PredAtom)):
+            raise SyntaxKindError(
+                f"clause head must be a term atom or predicate atom, got {self.head!r}"
+            )
+        body = tuple(self.body)
+        object.__setattr__(self, "body", body)
+        for atom in body:
+            if not isinstance(atom, (TermAtom, PredAtom, BuiltinAtom, NegatedAtom)):
+                raise SyntaxKindError(f"not a body atom: {atom!r}")
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> set[str]:
+        out = atom_variables(self.head)
+        for atom in self.body:
+            out |= atom_variables(atom)
+        return out
+
+    def head_only_variables(self) -> set[str]:
+        """Variables occurring in the head but not in the body.
+
+        These are the candidates for *existential object variables* that
+        entity-creating rules leave underdetermined (Section 2.1) and
+        that skolemization replaces with structured identities.
+        """
+        body_vars: set[str] = set()
+        for atom in self.body:
+            body_vars |= atom_variables(atom)
+        return atom_variables(self.head) - body_vars
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A negative clause ``:- B1, ..., Bm`` (a query or goal)."""
+
+    body: tuple[BodyAtom, ...]
+
+    def __post_init__(self) -> None:
+        body = tuple(self.body)
+        object.__setattr__(self, "body", body)
+        if not body:
+            raise SyntaxKindError("a query requires at least one body atom")
+        for atom in body:
+            if not isinstance(atom, (TermAtom, PredAtom, BuiltinAtom, NegatedAtom)):
+                raise SyntaxKindError(f"not a body atom: {atom!r}")
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for atom in self.body:
+            out |= atom_variables(atom)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A finite set of subtype declarations and definite clauses."""
+
+    clauses: tuple[DefiniteClause, ...]
+    subtypes: tuple[SubtypeDecl, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clauses", tuple(self.clauses))
+        object.__setattr__(self, "subtypes", tuple(self.subtypes))
+        for clause in self.clauses:
+            if not isinstance(clause, DefiniteClause):
+                raise SyntaxKindError(f"not a definite clause: {clause!r}")
+        for decl in self.subtypes:
+            if not isinstance(decl, SubtypeDecl):
+                raise SyntaxKindError(f"not a subtype declaration: {decl!r}")
+
+    def hierarchy(self) -> TypeHierarchy:
+        """The declared type hierarchy, extended with every type symbol
+        that occurs in a clause (each is below ``object``)."""
+        hierarchy = TypeHierarchy(self.subtypes)
+        for symbol in self.type_symbols():
+            hierarchy.add_symbol(symbol)
+        return hierarchy
+
+    def type_symbols(self) -> set[str]:
+        """Every type symbol occurring in the program (Section 4 notes a
+        program mentions only finitely many, so the ``object`` axioms
+        stay finite)."""
+        out: set[str] = set()
+        for clause in self.clauses:
+            for atom in (clause.head, *clause.body):
+                out |= _atom_types(atom)
+        for decl in self.subtypes:
+            out.add(decl.sub)
+            out.add(decl.sup)
+        return out
+
+    def labels(self) -> set[str]:
+        out: set[str] = set()
+        for clause in self.clauses:
+            for atom in (clause.head, *clause.body):
+                out |= _atom_labels(atom)
+        return out
+
+    def predicates(self) -> set[tuple[str, int]]:
+        out: set[tuple[str, int]] = set()
+        for clause in self.clauses:
+            for atom in (clause.head, *clause.body):
+                if isinstance(atom, PredAtom):
+                    out.add((atom.pred, atom.arity))
+        return out
+
+    def facts(self) -> Iterator[DefiniteClause]:
+        return (clause for clause in self.clauses if clause.is_fact)
+
+    def rules(self) -> Iterator[DefiniteClause]:
+        return (clause for clause in self.clauses if not clause.is_fact)
+
+    def extended(self, *clauses: DefiniteClause) -> "Program":
+        """A new program with extra clauses appended."""
+        return Program(self.clauses + tuple(clauses), self.subtypes)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def _atom_types(atom: BodyAtom) -> set[str]:
+    if isinstance(atom, NegatedAtom):
+        return _atom_types(atom.atom)
+    if isinstance(atom, TermAtom):
+        return types_of(atom.term)
+    if isinstance(atom, PredAtom):
+        out: set[str] = set()
+        for arg in atom.args:
+            out |= types_of(arg)
+        return out
+    return set()  # builtin arguments are arithmetic, not typed objects
+
+
+def _atom_labels(atom: BodyAtom) -> set[str]:
+    if isinstance(atom, NegatedAtom):
+        return _atom_labels(atom.atom)
+    if isinstance(atom, TermAtom):
+        return labels_of(atom.term)
+    if isinstance(atom, PredAtom):
+        out: set[str] = set()
+        for arg in atom.args:
+            out |= labels_of(arg)
+        return out
+    return set()
+
+
+def atom_variables(atom: BodyAtom) -> set[str]:
+    """Variable names occurring in an atom of any kind."""
+    if isinstance(atom, NegatedAtom):
+        return atom_variables(atom.atom)
+    if isinstance(atom, TermAtom):
+        return variables_of(atom.term)
+    if isinstance(atom, (PredAtom, BuiltinAtom)):
+        out: set[str] = set()
+        for arg in atom.args:
+            out |= variables_of(arg)
+        return out
+    raise SyntaxKindError(f"not an atom: {atom!r}")
+
+
+def atom_is_ground(atom: BodyAtom) -> bool:
+    if isinstance(atom, NegatedAtom):
+        return atom_is_ground(atom.atom)
+    if isinstance(atom, TermAtom):
+        return is_ground(atom.term)
+    return all(is_ground(arg) for arg in atom.args)
+
+
+def substitute_atom(atom: BodyAtom, binding: Mapping[str, Term]) -> BodyAtom:
+    """Apply a variable binding to an atom."""
+    if isinstance(atom, NegatedAtom):
+        inner = substitute_atom(atom.atom, binding)
+        assert isinstance(inner, (TermAtom, PredAtom))
+        return NegatedAtom(inner)
+    if isinstance(atom, TermAtom):
+        return TermAtom(substitute_term(atom.term, binding))
+    if isinstance(atom, PredAtom):
+        return PredAtom(atom.pred, tuple(substitute_term(arg, binding) for arg in atom.args))
+    if isinstance(atom, BuiltinAtom):
+        return BuiltinAtom(atom.op, tuple(substitute_term(arg, binding) for arg in atom.args))
+    raise SyntaxKindError(f"not an atom: {atom!r}")
+
+
+def substitute_body(
+    body: tuple[BodyAtom, ...], binding: Mapping[str, Term]
+) -> tuple[BodyAtom, ...]:
+    return tuple(substitute_atom(atom, binding) for atom in body)

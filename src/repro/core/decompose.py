@@ -1,0 +1,231 @@
+"""Decomposition and recombination of complex descriptions (Section 3.2).
+
+The semantics of C-logic makes
+
+* ``t[l1 => t1, ..., ln => tn]``  equivalent to
+  ``t[l1 => t1] & ... & t[ln => tn]``, and
+* ``t[l => {t1, ..., tn}]``       equivalent to
+  ``t[l => t1] & ... & t[l => tn]``.
+
+So "a complex object description can always be decomposed into atomic
+descriptions involving only one label, and various pieces of
+descriptions can be combined into a complex one".  This module
+implements both directions syntactically:
+
+* :func:`decompose_term` / :func:`decompose_atom` flatten a description
+  into its atomic pieces (one label, one value, plus the bare typed
+  identity);
+* :func:`recombine` merges a set of atomic descriptions of the same
+  identity back into a single maximal description;
+* :func:`normalize_term` gives the canonical form used to compare
+  descriptions up to the semantic equivalence above.
+
+The engines use decomposition to evaluate label constraints one at a
+time — exactly the *residual* technique of Section 4 — and the tests
+use :func:`normalize_term` to state the decomposition law.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import (
+    BaseTerm,
+    Collection,
+    Const,
+    Func,
+    LabelSpec,
+    LTerm,
+    Term,
+    Var,
+    identity_of,
+)
+
+__all__ = [
+    "atomic_descriptions",
+    "decompose_term",
+    "decompose_atom",
+    "recombine",
+    "normalize_term",
+    "normalize_atom",
+    "spec_pairs",
+]
+
+
+def spec_pairs(term: LTerm) -> Iterator[tuple[str, Term]]:
+    """Yield each (label, value-term) pair, flattening collections."""
+    for spec in term.specs:
+        for value in spec.value_terms():
+            yield spec.label, value
+
+
+def decompose_term(term: Term) -> list[Term]:
+    """Split ``term`` into atomic descriptions of the same identity.
+
+    The result starts with the bare typed identity and contains one
+    single-label single-value description per asserted labelled value.
+    Nested descriptions (labelled terms appearing as function arguments
+    or label values) are left in place; use :func:`atomic_descriptions`
+    on a :class:`TermAtom` to also surface the assertions they carry.
+    """
+    if not isinstance(term, LTerm):
+        return [term]
+    pieces: list[Term] = [term.base]
+    for label, value in spec_pairs(term):
+        pieces.append(LTerm(term.base, (LabelSpec(label, value),)))
+    return pieces
+
+
+def decompose_atom(atom: Atom) -> list[Atom]:
+    """Decompose a term atom into atomic term atoms; predicate atoms are
+    already atomic and are returned unchanged."""
+    if isinstance(atom, TermAtom):
+        return [TermAtom(piece) for piece in decompose_term(atom.term)]
+    return [atom]
+
+
+def atomic_descriptions(atom: Atom) -> list[Atom]:
+    """Fully flatten an atom, including descriptions nested inside
+    function arguments and label values.
+
+    This is the syntactic counterpart of the first-order transformation
+    (each returned atom corresponds to one conjunct of ``alpha*``), but
+    stays at the C-logic level.  Order follows the transformation's:
+    the host's own assertion first, then each value's assertions
+    followed by the single-label description linking host and value.
+    """
+    out: list[Atom] = []
+    if isinstance(atom, PredAtom):
+        stripped_args = []
+        for arg in atom.args:
+            out.extend(_flatten_term(arg))
+            stripped_args.append(_strip(arg))
+        out.append(PredAtom(atom.pred, tuple(stripped_args)))
+        return out
+    if isinstance(atom, TermAtom):
+        return list(_flatten_term(atom.term))
+    raise SyntaxKindError(f"not an atom: {atom!r}")
+
+
+def _flatten_term(term: Term) -> Iterator[Atom]:
+    """Yield the atomic assertions carried by ``term``, outermost first."""
+    base = identity_of(term)
+    stripped_base = _strip(base)
+    yield TermAtom(stripped_base)
+    if isinstance(base, Func):
+        for arg in base.args:
+            yield from _flatten_term(arg)
+    if isinstance(term, LTerm):
+        for label, value in spec_pairs(term):
+            yield from _flatten_term(value)
+            yield TermAtom(LTerm(stripped_base, (LabelSpec(label, _strip(value)),)))
+
+
+def _strip(term: Term) -> BaseTerm:
+    """Remove labels everywhere, keeping types: the pure identity tree."""
+    base = identity_of(term)
+    if isinstance(base, Func):
+        return Func(base.functor, tuple(_strip(arg) for arg in base.args), base.type)
+    return base
+
+
+def recombine(pieces: Iterable[Term]) -> list[Term]:
+    """Merge descriptions with syntactically equal identities.
+
+    Inverse of :func:`decompose_term` up to normalization: all pieces
+    whose identity part is the same term are merged into one description
+    whose label specs are the union of the pieces' specs (collections
+    are used for labels with several values).  Pieces with distinct
+    identities stay separate; the result preserves first-occurrence
+    order of identities and labels.
+    """
+    order: list[BaseTerm] = []
+    merged: dict[BaseTerm, dict[str, list[Term]]] = {}
+    for piece in pieces:
+        base = identity_of(piece)
+        if base not in merged:
+            merged[base] = {}
+            order.append(base)
+        if isinstance(piece, LTerm):
+            for label, value in spec_pairs(piece):
+                values = merged[base].setdefault(label, [])
+                if value not in values:
+                    values.append(value)
+    result: list[Term] = []
+    for base in order:
+        label_map = merged[base]
+        if not label_map:
+            result.append(base)
+            continue
+        specs = []
+        for label, values in label_map.items():
+            if len(values) == 1:
+                specs.append(LabelSpec(label, values[0]))
+            else:
+                specs.append(LabelSpec(label, Collection(tuple(values))))
+        result.append(LTerm(base, tuple(specs)))
+    return result
+
+
+def normalize_term(term: Term) -> Term:
+    """Canonical form modulo the Section 3.2 equivalences.
+
+    Collections are flattened into sorted duplicate-free value lists,
+    label specs are merged per label and sorted by label name, and the
+    normalization is applied recursively to nested terms.  Two terms are
+    semantically equivalent as descriptions iff their normal forms are
+    structurally equal.
+    """
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, Func):
+        return Func(term.functor, tuple(normalize_term(arg) for arg in term.args), term.type)
+    if isinstance(term, LTerm):
+        base = normalize_term(term.base)
+        assert isinstance(base, (Var, Const, Func))
+        by_label: dict[str, list[Term]] = {}
+        for label, value in spec_pairs(term):
+            normalized = normalize_term(value)
+            values = by_label.setdefault(label, [])
+            if normalized not in values:
+                values.append(normalized)
+        specs = []
+        for label in sorted(by_label):
+            values = sorted(by_label[label], key=_term_sort_key)
+            if len(values) == 1:
+                specs.append(LabelSpec(label, values[0]))
+            else:
+                specs.append(LabelSpec(label, Collection(tuple(values))))
+        return LTerm(base, tuple(specs))
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def normalize_atom(atom: Atom) -> Atom:
+    if isinstance(atom, TermAtom):
+        return TermAtom(normalize_term(atom.term))
+    if isinstance(atom, PredAtom):
+        return PredAtom(atom.pred, tuple(normalize_term(arg) for arg in atom.args))
+    raise SyntaxKindError(f"not an atom: {atom!r}")
+
+
+def _term_sort_key(term: Term) -> tuple:
+    """A total order on terms for canonical sorting."""
+    if isinstance(term, Var):
+        return (0, term.type, term.name)
+    if isinstance(term, Const):
+        kind = "i" if isinstance(term.value, int) else "s"
+        return (1, term.type, kind, str(term.value))
+    if isinstance(term, Func):
+        return (2, term.type, term.functor, tuple(_term_sort_key(a) for a in term.args))
+    if isinstance(term, LTerm):
+        return (
+            3,
+            _term_sort_key(term.base),
+            tuple(
+                (spec.label, tuple(_term_sort_key(v) for v in spec.value_terms()))
+                for spec in term.specs
+            ),
+        )
+    raise SyntaxKindError(f"not a term: {term!r}")

@@ -1,0 +1,118 @@
+"""Exception hierarchy for the C-logic reproduction.
+
+Every error raised by this package derives from :class:`CLogicError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish syntax problems from semantic ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CLogicError",
+    "SyntaxKindError",
+    "LexError",
+    "ParseError",
+    "TypeOrderError",
+    "SemanticsError",
+    "TransformError",
+    "EngineError",
+    "SafetyError",
+    "BuiltinError",
+    "StoreError",
+    "ConsistencyError",
+    "UnsupportedFeatureError",
+]
+
+
+class CLogicError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SyntaxKindError(CLogicError):
+    """A syntactic object was constructed in violation of the grammar.
+
+    Raised by term/formula constructors, e.g. labelling an already
+    labelled term (``t[...][...]``), which Section 3.1 of the paper
+    excludes from the term language.
+    """
+
+
+class LexError(CLogicError):
+    """The lexer met a character sequence that is not a token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(CLogicError):
+    """The parser met a token sequence outside the grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TypeOrderError(CLogicError):
+    """The declared subtype relation is not a partial order.
+
+    Section 3.1 requires a *partially ordered* set of type symbols; a
+    declaration cycle such as ``a < b`` and ``b < a`` violates
+    antisymmetry and is rejected.
+    """
+
+
+class SemanticsError(CLogicError):
+    """A semantic structure is ill-formed or a formula cannot be evaluated.
+
+    Examples: an interpretation missing a symbol used by the formula, or
+    a structure whose type interpretation does not respect the declared
+    hierarchy (Section 3.2 requires ``I(t1) <= I(t2)`` whenever
+    ``t1 <= t2``).
+    """
+
+
+class TransformError(CLogicError):
+    """The transformation into first-order logic failed."""
+
+
+class EngineError(CLogicError):
+    """A deduction engine failed (resource limits, malformed input)."""
+
+
+class SafetyError(EngineError):
+    """A clause is not range-restricted.
+
+    Bottom-up evaluation requires every head variable to occur in a
+    positive body atom; otherwise derived facts would not be ground.
+    """
+
+
+class BuiltinError(EngineError):
+    """A built-in (``is``, comparison) was called with unusable arguments,
+    e.g. unbound variables or non-numeric operands."""
+
+
+class StoreError(CLogicError):
+    """The object store was given a non-ground or malformed fact."""
+
+
+class ConsistencyError(CLogicError):
+    """An O-logic program has no models (a label is multiply defined).
+
+    Section 2.2: in Maier's O-logic labels are partial functions, so a
+    program assigning two values to the same label of the same object is
+    globally inconsistent.
+    """
+
+
+class UnsupportedFeatureError(CLogicError):
+    """A feature the paper explicitly leaves out was requested.
+
+    Section 5: C-logic cannot return a set value or test set equality
+    (set unification); Section 6 excludes negation.  We surface these as
+    errors instead of silently approximating them.
+    """

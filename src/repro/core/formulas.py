@@ -1,0 +1,161 @@
+"""Formulas of a language of objects (Section 3.1).
+
+An *atomic formula* is either ``p(t1, ..., tn)`` for an n-ary predicate
+symbol ``p`` (:class:`PredAtom`) or a bare term ``t``
+(:class:`TermAtom`).  General formulas are freely generated from atomic
+formulas by the connectives and quantifiers; this module provides the
+full first-order formula AST used by the model-theoretic semantics in
+:mod:`repro.semantics`.
+
+The clausal subset used by programs (Section 4) lives in
+:mod:`repro.core.clauses`; it reuses the atom classes defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.errors import SyntaxKindError
+from repro.core.terms import Term, is_term, variables_of
+
+__all__ = [
+    "TermAtom",
+    "PredAtom",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "ForAll",
+    "Exists",
+    "Formula",
+    "free_variables",
+    "conjoin",
+    "disjoin",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TermAtom:
+    """A term used as an atomic formula.
+
+    Section 3.2 gives terms a second meaning besides denotation: as a
+    formula, ``tau : t[l1 => e1, ...]`` asserts that the denoted object
+    is in type ``tau`` and has each of the labelled values.
+    """
+
+    term: Term
+
+    def __post_init__(self) -> None:
+        if not is_term(self.term):
+            raise SyntaxKindError(f"TermAtom requires a term, got {self.term!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class PredAtom:
+    """A predicate atom ``p(t1, ..., tn)``.
+
+    Predicates differ pragmatically from labels and types: they cannot
+    occur inside terms, and the arguments of a predicate tuple are
+    *associated together*, while the labels of a term are independent
+    (end of Section 3.2).
+    """
+
+    pred: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pred, str) or not self.pred:
+            raise SyntaxKindError(f"predicate symbol must be a nonempty string, got {self.pred!r}")
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        for arg in args:
+            if not is_term(arg):
+                raise SyntaxKindError(f"predicate argument must be a term, got {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+#: An atomic formula.
+Atom = Union[TermAtom, PredAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Formula"
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    left: "Formula"
+    right: "Formula"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    left: "Formula"
+    right: "Formula"
+
+
+@dataclass(frozen=True, slots=True)
+class Implies:
+    antecedent: "Formula"
+    consequent: "Formula"
+
+
+@dataclass(frozen=True, slots=True)
+class ForAll:
+    variable: str
+    body: "Formula"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists:
+    variable: str
+    body: "Formula"
+
+
+Formula = Union[TermAtom, PredAtom, Not, And, Or, Implies, ForAll, Exists]
+
+
+def free_variables(formula: Formula) -> set[str]:
+    """The free variable names of ``formula``."""
+    if isinstance(formula, TermAtom):
+        return variables_of(formula.term)
+    if isinstance(formula, PredAtom):
+        out: set[str] = set()
+        for arg in formula.args:
+            out |= variables_of(arg)
+        return out
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, Implies):
+        return free_variables(formula.antecedent) | free_variables(formula.consequent)
+    if isinstance(formula, (ForAll, Exists)):
+        return free_variables(formula.body) - {formula.variable}
+    raise SyntaxKindError(f"not a formula: {formula!r}")
+
+
+def conjoin(formulas: list[Formula]) -> Formula:
+    """Right-fold a nonempty list of formulas with ``And``."""
+    if not formulas:
+        raise SyntaxKindError("conjoin requires at least one formula")
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = And(formula, result)
+    return result
+
+
+def disjoin(formulas: list[Formula]) -> Formula:
+    """Right-fold a nonempty list of formulas with ``Or``."""
+    if not formulas:
+        raise SyntaxKindError("disjoin requires at least one formula")
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = Or(formula, result)
+    return result

@@ -1,0 +1,174 @@
+"""Pretty-printer for the concrete syntax of the paper.
+
+Prints terms, atoms, clauses, queries and programs in the notation of
+Sections 2–5, e.g.::
+
+    person: john[children => {bob, bill}]
+    path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+
+The printer and the parser (:mod:`repro.lang.parser`) round-trip:
+``parse_term(pretty_term(t)) == t`` for every term ``t`` (property
+tested in ``tests/properties``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.clauses import BuiltinAtom, DefiniteClause, NegatedAtom, Program, Query
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import (
+    And,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    PredAtom,
+    TermAtom,
+)
+from repro.core.terms import (
+    ARROW,
+    Collection,
+    Const,
+    Func,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+)
+from repro.core.types import SubtypeDecl
+
+__all__ = [
+    "pretty_term",
+    "pretty_value",
+    "pretty_atom",
+    "pretty_body",
+    "pretty_clause",
+    "pretty_query",
+    "pretty_subtype",
+    "pretty_program",
+    "pretty_formula",
+]
+
+_IDENT_RE = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+_ARITH_INFIX = {"+", "-", "*", "//", "mod"}
+
+
+def _type_prefix(type_name: str) -> str:
+    """``object:`` prefixes are omitted, as the paper's convention allows."""
+    if type_name == OBJECT:
+        return ""
+    return f"{type_name}: "
+
+
+def _const_text(value: object) -> str:
+    if isinstance(value, int):
+        return str(value)
+    assert isinstance(value, str)
+    if _IDENT_RE.match(value):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def pretty_term(term: Term) -> str:
+    """Render a term in paper syntax."""
+    if isinstance(term, Var):
+        return f"{_type_prefix(term.type)}{term.name}"
+    if isinstance(term, Const):
+        return f"{_type_prefix(term.type)}{_const_text(term.value)}"
+    if isinstance(term, Func):
+        if term.functor in _ARITH_INFIX and len(term.args) == 2:
+            lhs, rhs = term.args
+            return f"({pretty_term(lhs)} {term.functor} {pretty_term(rhs)})"
+        args = ", ".join(pretty_term(arg) for arg in term.args)
+        return f"{_type_prefix(term.type)}{term.functor}({args})"
+    if isinstance(term, LTerm):
+        specs = ", ".join(
+            f"{spec.label} {ARROW} {pretty_value(spec.value)}" for spec in term.specs
+        )
+        return f"{pretty_term(term.base)}[{specs}]"
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def pretty_value(value: object) -> str:
+    """Render a label value (a term or a ``{...}`` collection)."""
+    if isinstance(value, Collection):
+        return "{" + ", ".join(pretty_term(item) for item in value.items) + "}"
+    assert isinstance(value, (Var, Const, Func, LTerm))
+    return pretty_term(value)
+
+
+def pretty_atom(atom: object) -> str:
+    """Render an atomic formula or builtin atom."""
+    if isinstance(atom, TermAtom):
+        return pretty_term(atom.term)
+    if isinstance(atom, PredAtom):
+        args = ", ".join(pretty_term(arg) for arg in atom.args)
+        return f"{atom.pred}({args})"
+    if isinstance(atom, BuiltinAtom):
+        lhs, rhs = atom.args
+        return f"{pretty_term(lhs)} {atom.op} {pretty_term(rhs)}"
+    if isinstance(atom, NegatedAtom):
+        return f"\\+ {pretty_atom(atom.atom)}"
+    raise SyntaxKindError(f"not an atom: {atom!r}")
+
+
+def pretty_body(body: tuple) -> str:
+    return ", ".join(pretty_atom(atom) for atom in body)
+
+
+def pretty_clause(clause: DefiniteClause) -> str:
+    if clause.is_fact:
+        return f"{pretty_atom(clause.head)}."
+    return f"{pretty_atom(clause.head)} :- {pretty_body(clause.body)}."
+
+
+def pretty_query(query: Query) -> str:
+    return f":- {pretty_body(query.body)}."
+
+
+def pretty_subtype(decl: SubtypeDecl) -> str:
+    return f"{decl.sub} < {decl.sup}."
+
+
+def pretty_program(program: Program) -> str:
+    lines = [pretty_clause(clause) for clause in program.clauses]
+    lines.extend(pretty_subtype(decl) for decl in program.subtypes)
+    return "\n".join(lines)
+
+
+def pretty_formula(formula: Formula) -> str:
+    """Render a general formula with minimal parentheses."""
+    return _formula_text(formula, 0)
+
+
+# Precedence: Implies(1) < Or(2) < And(3) < Not/quantifiers(4) < atoms(5)
+def _formula_text(formula: Formula, parent_level: int) -> str:
+    if isinstance(formula, (TermAtom, PredAtom)):
+        return pretty_atom(formula)
+    if isinstance(formula, Not):
+        text = f"~{_formula_text(formula.operand, 4)}"
+        level = 4
+    elif isinstance(formula, And):
+        text = f"{_formula_text(formula.left, 4)} & {_formula_text(formula.right, 3)}"
+        level = 3
+    elif isinstance(formula, Or):
+        text = f"{_formula_text(formula.left, 3)} | {_formula_text(formula.right, 2)}"
+        level = 2
+    elif isinstance(formula, Implies):
+        text = f"{_formula_text(formula.antecedent, 2)} -> {_formula_text(formula.consequent, 1)}"
+        level = 1
+    elif isinstance(formula, ForAll):
+        text = f"forall {formula.variable}. {_formula_text(formula.body, 1)}"
+        level = 4
+    elif isinstance(formula, Exists):
+        text = f"exists {formula.variable}. {_formula_text(formula.body, 1)}"
+        level = 4
+    else:
+        raise SyntaxKindError(f"not a formula: {formula!r}")
+    if level < parent_level:
+        return f"({text})"
+    return text

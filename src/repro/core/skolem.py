@@ -1,0 +1,135 @@
+"""Skolemization of existential object variables (Section 2.1).
+
+Entity-creating rules leave the identity of the created object
+underdetermined: in
+
+    path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+
+the head variable ``C`` does not occur in the body, and the rule alone
+does not say how ``C`` is quantified with respect to ``X`` and ``Y``.
+The paper's answer is that the user (or a high-level interface, see
+:mod:`repro.interface`) specifies *what determines the objects to be
+created*; the system then replaces ``C`` with a structured identity — a
+skolem term over the determining variables, e.g. ``id(X, Y)`` when path
+objects are determined by the nodes at both ends only.
+
+This module implements that replacement and the three readings the
+paper enumerates for the path example:
+
+1. determined by the node objects at both ends only (``id(X, Y)``);
+2. determined by both ends and the length (``id(X, Y, L)``);
+3. determined by the sequence of nodes (``id(X, C0)`` in the recursive
+   rule: the new path identity depends on the extending node and the
+   identity of the extended path, which encodes the whole sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.clauses import DefiniteClause, Program, substitute_atom
+from repro.core.errors import SyntaxKindError, TransformError
+from repro.core.terms import Func, Term, Var
+
+__all__ = [
+    "SkolemPolicy",
+    "skolemize_clause",
+    "skolemize_program",
+    "fresh_skolem_namer",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SkolemPolicy:
+    """How to replace one existential object variable in one clause.
+
+    ``variable`` is the head-only variable to eliminate; ``depends_on``
+    lists the variables the created identity is existentially dependent
+    upon (the skolem function's arguments, in order); ``functor`` names
+    the skolem function (e.g. ``id``).
+    """
+
+    variable: str
+    depends_on: tuple[str, ...]
+    functor: str = "id"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "depends_on", tuple(self.depends_on))
+        if not self.variable:
+            raise SyntaxKindError("skolem policy requires a variable name")
+        if not self.functor:
+            raise SyntaxKindError("skolem policy requires a functor name")
+
+
+def skolemize_clause(clause: DefiniteClause, policy: SkolemPolicy) -> DefiniteClause:
+    """Replace ``policy.variable`` in ``clause`` with the skolem identity.
+
+    The variable must occur in the head only (it is existential); the
+    dependency variables must occur in the clause, so the resulting
+    identity is ground whenever the body instance is.  Raises
+    :class:`TransformError` if either condition fails.
+    """
+    head_only = clause.head_only_variables()
+    if policy.variable not in head_only:
+        raise TransformError(
+            f"variable {policy.variable!r} is not an existential (head-only) "
+            f"variable of the clause; head-only variables are {sorted(head_only)}"
+        )
+    clause_vars = clause.variables()
+    missing = [dep for dep in policy.depends_on if dep not in clause_vars]
+    if missing:
+        raise TransformError(
+            f"dependency variables {missing} do not occur in the clause"
+        )
+    if policy.variable in policy.depends_on:
+        raise TransformError(
+            f"the skolemized variable {policy.variable!r} cannot depend on itself"
+        )
+    replacement: Term
+    if policy.depends_on:
+        replacement = Func(policy.functor, tuple(Var(dep) for dep in policy.depends_on))
+    else:
+        # No dependencies: one global object, a fresh constant-like
+        # nullary identity encoded as the functor applied to nothing is
+        # not a term (arity >= 1), so we use a variable-free constant.
+        from repro.core.terms import Const
+
+        replacement = Const(policy.functor)
+    binding = {policy.variable: replacement}
+    new_head = substitute_atom(clause.head, binding)
+    if isinstance(new_head, type(clause.head)):
+        return DefiniteClause(new_head, clause.body)  # body has no occurrence
+    raise TransformError("skolemization changed the head atom kind")  # pragma: no cover
+
+
+def skolemize_program(
+    program: Program, policies: Sequence[tuple[int, SkolemPolicy]]
+) -> Program:
+    """Apply per-clause skolem policies to a program.
+
+    ``policies`` pairs clause indices with policies; several policies
+    may target the same clause (applied in order).  Distinct clauses
+    should normally use distinct skolem functors — the paper's path
+    rules share ``id`` deliberately because both rules create objects of
+    the same kind; :func:`fresh_skolem_namer` helps generate unique
+    functors when that sharing is not wanted.
+    """
+    clauses = list(program.clauses)
+    for index, policy in policies:
+        if not 0 <= index < len(clauses):
+            raise TransformError(f"clause index {index} out of range")
+        clauses[index] = skolemize_clause(clauses[index], policy)
+    return Program(tuple(clauses), program.subtypes)
+
+
+def fresh_skolem_namer(prefix: str = "sk") -> "callable":
+    """Return a callable producing ``sk1``, ``sk2``, ... functor names."""
+    counter = 0
+
+    def next_name() -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    return next_name

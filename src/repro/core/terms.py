@@ -1,0 +1,449 @@
+"""Terms of a language of objects (Section 3.1 of the paper).
+
+A *term* is one of:
+
+* ``tau : X``           — a typed variable (:class:`Var`);
+* ``tau : c``           — a typed constant (:class:`Const`);
+* ``tau : f(t1,...,tn)`` — a typed function application (:class:`Func`);
+* ``t[l1 => e1, ..., ln => en]`` — a labelled term (:class:`LTerm`),
+  where ``t`` is one of the first three forms, each ``li`` is a label and
+  each ``ei`` is either a term or a *collection* ``{t1,...,tk}`` of terms
+  (:class:`Collection`).
+
+The type annotation ``object :`` may be omitted; ``object`` is the
+greatest type, a supertype of every other type.
+
+All term classes are immutable, hashable value objects: two terms are
+equal iff they are structurally identical.  Note that structural
+equality is *finer* than semantic equivalence — the paper's semantics
+makes ``t[a => x, b => y]`` equivalent to ``t[b => y, a => x]`` while
+these are distinct syntax trees; :mod:`repro.core.decompose` provides
+the semantic normal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from repro.core.errors import SyntaxKindError
+
+__all__ = [
+    "OBJECT",
+    "ARROW",
+    "Var",
+    "Const",
+    "Func",
+    "Collection",
+    "LabelSpec",
+    "LTerm",
+    "Term",
+    "BaseTerm",
+    "LabelValue",
+    "is_term",
+    "identity_of",
+    "type_of",
+    "variables_of",
+    "is_ground",
+    "substitute_term",
+    "constants_of",
+    "functors_of",
+    "labels_of",
+    "types_of",
+    "term_size",
+    "term_depth",
+]
+
+#: The greatest type symbol: every type is a subtype of ``object``.
+OBJECT = "object"
+
+#: ASCII rendering of the paper's label arrow (printed as a double arrow
+#: in the original typesetting).
+ARROW = "=>"
+
+
+def _check_type_symbol(type_name: str) -> None:
+    if not isinstance(type_name, str) or not type_name:
+        raise SyntaxKindError(f"type symbol must be a nonempty string, got {type_name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A typed variable ``tau : X``.
+
+    Variable identity is the *name*: occurrences of ``X`` under
+    different type annotations denote the same variable (the annotation
+    is a constraint on the denoted object, not part of the variable).
+    """
+
+    name: str
+    type: str = OBJECT
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SyntaxKindError(f"variable name must be a nonempty string, got {self.name!r}")
+        _check_type_symbol(self.type)
+
+    def __repr__(self) -> str:
+        if self.type == OBJECT:
+            return f"Var({self.name!r})"
+        return f"Var({self.name!r}, type={self.type!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A typed constant ``tau : c`` (a zero-ary function symbol).
+
+    ``value`` is either an identifier / quoted string (``str``) or an
+    integer (arithmetic literals used by the ``is`` builtin).
+    """
+
+    value: Union[str, int]
+    type: str = OBJECT
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (str, int)):
+            raise SyntaxKindError(f"constant value must be str or int, got {self.value!r}")
+        _check_type_symbol(self.type)
+
+    def __repr__(self) -> str:
+        if self.type == OBJECT:
+            return f"Const({self.value!r})"
+        return f"Const({self.value!r}, type={self.type!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Func:
+    """A typed function application ``tau : f(t1, ..., tn)``, n >= 1.
+
+    Arguments are arbitrary terms — including labelled terms, as in
+    Section 3.1's grammar.  (Zero-ary applications are written as
+    :class:`Const`.)
+    """
+
+    functor: str
+    args: tuple["Term", ...]
+    type: str = OBJECT
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.functor, str) or not self.functor:
+            raise SyntaxKindError(f"functor must be a nonempty string, got {self.functor!r}")
+        _check_type_symbol(self.type)
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        if not args:
+            raise SyntaxKindError("Func requires at least one argument; use Const for arity 0")
+        for arg in args:
+            if not is_term(arg):
+                raise SyntaxKindError(f"function argument must be a term, got {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        if self.type == OBJECT:
+            return f"Func({self.functor!r}, {self.args!r})"
+        return f"Func({self.functor!r}, {self.args!r}, type={self.type!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Collection:
+    """A collection ``{t1, ..., tk}`` appearing as a label value.
+
+    A collection is *not* itself a term (there are no set values in
+    C-logic); it is notation for asserting the label of each member:
+    ``t[l => {t1,...,tk}]`` is semantically ``t[l => t1] & ... &
+    t[l => tk]`` (Section 3.2).  Order is preserved syntactically but is
+    semantically irrelevant.
+    """
+
+    items: tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        items = tuple(self.items)
+        object.__setattr__(self, "items", items)
+        if not items:
+            raise SyntaxKindError("a collection must contain at least one term")
+        for item in items:
+            if not is_term(item):
+                raise SyntaxKindError(f"collection member must be a term, got {item!r}")
+
+    def __iter__(self) -> Iterator["Term"]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelSpec:
+    """One ``label => value`` pair inside a labelled term.
+
+    ``value`` is a term ("the label *contains the element*") or a
+    :class:`Collection` ("the label *contains the subset*") — the two
+    intuitive readings of ``=>`` given in Section 5.
+    """
+
+    label: str
+    value: Union["Term", Collection]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise SyntaxKindError(f"label must be a nonempty string, got {self.label!r}")
+        if not (is_term(self.value) or isinstance(self.value, Collection)):
+            raise SyntaxKindError(f"label value must be a term or collection, got {self.value!r}")
+
+    def value_terms(self) -> tuple["Term", ...]:
+        """All terms asserted for this label (one, or the collection's members)."""
+        if isinstance(self.value, Collection):
+            return self.value.items
+        return (self.value,)
+
+
+@dataclass(frozen=True, slots=True)
+class LTerm:
+    """A labelled term ``t[l1 => e1, ..., ln => en]``, n >= 1.
+
+    The grammar of Section 3.1 only allows the *base* ``t`` to be a
+    typed variable, constant or function application — labelling an
+    already labelled term is not a term (cf. the rejected
+    ``student: id[name=>joe][age=>20]`` of Example 1) and raises
+    :class:`~repro.core.errors.SyntaxKindError`.
+    """
+
+    base: Union[Var, Const, Func]
+    specs: tuple[LabelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, (Var, Const, Func)):
+            raise SyntaxKindError(
+                "the base of a labelled term must be a variable, constant or "
+                f"function application, got {type(self.base).__name__}"
+            )
+        specs = tuple(self.specs)
+        object.__setattr__(self, "specs", specs)
+        if not specs:
+            raise SyntaxKindError("a labelled term requires at least one label spec")
+        for spec in specs:
+            if not isinstance(spec, LabelSpec):
+                raise SyntaxKindError(f"expected LabelSpec, got {spec!r}")
+
+    @property
+    def type(self) -> str:
+        """The type of a labelled term is the type of its base."""
+        return self.base.type
+
+
+#: A term of the language of objects.
+Term = Union[Var, Const, Func, LTerm]
+#: A term that may serve as the base of a labelled term.
+BaseTerm = Union[Var, Const, Func]
+#: What may follow ``=>`` in a label spec.
+LabelValue = Union[Term, Collection]
+
+
+def is_term(value: object) -> bool:
+    """Return True iff ``value`` is a term (Var, Const, Func or LTerm)."""
+    return isinstance(value, (Var, Const, Func, LTerm))
+
+
+def identity_of(term: Term) -> BaseTerm:
+    """The identity part of a term: its base, with labels stripped.
+
+    Section 3.2: the denotation of ``t[l1 => e1, ...]`` is the
+    denotation of ``t`` — labels describe the object but do not change
+    which object is denoted.
+    """
+    if isinstance(term, LTerm):
+        return term.base
+    return term
+
+
+def type_of(term: Term) -> str:
+    """The type annotation of a term (``object`` when omitted)."""
+    return term.type
+
+
+def variables_of(term: Union[Term, Collection]) -> set[str]:
+    """The set of variable names occurring anywhere in ``term``."""
+    out: set[str] = set()
+    _collect_variables(term, out)
+    return out
+
+
+def _collect_variables(term: Union[Term, Collection], out: set[str]) -> None:
+    if isinstance(term, Var):
+        out.add(term.name)
+    elif isinstance(term, Const):
+        pass
+    elif isinstance(term, Func):
+        for arg in term.args:
+            _collect_variables(arg, out)
+    elif isinstance(term, Collection):
+        for item in term.items:
+            _collect_variables(item, out)
+    elif isinstance(term, LTerm):
+        _collect_variables(term.base, out)
+        for spec in term.specs:
+            _collect_variables(spec.value, out)
+    else:  # pragma: no cover - guarded by constructors
+        raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def is_ground(term: Union[Term, Collection]) -> bool:
+    """True iff ``term`` contains no variables."""
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, Func):
+        return all(is_ground(arg) for arg in term.args)
+    if isinstance(term, Collection):
+        return all(is_ground(item) for item in term.items)
+    if isinstance(term, LTerm):
+        return is_ground(term.base) and all(
+            is_ground(value) for spec in term.specs for value in spec.value_terms()
+        )
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def substitute_term(term: Term, binding: Mapping[str, Term]) -> Term:
+    """Apply a variable binding to ``term``, returning a new term.
+
+    Bindings map variable *names* to terms.  When a variable with a
+    non-``object`` type annotation is replaced, the annotation is
+    transferred to the replacement only if the replacement's own
+    annotation is ``object`` (the more specific constraint wins); a
+    replacement that already carries a type keeps it.
+    """
+    if isinstance(term, Var):
+        replacement = binding.get(term.name)
+        if replacement is None:
+            return term
+        return _retype(replacement, term.type)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Func):
+        new_args = tuple(substitute_term(arg, binding) for arg in term.args)
+        if new_args == term.args:
+            return term
+        return Func(term.functor, new_args, term.type)
+    if isinstance(term, LTerm):
+        new_base = substitute_term(term.base, binding)
+        if isinstance(new_base, LTerm):
+            # Substituting a labelled term for the base would create
+            # t[..][..]; fold the labels together instead.
+            new_base_specs = new_base.specs
+            new_base = new_base.base
+        else:
+            new_base_specs = ()
+        new_specs = tuple(
+            LabelSpec(spec.label, _substitute_value(spec.value, binding)) for spec in term.specs
+        )
+        return LTerm(new_base, new_base_specs + new_specs)
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def _substitute_value(value: LabelValue, binding: Mapping[str, Term]) -> LabelValue:
+    if isinstance(value, Collection):
+        return Collection(tuple(substitute_term(item, binding) for item in value.items))
+    return substitute_term(value, binding)
+
+
+def _retype(term: Term, type_name: str) -> Term:
+    """Push a type annotation onto ``term`` if it is currently untyped."""
+    if type_name == OBJECT or term.type != OBJECT:
+        return term
+    if isinstance(term, Var):
+        return Var(term.name, type_name)
+    if isinstance(term, Const):
+        return Const(term.value, type_name)
+    if isinstance(term, Func):
+        return Func(term.functor, term.args, type_name)
+    if isinstance(term, LTerm):
+        base = _retype(term.base, type_name)
+        assert isinstance(base, (Var, Const, Func))
+        return LTerm(base, term.specs)
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def constants_of(term: Union[Term, Collection]) -> set[Union[str, int]]:
+    """All constant values occurring in ``term``."""
+    out: set[Union[str, int]] = set()
+    _walk(term, lambda sub: out.add(sub.value) if isinstance(sub, Const) else None)
+    return out
+
+
+def functors_of(term: Union[Term, Collection]) -> set[tuple[str, int]]:
+    """All (functor, arity) pairs of function applications in ``term``."""
+    out: set[tuple[str, int]] = set()
+    _walk(term, lambda sub: out.add((sub.functor, sub.arity)) if isinstance(sub, Func) else None)
+    return out
+
+
+def labels_of(term: Union[Term, Collection]) -> set[str]:
+    """All labels occurring in ``term`` (at any nesting depth)."""
+    out: set[str] = set()
+
+    def visit(sub: Term) -> None:
+        if isinstance(sub, LTerm):
+            out.update(spec.label for spec in sub.specs)
+
+    _walk(term, visit)
+    return out
+
+
+def types_of(term: Union[Term, Collection]) -> set[str]:
+    """All type symbols annotating subterms of ``term`` (incl. ``object``)."""
+    out: set[str] = set()
+
+    def visit(sub: Term) -> None:
+        if isinstance(sub, (Var, Const, Func)):
+            out.add(sub.type)
+
+    _walk(term, visit)
+    return out
+
+
+def term_size(term: Union[Term, Collection]) -> int:
+    """Number of term nodes (Var/Const/Func/LTerm) in ``term``."""
+    count = 0
+
+    def visit(sub: Term) -> None:
+        nonlocal count
+        count += 1
+
+    _walk(term, visit)
+    return count
+
+
+def term_depth(term: Union[Term, Collection]) -> int:
+    """Nesting depth of ``term`` (a Var or Const has depth 1)."""
+    if isinstance(term, (Var, Const)):
+        return 1
+    if isinstance(term, Func):
+        return 1 + max(term_depth(arg) for arg in term.args)
+    if isinstance(term, Collection):
+        return max(term_depth(item) for item in term.items)
+    if isinstance(term, LTerm):
+        inner = [term_depth(term.base)]
+        inner.extend(term_depth(value) for spec in term.specs for value in spec.value_terms())
+        return 1 + max(inner)
+    raise SyntaxKindError(f"not a term: {term!r}")
+
+
+def _walk(term: Union[Term, Collection], visit) -> None:
+    """Apply ``visit`` to every term node in pre-order."""
+    if isinstance(term, Collection):
+        for item in term.items:
+            _walk(item, visit)
+        return
+    visit(term)
+    if isinstance(term, Func):
+        for arg in term.args:
+            _walk(arg, visit)
+    elif isinstance(term, LTerm):
+        _walk(term.base, visit)
+        for spec in term.specs:
+            _walk(spec.value, visit)

@@ -1,0 +1,167 @@
+"""The type hierarchy of a language of objects (Sections 2.3, 3.1, 4).
+
+C-logic uses a *dynamic* notion of types: a type is semantically a set
+of object identities (a unary predicate).  Type symbols form a
+partially ordered set with a greatest element ``object``; the ordering
+among the other symbols is declared by the user through *subtype
+declarations* ``t1 < t2`` (Section 4).
+
+:class:`TypeHierarchy` maintains the declared order, computes its
+reflexive–transitive closure, and rejects declarations that would
+violate antisymmetry (a cycle), since Section 3.1 requires a partial
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.errors import TypeOrderError
+from repro.core.terms import OBJECT
+
+__all__ = ["TypeHierarchy", "SubtypeDecl"]
+
+
+@dataclass(frozen=True, slots=True)
+class SubtypeDecl:
+    """A subtype declaration ``sub < sup`` (Section 4)."""
+
+    sub: str
+    sup: str
+
+    def __post_init__(self) -> None:
+        if not self.sub or not self.sup:
+            raise TypeOrderError("subtype declaration requires two type symbols")
+        if self.sub == self.sup:
+            raise TypeOrderError(f"reflexive subtype declaration {self.sub} < {self.sup}")
+        if self.sub == OBJECT:
+            raise TypeOrderError(f"'{OBJECT}' is the greatest type; it has no proper supertype")
+
+
+class TypeHierarchy:
+    """A partially ordered set of type symbols with greatest element ``object``.
+
+    The hierarchy is built incrementally with :meth:`declare` (or from
+    an iterable of declarations) and answers subtype queries through the
+    reflexive–transitive closure of the declared edges.  Every known
+    symbol is automatically below ``object``.
+
+    The structure is mutable during program construction but cheap to
+    snapshot: :meth:`copy` produces an independent hierarchy.
+    """
+
+    def __init__(self, declarations: Iterable[SubtypeDecl] = ()) -> None:
+        # Direct declared supertypes: sub -> set of sups.
+        self._parents: dict[str, set[str]] = {}
+        # Memoized upward closure (invalidated on mutation).
+        self._up_cache: dict[str, frozenset[str]] = {}
+        self._symbols: set[str] = {OBJECT}
+        for decl in declarations:
+            self.declare(decl.sub, decl.sup)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def declare(self, sub: str, sup: str) -> None:
+        """Declare ``sub < sup``; raise :class:`TypeOrderError` on a cycle."""
+        decl = SubtypeDecl(sub, sup)  # validates the pair
+        if sup != OBJECT and self.is_subtype(sup, sub) and sub != sup:
+            raise TypeOrderError(
+                f"declaring {decl.sub} < {decl.sup} would create a cycle "
+                f"({decl.sup} is already a subtype of {decl.sub})"
+            )
+        self._symbols.add(sub)
+        self._symbols.add(sup)
+        if sup != OBJECT:
+            self._parents.setdefault(sub, set()).add(sup)
+        else:
+            self._parents.setdefault(sub, set())
+        self._up_cache.clear()
+
+    def add_symbol(self, symbol: str) -> None:
+        """Register a type symbol with no declared supertype but ``object``."""
+        if symbol != OBJECT:
+            self._symbols.add(symbol)
+            self._parents.setdefault(symbol, set())
+
+    def copy(self) -> "TypeHierarchy":
+        clone = TypeHierarchy()
+        clone._parents = {sub: set(sups) for sub, sups in self._parents.items()}
+        clone._symbols = set(self._symbols)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        """All known type symbols, including ``object``."""
+        return frozenset(self._symbols)
+
+    def declarations(self) -> Iterator[SubtypeDecl]:
+        """All declared (direct) subtype pairs, in sorted order."""
+        for sub in sorted(self._parents):
+            for sup in sorted(self._parents[sub]):
+                yield SubtypeDecl(sub, sup)
+
+    def supertypes(self, symbol: str) -> frozenset[str]:
+        """The reflexive–transitive upward closure of ``symbol``.
+
+        Always contains ``symbol`` itself and ``object``.
+        """
+        cached = self._up_cache.get(symbol)
+        if cached is not None:
+            return cached
+        closure: set[str] = {symbol, OBJECT}
+        stack = list(self._parents.get(symbol, ()))
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            stack.extend(self._parents.get(current, ()))
+        result = frozenset(closure)
+        self._up_cache[symbol] = result
+        return result
+
+    def subtypes(self, symbol: str) -> frozenset[str]:
+        """All known symbols at or below ``symbol`` (reflexive downset)."""
+        if symbol == OBJECT:
+            return frozenset(self._symbols)
+        return frozenset(s for s in self._symbols if symbol in self.supertypes(s))
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """True iff ``sub <= sup`` in the reflexive–transitive order."""
+        if sup == OBJECT or sub == sup:
+            return True
+        return sup in self.supertypes(sub)
+
+    def comparable(self, a: str, b: str) -> bool:
+        """True iff ``a <= b`` or ``b <= a``."""
+        return self.is_subtype(a, b) or self.is_subtype(b, a)
+
+    def least_common_supertypes(self, a: str, b: str) -> frozenset[str]:
+        """The minimal elements of the common upper bounds of ``a`` and ``b``.
+
+        Always nonempty because ``object`` bounds everything.  Used by
+        the O-logic baseline's discussion of the lattice approach
+        (Section 2.2), where a multiply-defined label climbs to the
+        least common super-object.
+        """
+        common = self.supertypes(a) & self.supertypes(b)
+        minimal = {
+            t
+            for t in common
+            if not any(other != t and self.is_subtype(other, t) for other in common)
+        }
+        return frozenset(minimal)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._symbols
+
+    def __repr__(self) -> str:
+        decls = ", ".join(f"{d.sub}<{d.sup}" for d in self.declarations())
+        return f"TypeHierarchy({decls})"

@@ -1,0 +1,14 @@
+"""The complex-object store substrate: clustered + decomposed storage,
+description merging, subsumption ordering and dynamic updates."""
+
+from repro.db.store import ObjectStore, ground_id
+from repro.db.subsume import answers_by_subsumption, description_leq
+from repro.db.updates import UpdatableStore
+
+__all__ = [
+    "ObjectStore",
+    "UpdatableStore",
+    "answers_by_subsumption",
+    "description_leq",
+    "ground_id",
+]

@@ -1,0 +1,293 @@
+"""The complex-object store: the extensional database of the direct engine.
+
+Section 6 lists "how to store complex objects, how to cluster
+components of a complex object together" among the problems C-logic's
+simplicity is meant to support.  :class:`ObjectStore` is our answer for
+the laptop scale:
+
+* decomposed indexes — type extents (``type -> ids``), label relations
+  (``label -> host -> values`` plus the inverted ``label -> value ->
+  hosts``) and predicate relations, which realize labels-as-binary-
+  predicates and types-as-unary-predicates directly;
+* the *clustered* originals — every asserted fact term is kept intact,
+  so whole-term unification (the naive strategy whose incompleteness on
+  multi-valued labels E7 demonstrates) and per-object description
+  merging (Section 4's "merge all information about an object
+  together") are both available.
+
+All stored data is ground; identities are label-free, ``object``-typed
+term trees (see :func:`ground_id`).  Every atomic fact carries the
+round in which it was derived, so the direct engine's semi-naive
+saturation can restrict joins to new facts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.clauses import BodyAtom, BuiltinAtom
+from repro.core.decompose import recombine, spec_pairs
+from repro.core.errors import StoreError
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import (
+    BaseTerm,
+    Const,
+    Func,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+    is_ground,
+)
+from repro.core.types import TypeHierarchy
+
+__all__ = ["ObjectStore", "ground_id"]
+
+
+def ground_id(term: Term) -> BaseTerm:
+    """The canonical ground identity of a term: labels stripped at every
+    depth and every type annotation erased to ``object``.
+
+    Raises :class:`StoreError` if the term is not ground — stores hold
+    ground facts only.
+    """
+    if isinstance(term, Var):
+        raise StoreError(f"identities must be ground; found variable {term.name}")
+    if isinstance(term, LTerm):
+        return ground_id(term.base)
+    if isinstance(term, Const):
+        return Const(term.value) if term.type != OBJECT else term
+    if isinstance(term, Func):
+        args = tuple(ground_id(arg) for arg in term.args)
+        if args == term.args and term.type == OBJECT:
+            return term
+        return Func(term.functor, args)
+    raise StoreError(f"not a term: {term!r}")
+
+
+class ObjectStore:
+    """Ground facts about complex objects, indexed for direct evaluation."""
+
+    def __init__(self, hierarchy: Optional[TypeHierarchy] = None) -> None:
+        self.hierarchy = hierarchy if hierarchy is not None else TypeHierarchy()
+        self._all_ids: set[BaseTerm] = set()
+        self._types: dict[str, set[BaseTerm]] = {}
+        self._types_of: dict[BaseTerm, set[str]] = {}
+        self._labels: dict[str, dict[BaseTerm, set[BaseTerm]]] = {}
+        self._labels_inv: dict[str, dict[BaseTerm, set[BaseTerm]]] = {}
+        self._label_pairs: dict[str, int] = {}
+        self._preds: dict[tuple[str, int], set[tuple[BaseTerm, ...]]] = {}
+        self._clustered: list[Term] = []
+        self._clustered_set: set[Term] = set()
+        self._stamps: dict[tuple, int] = {}
+        self._by_round: dict[int, list[tuple]] = {}
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Assertion
+    # ------------------------------------------------------------------
+
+    def next_round(self) -> int:
+        self._round += 1
+        return self._round
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def assert_atom(self, atom: BodyAtom) -> bool:
+        """Assert a ground atom (term description or predicate fact).
+
+        A term description is decomposed: the identity joins its type's
+        extent, every ``label => value`` pair joins the label relation
+        (with the value's own description asserted recursively, matching
+        the conjuncts of the transformation), and the clustered original
+        is retained.  Returns True iff anything new was recorded.
+        """
+        if isinstance(atom, BuiltinAtom):
+            raise StoreError("builtin atoms cannot be stored")
+        if isinstance(atom, PredAtom):
+            for arg in atom.args:
+                self._assert_term(arg)
+            row = tuple(ground_id(arg) for arg in atom.args)
+            return self._add_pred(atom.pred, row)
+        assert isinstance(atom, TermAtom)
+        return self.assert_description(atom.term)
+
+    def assert_description(self, term: Term) -> bool:
+        """Assert a ground complex-object description (kept clustered)."""
+        changed = self._assert_term(term)
+        if term not in self._clustered_set:
+            self._clustered_set.add(term)
+            self._clustered.append(term)
+        return changed
+
+    def _assert_term(self, term: Term) -> bool:
+        if not is_ground(term):
+            raise StoreError(f"the store holds ground facts only: {term!r}")
+        changed = False
+        base = term.base if isinstance(term, LTerm) else term
+        identity = ground_id(base)
+        changed |= self._add_type(base.type, identity)
+        if isinstance(base, Func):
+            for arg in base.args:
+                changed |= self._assert_term(arg)
+        if isinstance(term, LTerm):
+            for label, value in spec_pairs(term):
+                changed |= self._assert_term(value)
+                changed |= self._add_label(label, identity, ground_id(value))
+        return changed
+
+    def _add_type(self, type_name: str, identity: BaseTerm) -> bool:
+        self._all_ids.add(identity)
+        key = ("t", type_name, identity)
+        extent = self._types.setdefault(type_name, set())
+        if identity in extent:
+            return False
+        extent.add(identity)
+        self._types_of.setdefault(identity, set()).add(type_name)
+        self._stamps[key] = self._round
+        self._by_round.setdefault(self._round, []).append(key)
+        return True
+
+    def _add_label(self, label: str, host: BaseTerm, value: BaseTerm) -> bool:
+        key = ("l", label, host, value)
+        values = self._labels.setdefault(label, {}).setdefault(host, set())
+        if value in values:
+            return False
+        values.add(value)
+        self._labels_inv.setdefault(label, {}).setdefault(value, set()).add(host)
+        self._label_pairs[label] = self._label_pairs.get(label, 0) + 1
+        self._stamps[key] = self._round
+        self._by_round.setdefault(self._round, []).append(key)
+        return True
+
+    def _add_pred(self, pred: str, row: tuple[BaseTerm, ...]) -> bool:
+        key = ("p", pred, row)
+        rows = self._preds.setdefault((pred, len(row)), set())
+        if row in rows:
+            return False
+        rows.add(row)
+        self._stamps[key] = self._round
+        self._by_round.setdefault(self._round, []).append(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def all_ids(self) -> frozenset[BaseTerm]:
+        """The active domain: every individual object in the database
+        (the meaning of the type ``object``, per Section 4)."""
+        return frozenset(self._all_ids)
+
+    def asserted_types(self, identity: BaseTerm) -> frozenset[str]:
+        return frozenset(self._types_of.get(identity, ()))
+
+    def has_type(self, identity: BaseTerm, type_name: str) -> bool:
+        """Membership modulo the hierarchy: an object is in ``tau`` iff
+        some asserted type of it is ``<= tau``."""
+        if type_name == OBJECT:
+            return identity in self._all_ids
+        asserted = self._types_of.get(identity)
+        if not asserted:
+            return False
+        return any(self.hierarchy.is_subtype(t, type_name) for t in asserted)
+
+    def ids_of_type(self, type_name: str) -> set[BaseTerm]:
+        """The extent of a type, closed downward along the hierarchy."""
+        if type_name == OBJECT:
+            return set(self._all_ids)
+        out: set[BaseTerm] = set()
+        for sub in self.hierarchy.subtypes(type_name):
+            out |= self._types.get(sub, set())
+        out |= self._types.get(type_name, set())
+        return out
+
+    def label_values(self, label: str, host: BaseTerm) -> frozenset[BaseTerm]:
+        return frozenset(self._labels.get(label, {}).get(host, ()))
+
+    def label_hosts(self, label: str, value: BaseTerm) -> frozenset[BaseTerm]:
+        return frozenset(self._labels_inv.get(label, {}).get(value, ()))
+
+    def label_pairs(self, label: str) -> Iterator[tuple[BaseTerm, BaseTerm]]:
+        for host, values in self._labels.get(label, {}).items():
+            for value in values:
+                yield host, value
+
+    def holds_label(self, label: str, host: BaseTerm, value: BaseTerm) -> bool:
+        return value in self._labels.get(label, {}).get(host, ())
+
+    def label_count(self, label: str) -> int:
+        return self._label_pairs.get(label, 0)
+
+    def pred_rows(self, pred: str, arity: int) -> frozenset[tuple[BaseTerm, ...]]:
+        return frozenset(self._preds.get((pred, arity), ()))
+
+    def holds_pred(self, pred: str, row: tuple[BaseTerm, ...]) -> bool:
+        return row in self._preds.get((pred, len(row)), ())
+
+    def labels(self) -> set[str]:
+        return set(self._labels)
+
+    def types(self) -> set[str]:
+        return set(self._types)
+
+    def stamp(self, key: tuple) -> int:
+        """Derivation round of an atomic fact key (see module docs)."""
+        return self._stamps.get(key, 0)
+
+    def keys_since(self, since_round: int) -> Iterator[tuple]:
+        """Atomic fact keys first derived at or after ``since_round``
+        (the delta feed for the direct engine's semi-naive mode)."""
+        for round_number in range(since_round, self._round + 1):
+            yield from self._by_round.get(round_number, ())
+
+    def clustered_facts(self) -> list[Term]:
+        """The original fact terms, as asserted (whole-term matching)."""
+        return list(self._clustered)
+
+    def merged_description(self, identity: BaseTerm) -> Term:
+        """One maximal description of an object: its identity annotated
+        with a representative asserted type, with every labelled value
+        (collections for multi-valued labels).  Section 4: "for
+        extensional databases, we may merge all information about an
+        object together"."""
+        types = sorted(t for t in self.asserted_types(identity) if t != OBJECT)
+        base: BaseTerm = identity
+        if types:
+            if isinstance(identity, Const):
+                base = Const(identity.value, types[0])
+            elif isinstance(identity, Func):
+                base = Func(identity.functor, identity.args, types[0])
+        pieces: list[Term] = [base]
+        from repro.core.terms import LabelSpec
+
+        for label in sorted(self._labels):
+            for value in self._labels[label].get(identity, ()):
+                pieces.append(LTerm(base, (LabelSpec(label, value),)))
+        merged = recombine(pieces)
+        assert len(merged) == 1
+        return merged[0]
+
+    def merged_descriptions(self) -> Iterator[Term]:
+        for identity in sorted(self._all_ids, key=repr):
+            yield self.merged_description(identity)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def fact_count(self) -> int:
+        """Total atomic facts (type memberships + label pairs + rows)."""
+        return len(self._stamps)
+
+    def __len__(self) -> int:
+        return len(self._all_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectStore(objects={len(self._all_ids)}, "
+            f"types={len(self._types)}, labels={len(self._labels)}, "
+            f"facts={self.fact_count()})"
+        )

@@ -1,0 +1,102 @@
+"""Partial ordering (subsumption) over complex object descriptions.
+
+Section 4: "For extensional databases, we may merge all information
+about an object together ... and the query can be solved by checking
+partial ordering over complex object descriptions [6]" (the ordering of
+Bancilhon & Khoshafian's calculus).
+
+For *ground* descriptions we say ``general <= specific`` when every
+assertion the general description makes is made (or implied) by the
+specific one:
+
+* the identities are equal;
+* the specific type annotation is a subtype of the general one
+  (an object asserted as ``student`` is also a ``person``);
+* every ``label => value`` of the general description appears among the
+  specific description's values for that label (collections are read as
+  subsets, per Section 5).
+
+:func:`description_leq` implements that ordering, and
+:func:`answers_by_subsumption` answers a (possibly non-ground) query
+description against a store's *merged* descriptions by searching for
+bindings under which the query becomes ``<=`` some merged description.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.decompose import spec_pairs
+from repro.core.errors import StoreError
+from repro.core.terms import BaseTerm, LTerm, OBJECT, Term, Var, is_ground
+from repro.core.types import TypeHierarchy
+from repro.db.store import ObjectStore, ground_id
+from repro.engine.cunify import apply_binding, unify_identities
+
+__all__ = ["description_leq", "answers_by_subsumption"]
+
+
+def description_leq(
+    general: Term, specific: Term, hierarchy: Optional[TypeHierarchy] = None
+) -> bool:
+    """The ordering ``general <= specific`` on ground descriptions."""
+    if not (is_ground(general) and is_ground(specific)):
+        raise StoreError("description_leq compares ground descriptions")
+    hierarchy = hierarchy if hierarchy is not None else TypeHierarchy()
+    if ground_id(general) != ground_id(specific):
+        return False
+    general_type = general.type
+    specific_type = specific.type
+    if general_type != OBJECT and not hierarchy.is_subtype(specific_type, general_type):
+        return False
+    specific_values: dict[str, set[BaseTerm]] = {}
+    if isinstance(specific, LTerm):
+        for label, value in spec_pairs(specific):
+            specific_values.setdefault(label, set()).add(ground_id(value))
+    if isinstance(general, LTerm):
+        for label, value in spec_pairs(general):
+            if ground_id(value) not in specific_values.get(label, ()):
+                return False
+    return True
+
+
+def answers_by_subsumption(
+    query: Term, store: ObjectStore
+) -> Iterator[dict[str, BaseTerm]]:
+    """Bindings under which ``query`` is subsumed by a merged description.
+
+    The query's identity may be a variable or a partially instantiated
+    term; its label values may be variables (bound from the stored value
+    sets).  Each yielded binding maps the query's variable names to
+    ground identities.
+    """
+    base = query.base if isinstance(query, LTerm) else query
+    candidates = store.ids_of_type(base.type)
+    specs = list(spec_pairs(query)) if isinstance(query, LTerm) else []
+    seen: set[frozenset] = set()
+    for identity in candidates:
+        binding = unify_identities(base, identity)
+        if binding is None:
+            continue
+        for full in _solve_specs(specs, 0, identity, binding, store):
+            key = frozenset((name, apply_binding(Var(name), full)) for name in full)
+            if key not in seen:
+                seen.add(key)
+                yield full
+
+
+def _solve_specs(
+    specs: list[tuple[str, Term]],
+    index: int,
+    identity: BaseTerm,
+    binding: dict[str, BaseTerm],
+    store: ObjectStore,
+) -> Iterator[dict[str, BaseTerm]]:
+    if index == len(specs):
+        yield binding
+        return
+    label, value = specs[index]
+    for stored in store.label_values(label, identity):
+        extended = unify_identities(value, stored, binding)
+        if extended is not None:
+            yield from _solve_specs(specs, index + 1, identity, extended, store)

@@ -1,0 +1,127 @@
+"""Database updates under the dynamic notion of types (Section 2.3).
+
+"Under the dynamic aspect, a class denotes the set of objects ... and
+such membership may be changed by database updates."  C-logic's types
+carry no structural obligations, so updates are pure set manipulation:
+inserting an object requires saying which type it joins (``object`` by
+default), and removal simply shrinks extents — no schema checking is
+involved, exactly because the static notion is deliberately left out of
+the logic.
+
+:class:`UpdatableStore` wraps an :class:`~repro.db.store.ObjectStore`
+with insert/retract operations that keep every index consistent.
+Retraction removes atomic facts (a type membership, a label pair, a
+predicate row); retracting the last type of an object removes it from
+the active domain unless it still participates in label pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import StoreError
+from repro.core.terms import OBJECT, Term
+from repro.core.types import TypeHierarchy
+from repro.db.store import ObjectStore, ground_id
+
+__all__ = ["UpdatableStore"]
+
+
+class UpdatableStore:
+    """Insert/retract façade over an object store."""
+
+    def __init__(self, hierarchy: Optional[TypeHierarchy] = None) -> None:
+        self.store = ObjectStore(hierarchy)
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+
+    def insert(self, description: Term) -> bool:
+        """Insert a ground description (its type defaults to ``object``
+        when unannotated, the paper's default-type remark)."""
+        return self.store.assert_description(description)
+
+    def add_to_type(self, identity: Term, type_name: str) -> bool:
+        """Add an existing or new object to a type's extent."""
+        return self.store._add_type(type_name, ground_id(identity))
+
+    def add_label(self, host: Term, label: str, value: Term) -> bool:
+        host_id = ground_id(host)
+        value_id = ground_id(value)
+        changed = self.store._add_type(OBJECT, host_id)
+        changed |= self.store._add_type(OBJECT, value_id)
+        return self.store._add_label(label, host_id, value_id) or changed
+
+    # ------------------------------------------------------------------
+    # Retracts
+    # ------------------------------------------------------------------
+
+    def remove_from_type(self, identity: Term, type_name: str) -> bool:
+        """Remove an object from one type's extent (dynamic membership).
+
+        Removing from ``object`` is rejected: ``object`` is the active
+        domain; use :meth:`remove_object` to delete the object outright.
+        """
+        if type_name == OBJECT:
+            raise StoreError("remove the object itself instead of its 'object' membership")
+        store = self.store
+        key = ground_id(identity)
+        extent = store._types.get(type_name)
+        if not extent or key not in extent:
+            return False
+        extent.discard(key)
+        store._types_of[key].discard(type_name)
+        store._stamps.pop(("t", type_name, key), None)
+        return True
+
+    def remove_label(self, host: Term, label: str, value: Term) -> bool:
+        store = self.store
+        host_id = ground_id(host)
+        value_id = ground_id(value)
+        values = store._labels.get(label, {}).get(host_id)
+        if not values or value_id not in values:
+            return False
+        values.discard(value_id)
+        store._labels_inv[label][value_id].discard(host_id)
+        store._label_pairs[label] -= 1
+        store._stamps.pop(("l", label, host_id, value_id), None)
+        return True
+
+    def remove_object(self, identity: Term) -> bool:
+        """Delete an object: all type memberships, all label pairs it
+        participates in (either side), all predicate rows mentioning it."""
+        store = self.store
+        key = ground_id(identity)
+        if key not in store._all_ids:
+            return False
+        for type_name in list(store._types_of.get(key, ())):
+            if type_name != OBJECT:
+                self.remove_from_type(identity, type_name)
+        store._types_of.pop(key, None)
+        store._types.get(OBJECT, set()).discard(key)
+        store._stamps.pop(("t", OBJECT, key), None)
+        for label in list(store._labels):
+            for value in list(store._labels[label].get(key, ())):
+                self.remove_label(identity, label, value)
+            store._labels[label].pop(key, None)
+            hosts_of = store._labels_inv[label].get(key, set())
+            for host in list(hosts_of):
+                values = store._labels[label].get(host)
+                if values and key in values:
+                    values.discard(key)
+                    store._label_pairs[label] -= 1
+                    store._stamps.pop(("l", label, host, key), None)
+            store._labels_inv[label].pop(key, None)
+        for signature in list(store._preds):
+            rows = store._preds[signature]
+            doomed = [row for row in rows if key in row]
+            for row in doomed:
+                rows.discard(row)
+                store._stamps.pop(("p", signature[0], row), None)
+        store._all_ids.discard(key)
+        store._clustered = [
+            fact for fact in store._clustered if ground_id(fact) != key
+        ]
+        store._clustered_set = set(store._clustered)
+        return True

@@ -1,0 +1,58 @@
+"""Deduction engines: naive/semi-naive bottom-up, SLD, tabled SLD over
+the first-order translation, and the direct C-logic engine (Section 4)."""
+
+from repro.engine.bottomup import (
+    EvaluationStats,
+    answer_query_bottomup,
+    naive_fixpoint,
+    normalize_clauses,
+)
+from repro.engine.builtins import builtin_is_ready, eval_arith, solve_builtin
+from repro.engine.cunify import apply_binding, strip_identity, unify_identities
+from repro.engine.direct import Answer, DirectEngine, DirectStats
+from repro.engine.explain import Derivation, Explainer, format_derivation
+from repro.engine.factbase import FactBase, principal_functor
+from repro.engine.join import check_range_restricted, join_body
+from repro.engine.negation import (
+    NegClause,
+    StratificationError,
+    stratified_fixpoint,
+    stratify,
+)
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.tabling import TabledEngine, TablingStats, canonical_atom
+from repro.engine.topdown import SLDEngine, SLDStats, solve_iterative_deepening
+
+__all__ = [
+    "Answer",
+    "Derivation",
+    "DirectEngine",
+    "DirectStats",
+    "Explainer",
+    "format_derivation",
+    "EvaluationStats",
+    "FactBase",
+    "NegClause",
+    "SLDEngine",
+    "StratificationError",
+    "SLDStats",
+    "TabledEngine",
+    "TablingStats",
+    "answer_query_bottomup",
+    "apply_binding",
+    "builtin_is_ready",
+    "canonical_atom",
+    "check_range_restricted",
+    "eval_arith",
+    "join_body",
+    "naive_fixpoint",
+    "normalize_clauses",
+    "principal_functor",
+    "seminaive_fixpoint",
+    "solve_builtin",
+    "solve_iterative_deepening",
+    "stratified_fixpoint",
+    "stratify",
+    "strip_identity",
+    "unify_identities",
+]

@@ -1,0 +1,146 @@
+"""Naive bottom-up evaluation (Section 4's "bottom-up methods").
+
+Computes the minimal model of a definite-clause program by iterating
+the immediate-consequence operator T_P to fixpoint.  The engine works
+directly on *generalized* definite clauses — the natural output of the
+transformation — so "each successful evaluation of the body may produce
+multiple results" (one derived fact per head atom), reproducing the
+multi-head behaviour the paper points out; ordinary Horn clauses are
+handled as one-head generalized clauses.
+
+Naive evaluation re-derives everything every round; its cost is the
+baseline the semi-naive engine (E11) improves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.core.errors import EngineError
+from repro.fol.atoms import (
+    FAtom,
+    FBodyAtom,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    substitute_fatom,
+)
+from repro.fol.subst import Substitution
+from repro.engine.factbase import FactBase
+from repro.engine.join import check_range_restricted, join_body
+
+__all__ = ["EvaluationStats", "normalize_clauses", "naive_fixpoint", "answer_query_bottomup"]
+
+ClauseLike = Union[HornClause, GeneralizedClause]
+
+
+@dataclass
+class EvaluationStats:
+    """Work counters for the fixpoint computation (used by E11)."""
+
+    rounds: int = 0
+    body_evaluations: int = 0
+    facts_derived: int = 0
+    facts_new: int = 0
+
+
+def normalize_clauses(
+    clauses: Union[FOLProgram, Iterable[ClauseLike]]
+) -> list[GeneralizedClause]:
+    """Coerce any clause collection to generalized form."""
+    if isinstance(clauses, FOLProgram):
+        source: Iterable[ClauseLike] = clauses.clauses
+    else:
+        source = clauses
+    out: list[GeneralizedClause] = []
+    for clause in source:
+        if isinstance(clause, HornClause):
+            out.append(GeneralizedClause((clause.head,), clause.body))
+        elif isinstance(clause, GeneralizedClause):
+            out.append(clause)
+        else:
+            raise EngineError(f"not a clause: {clause!r}")
+    return out
+
+
+def _reject_negation(clauses: list[GeneralizedClause]) -> None:
+    """The positive fixpoints are unsound on negated rules; route those
+    to :func:`repro.engine.negation.stratified_fixpoint`."""
+    from repro.fol.atoms import NegAtom
+
+    for clause in clauses:
+        if any(isinstance(atom, NegAtom) for atom in clause.body):
+            raise EngineError(
+                "the program uses negation; evaluate it with "
+                "repro.engine.negation.stratified_fixpoint"
+            )
+
+
+def naive_fixpoint(
+    clauses: Union[FOLProgram, Iterable[ClauseLike]],
+    max_rounds: int = 10_000,
+    stats: EvaluationStats | None = None,
+) -> FactBase:
+    """The minimal model of ``clauses`` as a fact base.
+
+    Raises :class:`EngineError` if the fixpoint is not reached within
+    ``max_rounds`` (a non-terminating program, e.g. unbounded identity
+    creation through function symbols).
+    """
+    generalized = normalize_clauses(clauses)
+    _reject_negation(generalized)
+    for clause in generalized:
+        check_range_restricted(clause.heads, clause.body)
+    facts = FactBase()
+    stats = stats if stats is not None else EvaluationStats()
+    # Seed with body-free clauses (their heads must be ground by safety).
+    for clause in generalized:
+        if clause.is_fact:
+            for head in clause.heads:
+                if facts.add(head):
+                    stats.facts_new += 1
+                stats.facts_derived += 1
+    rules = [clause for clause in generalized if not clause.is_fact]
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        facts.next_round()
+        changed = False
+        for clause in rules:
+            for subst in join_body(clause.body, facts):
+                stats.body_evaluations += 1
+                for head in clause.heads:
+                    derived = substitute_fatom(head, subst)
+                    assert isinstance(derived, FAtom)
+                    stats.facts_derived += 1
+                    if facts.add(derived):
+                        stats.facts_new += 1
+                        changed = True
+        if not changed:
+            return facts
+    raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
+
+
+def answer_query_bottomup(
+    goals: Sequence[FBodyAtom],
+    facts: FactBase,
+    variables: set[str] | None = None,
+) -> Iterator[Substitution]:
+    """Answers to a translated query against a computed minimal model.
+
+    Yields substitutions restricted to ``variables`` (default: all
+    variables of the goals); duplicates after restriction are
+    suppressed.
+    """
+    if variables is None:
+        from repro.fol.atoms import atom_variables
+
+        variables = set()
+        for goal in goals:
+            variables |= atom_variables(goal)
+    seen: set[Substitution] = set()
+    for subst in join_body(goals, facts):
+        answer = subst.restrict(variables)
+        if answer not in seen:
+            seen.add(answer)
+            yield answer

@@ -1,0 +1,107 @@
+"""Builtin evaluation: arithmetic ``is``, comparisons and ``=``.
+
+The paper's path example uses ``L is L0 + 1``; deductive-database
+practice adds the comparisons.  Builtins are *evaluation devices*: they
+are solved when reached, against the current substitution, and require
+their inputs to be sufficiently instantiated (``is`` needs a ground
+right-hand side; comparisons need both sides ground), raising
+:class:`~repro.core.errors.BuiltinError` otherwise — the standard
+"insufficiently instantiated" behaviour of Prolog systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import BuiltinError
+from repro.fol.atoms import FBuiltin
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FTerm, FVar
+from repro.fol.unify import unify
+
+__all__ = ["eval_arith", "solve_builtin", "builtin_is_ready"]
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: _int_div(a, b),
+    "mod": lambda a, b: _int_mod(a, b),
+}
+
+_COMPARE = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise BuiltinError("integer division by zero")
+    return a // b
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise BuiltinError("mod by zero")
+    return a % b
+
+
+def eval_arith(term: FTerm) -> int:
+    """Evaluate a ground arithmetic expression to an integer."""
+    if isinstance(term, FConst):
+        if isinstance(term.value, int):
+            return term.value
+        raise BuiltinError(f"non-numeric constant {term.value!r} in arithmetic")
+    if isinstance(term, FVar):
+        raise BuiltinError(f"unbound variable {term.name} in arithmetic")
+    if isinstance(term, FApp):
+        op = _ARITH.get(term.functor)
+        if op is None or len(term.args) != 2:
+            raise BuiltinError(f"unknown arithmetic functor {term.functor}/{len(term.args)}")
+        return op(eval_arith(term.args[0]), eval_arith(term.args[1]))
+    raise BuiltinError(f"not an arithmetic term: {term!r}")
+
+
+def builtin_is_ready(builtin: FBuiltin, subst: Substitution) -> bool:
+    """True iff the builtin can be evaluated under ``subst`` without an
+    instantiation error (used by engines that may reorder goals)."""
+    lhs, rhs = (subst.apply(arg) for arg in builtin.args)
+    if builtin.op == "=":
+        return True
+    if builtin.op == "is":
+        return _ground_arith(rhs)
+    return _ground_arith(lhs) and _ground_arith(rhs)
+
+
+def _ground_arith(term: FTerm) -> bool:
+    if isinstance(term, FVar):
+        return False
+    if isinstance(term, FConst):
+        return isinstance(term.value, int)
+    return all(_ground_arith(arg) for arg in term.args)
+
+
+def solve_builtin(builtin: FBuiltin, subst: Substitution) -> Optional[Substitution]:
+    """Solve a builtin under a substitution.
+
+    Returns the (possibly extended) substitution on success, ``None`` on
+    failure, and raises :class:`BuiltinError` when the arguments are
+    insufficiently instantiated.
+    """
+    lhs, rhs = (subst.apply(arg) for arg in builtin.args)
+    if builtin.op == "=":
+        return unify(lhs, rhs, subst)
+    if builtin.op == "is":
+        value = FConst(eval_arith(rhs))
+        return unify(lhs, value, subst)
+    compare = _COMPARE.get(builtin.op)
+    if compare is None:
+        raise BuiltinError(f"unknown builtin {builtin.op!r}")  # pragma: no cover
+    if compare(eval_arith(lhs), eval_arith(rhs)):
+        return subst
+    return None

@@ -1,0 +1,104 @@
+"""Unification over C-logic identity terms.
+
+The direct engine (Section 4) reasons over complex terms without
+translating them away.  Its unification works on *identity trees*
+(variables, constants, function applications — labels stripped, since
+labels are assertions about the denoted object, not part of its
+identity).  Type annotations do not participate in unification either:
+they are membership constraints, checked against the object store and
+the type hierarchy by the engine (the "order-sorted" flavour of
+Section 4 is realized there).
+
+Bindings map variable names to identity terms.  The functions here are
+the C-level mirror of :mod:`repro.fol.unify` and are property-tested
+for agreement with it through the transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.terms import BaseTerm, Const, Func, Term, Var, identity_of
+
+__all__ = ["strip_identity", "resolve", "unify_identities", "apply_binding", "Binding"]
+
+#: A C-level binding: variable name -> identity term.
+Binding = Mapping[str, BaseTerm]
+
+
+def strip_identity(term: Term) -> BaseTerm:
+    """The pure identity tree: labels removed at every depth (types are
+    kept — they are harmless annotations here and useful in messages)."""
+    base = identity_of(term)
+    if isinstance(base, Func):
+        return Func(base.functor, tuple(strip_identity(arg) for arg in base.args), base.type)
+    return base
+
+
+def resolve(term: BaseTerm, binding: Binding) -> BaseTerm:
+    """Follow bindings from a variable to its representative."""
+    while isinstance(term, Var):
+        bound = binding.get(term.name)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def apply_binding(term: BaseTerm, binding: Binding) -> BaseTerm:
+    """Fully apply a binding to an identity term."""
+    term = resolve(term, binding)
+    if isinstance(term, Func):
+        return Func(term.functor, tuple(apply_binding(strip_identity(a), binding) for a in term.args), term.type)
+    return term
+
+
+def _occurs(name: str, term: BaseTerm, binding: Binding) -> bool:
+    term = resolve(term, binding)
+    if isinstance(term, Var):
+        return term.name == name
+    if isinstance(term, Func):
+        return any(_occurs(name, strip_identity(arg), binding) for arg in term.args)
+    return False
+
+
+def unify_identities(
+    left: Term, right: Term, binding: Optional[dict[str, BaseTerm]] = None
+) -> Optional[dict[str, BaseTerm]]:
+    """Unify two terms by their identities, extending ``binding``.
+
+    Returns the extended binding dict (a *new* dict — the input is not
+    mutated) or ``None`` on clash.  Labelled terms unify through their
+    bases: ``p[src => a]`` and ``p[dest => b]`` have the same identity.
+    """
+    current: dict[str, BaseTerm] = dict(binding or {})
+    stack: list[tuple[BaseTerm, BaseTerm]] = [(strip_identity(left), strip_identity(right))]
+    while stack:
+        l, r = stack.pop()
+        l = resolve(l, current)
+        r = resolve(r, current)
+        if isinstance(l, Var):
+            if isinstance(r, Var) and r.name == l.name:
+                continue
+            if _occurs(l.name, r, current):
+                return None
+            current[l.name] = r
+            continue
+        if isinstance(r, Var):
+            if _occurs(r.name, l, current):
+                return None
+            current[r.name] = l
+            continue
+        if isinstance(l, Const) and isinstance(r, Const):
+            if l.value != r.value or type(l.value) is not type(r.value):
+                return None
+            continue
+        if isinstance(l, Func) and isinstance(r, Func):
+            if l.functor != r.functor or len(l.args) != len(r.args):
+                return None
+            stack.extend(
+                (strip_identity(a), strip_identity(b)) for a, b in zip(l.args, r.args)
+            )
+            continue
+        return None
+    return current

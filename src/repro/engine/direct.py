@@ -1,0 +1,852 @@
+"""Direct evaluation over complex objects (Section 4).
+
+"An interesting alternative is to consider a direct implementation of
+complex object reasoning without translating complex object
+specification into first-order logic programs. ... The syntax of
+complex objects allows the user to cluster component objects together
+... Reasoning directly over complex objects may allow the system to
+take advantage of such clustering information."
+
+:class:`DirectEngine` implements that alternative:
+
+* **Saturation** — a bottom-up fixpoint at the C-logic level: clause
+  bodies are solved against the :class:`~repro.db.ObjectStore` *one
+  clustered atom at a time*; within an atom, candidate objects come
+  from the type index and each label constraint enumerates only the
+  candidate's own stored values.  No active-domain enumeration ever
+  happens for label-value variables — the clustering advantage the
+  paper describes, measured against translated SLD in experiment E6.
+
+* **Residual solving** (:meth:`solve`) — a query description is solved
+  label-by-label, so constraints on one multi-valued label may be
+  satisfied by *different* stored facts: the paper's
+  ``:- path: p[src => a, dest => d]`` succeeds.  "We need to solve part
+  of the query at one time, take the residual and then proceed."
+
+* **Whole-term unification** (:meth:`solve_whole_term`) — the naive
+  strategy that unifies the entire query term against each stored fact
+  as a unit.  Complete when all labels are functional and each object
+  is described by one fact, but *incomplete* for multi-valued labels
+  spread over several facts — the failure E7 reproduces.
+
+* **Subsumption solving** (:meth:`solve_subsumption`) — queries checked
+  against merged per-object descriptions via the partial ordering over
+  descriptions (extensional databases only; Section 4 notes that in
+  intensional databases rules dealing with partial information about
+  the same object "cannot simply [be] merge[d] together").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.clauses import (
+    BodyAtom,
+    BuiltinAtom,
+    DefiniteClause,
+    NegatedAtom,
+    Program,
+    Query,
+    atom_variables,
+    substitute_atom,
+)
+from repro.core.decompose import spec_pairs
+from repro.core.errors import BuiltinError, EngineError, SafetyError
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import (
+    BaseTerm,
+    Const,
+    Func,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+    is_ground,
+    variables_of,
+)
+from repro.db.store import ObjectStore, ground_id
+from repro.engine.cunify import Binding, apply_binding, strip_identity, unify_identities
+
+__all__ = ["DirectEngine", "DirectStats", "Answer"]
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b if b else _div0(),
+    "mod": lambda a, b: a % b if b else _div0(),
+}
+
+_COMPARE = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+
+def _div0():
+    raise BuiltinError("integer division by zero")
+
+
+@dataclass
+class DirectStats:
+    """Work counters: candidate objects touched, label probes, rounds."""
+
+    rounds: int = 0
+    candidates: int = 0
+    label_probes: int = 0
+    facts_new: int = 0
+
+
+#: An answer: variable name -> ground identity term.
+Answer = dict[str, BaseTerm]
+
+
+@dataclass(frozen=True)
+class DeltaIndex:
+    """New facts since a round, grouped for delta candidate lookup."""
+
+    ids_by_type: dict[str, set[BaseTerm]]
+    hosts_by_label: dict[str, set[BaseTerm]]
+    rows_by_pred: dict[tuple[str, int], set[tuple[BaseTerm, ...]]]
+
+
+class DirectEngine:
+    """Bottom-up saturation plus direct query answering for a program."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_rounds: int = 10_000,
+        saturation_mode: str = "delta",
+    ) -> None:
+        if saturation_mode not in ("naive", "delta"):
+            raise EngineError(f"unknown saturation mode {saturation_mode!r}")
+        self.program = program
+        self.hierarchy = program.hierarchy()
+        self.store = ObjectStore(self.hierarchy)
+        self.stats = DirectStats()
+        self._max_rounds = max_rounds
+        self._saturation_mode = saturation_mode
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Saturation (minimal model at the C-logic level)
+    # ------------------------------------------------------------------
+
+    def saturate(self) -> ObjectStore:
+        """Compute the minimal model into the store (idempotent).
+
+        Programs with negated body atoms are evaluated stratum by
+        stratum (the perfect model); a cycle through negation raises
+        :class:`EngineError`.
+        """
+        if self._saturated:
+            return self.store
+        for clause in self.program.clauses:
+            self._check_safety(clause)
+        for stratum in self._stratify():
+            self._saturate_stratum(stratum)
+        self._saturated = True
+        return self.store
+
+    def _saturate_stratum(self, clauses: list[DefiniteClause]) -> None:
+        rules: list[DefiniteClause] = []
+        for clause in clauses:
+            if clause.is_fact:
+                self.store.assert_atom(clause.head)
+            else:
+                rules.append(clause)
+        if self._saturation_mode == "naive":
+            self._saturate_naive(rules)
+        else:
+            self._saturate_delta(rules)
+
+    def incremental_assert(self, atom: BodyAtom) -> None:
+        """Insert a ground fact into an already saturated model and
+        restore the fixpoint incrementally (delta rounds seeded with the
+        insertion — insert-only view maintenance).
+
+        Monotone programs only: with negation, an insertion can
+        *invalidate* previously derived facts, which insert-only
+        maintenance cannot express; re-create the engine instead.
+        """
+        if any(
+            isinstance(body_atom, NegatedAtom)
+            for clause in self.program.clauses
+            for body_atom in clause.body
+        ):
+            from repro.core.errors import UnsupportedFeatureError
+
+            raise UnsupportedFeatureError(
+                "incremental assertion under negation is non-monotone; "
+                "rebuild the engine to re-saturate from scratch"
+            )
+        self.saturate()
+        insertion_round = self.store.next_round()
+        self.store.assert_atom(atom)
+        rules = [clause for clause in self.program.clauses if not clause.is_fact]
+        self._saturate_delta(rules, start_round=insertion_round)
+
+    def _saturate_naive(self, rules: list[DefiniteClause]) -> None:
+        for _ in range(self._max_rounds):
+            self.stats.rounds += 1
+            self.store.next_round()
+            if not self._naive_round(rules):
+                return
+        raise EngineError(
+            f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
+        )
+
+    def _naive_round(self, rules: list[DefiniteClause]) -> bool:
+        changed = False
+        for clause in rules:
+            for binding in self._solve_body(clause.body, {}):
+                if self._derive(clause, binding):
+                    changed = True
+        return changed
+
+    def _derive(self, clause: DefiniteClause, binding: dict[str, BaseTerm]) -> bool:
+        head = substitute_atom(clause.head, _ground_binding(binding))
+        if not _atom_ground(head):
+            raise SafetyError(f"derived a non-ground head from clause {clause!r}")
+        if self.store.assert_atom(head):
+            self.stats.facts_new += 1
+            return True
+        return False
+
+    # -- Semi-naive (delta) saturation ---------------------------------
+
+    def _saturate_delta(
+        self, rules: list[DefiniteClause], start_round: int = 0
+    ) -> None:
+        """Delta iteration with naive verification rounds.
+
+        Each delta round requires one body atom to match a fact derived
+        since the previous round, using the store's round stamps.  The
+        delta candidate sets are index-driven approximations (they can
+        miss instantiations enabled only through *nested* parts of a
+        description), so when a delta round goes quiet, one full naive
+        round verifies the fixpoint — the combination is always sound
+        and complete, and the naive rounds are rare.
+        """
+        delta_round = start_round
+        for _ in range(self._max_rounds):
+            self.stats.rounds += 1
+            current = self.store.next_round()
+            delta = self._delta_index(delta_round)
+            changed = False
+            for clause in rules:
+                positions = [
+                    index
+                    for index, atom in enumerate(clause.body)
+                    if isinstance(atom, (TermAtom, PredAtom))
+                ]
+                if not positions:
+                    # Builtin/negation-only body: cheap to re-run naively.
+                    for binding in self._solve_body(clause.body, {}):
+                        changed |= self._derive(clause, binding)
+                    continue
+                for position in positions:
+                    for binding in self._solve_body_delta(clause.body, position, delta):
+                        changed |= self._derive(clause, binding)
+            delta_round = current
+            if not changed:
+                self.stats.rounds += 1
+                self.store.next_round()
+                if not self._naive_round(rules):
+                    return
+                delta_round = self.store.round
+        raise EngineError(
+            f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
+        )
+
+    def _delta_index(self, since_round: int) -> "DeltaIndex":
+        ids_by_type: dict[str, set[BaseTerm]] = {}
+        hosts_by_label: dict[str, set[BaseTerm]] = {}
+        rows_by_pred: dict[tuple[str, int], set[tuple[BaseTerm, ...]]] = {}
+        for key in self.store.keys_since(since_round):
+            kind = key[0]
+            if kind == "t":
+                ids_by_type.setdefault(key[1], set()).add(key[2])
+            elif kind == "l":
+                hosts_by_label.setdefault(key[1], set()).add(key[2])
+            else:
+                row = key[2]
+                rows_by_pred.setdefault((key[1], len(row)), set()).add(row)
+        return DeltaIndex(ids_by_type, hosts_by_label, rows_by_pred)
+
+    def _solve_body_delta(
+        self, body: Sequence[BodyAtom], delta_position: int, delta: "DeltaIndex"
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Solve the body with the atom at ``delta_position`` restricted
+        to new facts; the delta atom runs first (most selective), then
+        the other positive atoms and builtins, negated atoms last."""
+        rest: list[BodyAtom] = [
+            atom
+            for index, atom in enumerate(body)
+            if index != delta_position and not isinstance(atom, NegatedAtom)
+        ]
+        rest.extend(atom for atom in body if isinstance(atom, NegatedAtom))
+        for binding in self._solve_atom_delta(body[delta_position], {}, delta):
+            yield from self._solve_ordered(rest, 0, binding)
+
+    def _solve_atom_delta(
+        self, atom: BodyAtom, binding: dict[str, BaseTerm], delta: "DeltaIndex"
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if isinstance(atom, PredAtom):
+            rows = delta.rows_by_pred.get((atom.pred, len(atom.args)), ())
+            yield from self._solve_pred_rows(atom, binding, rows)
+            return
+        assert isinstance(atom, TermAtom)
+        term = atom.term
+        base = term.base if isinstance(term, LTerm) else term
+        candidates: set[BaseTerm] = set()
+        if base.type == OBJECT:
+            for ids in delta.ids_by_type.values():
+                candidates |= ids
+        else:
+            for sub in self.hierarchy.subtypes(base.type):
+                candidates |= delta.ids_by_type.get(sub, set())
+        if isinstance(term, LTerm):
+            for spec in term.specs:
+                candidates |= delta.hosts_by_label.get(spec.label, set())
+        yield from self._solve_term(term, binding, candidates_override=candidates)
+
+    def _check_safety(self, clause: DefiniteClause) -> None:
+        head_only = clause.head_only_variables()
+        if head_only:
+            raise SafetyError(
+                f"clause has existential head variables {sorted(head_only)}; "
+                "skolemize them first (SkolemPolicy / KnowledgeBase.declare_identity)"
+            )
+        positive_vars: set[str] = set()
+        for atom in clause.body:
+            if not isinstance(atom, (NegatedAtom, BuiltinAtom)):
+                positive_vars |= atom_variables(atom)
+        for index, atom in enumerate(clause.body):
+            if isinstance(atom, NegatedAtom):
+                # Variables local to the negated atom are existential
+                # inside the negation; only variables shared with the
+                # rest of the clause must be positively bound.
+                outer = atom_variables(clause.head)
+                for other_index, other in enumerate(clause.body):
+                    if other_index != index:
+                        outer |= atom_variables(other)
+                unsafe = (atom_variables(atom) & outer) - positive_vars
+                if unsafe:
+                    raise SafetyError(
+                        f"shared variables {sorted(unsafe)} of a negated atom "
+                        "do not occur in a positive body atom"
+                    )
+                if not self._atom_symbols(atom, for_query=True):
+                    from repro.core.errors import UnsupportedFeatureError
+
+                    raise UnsupportedFeatureError(
+                        "negating bare active-domain membership "
+                        "(\\+ object: t) is not supported: the domain grows "
+                        "monotonically across strata"
+                    )
+
+    # ------------------------------------------------------------------
+    # Stratification (for the negation extension)
+    # ------------------------------------------------------------------
+
+    def _atom_symbols(self, atom: BodyAtom, for_query: bool) -> set[tuple]:
+        """The evaluation symbols an atom touches.
+
+        Types read through the hierarchy: querying ``tau`` consults the
+        extents of every subtype, so its dependency set is the whole
+        downset.  Asserting (``for_query=False``) touches exactly the
+        asserted symbols.
+        """
+        from repro.core.clauses import _atom_labels, _atom_types
+
+        symbols: set[tuple] = set()
+        for type_name in _atom_types(atom):
+            # `object` is the active domain: every derivation contributes
+            # to it and it grows monotonically across strata, so it is
+            # pinned at stratum 0 (and negating it is rejected).  Its
+            # downset is every symbol, which must NOT become a dependency.
+            if type_name == OBJECT:
+                continue
+            if for_query:
+                for sub in self.hierarchy.subtypes(type_name):
+                    if sub != OBJECT:
+                        symbols.add(("t", sub))
+            symbols.add(("t", type_name))
+        for label in _atom_labels(atom):
+            symbols.add(("l", label))
+        inner = atom.atom if isinstance(atom, NegatedAtom) else atom
+        if isinstance(inner, PredAtom):
+            symbols.add(("p", inner.pred, inner.arity))
+        return symbols
+
+    def _stratify(self) -> list[list[DefiniteClause]]:
+        """Partition the clauses into strata by their head symbols.
+
+        Positive body symbols must sit at or below the head's stratum;
+        negated ones strictly below.  Purely positive programs come out
+        as a single stratum.
+        """
+        clauses = list(self.program.clauses)
+        if not any(
+            isinstance(atom, NegatedAtom)
+            for clause in clauses
+            for atom in clause.body
+        ):
+            return [clauses]
+        stratum: dict[tuple, int] = {}
+
+        def level(symbol: tuple) -> int:
+            return stratum.setdefault(symbol, 0)
+
+        deps: list[tuple[set[tuple], set[tuple], set[tuple]]] = []
+        for clause in clauses:
+            defined = self._atom_symbols(clause.head, for_query=False)
+            positive: set[tuple] = set()
+            negative: set[tuple] = set()
+            for atom in clause.body:
+                if isinstance(atom, NegatedAtom):
+                    negative |= self._atom_symbols(atom, for_query=True)
+                elif not isinstance(atom, BuiltinAtom):
+                    positive |= self._atom_symbols(atom, for_query=True)
+            deps.append((defined, positive, negative))
+            for symbol in defined | positive | negative:
+                level(symbol)
+        for _ in range(len(stratum) + 1):
+            changed = False
+            for defined, positive, negative in deps:
+                required = 0
+                for symbol in positive:
+                    required = max(required, stratum[symbol])
+                for symbol in negative:
+                    required = max(required, stratum[symbol] + 1)
+                for symbol in defined:
+                    if stratum[symbol] < required:
+                        stratum[symbol] = required
+                        changed = True
+            if not changed:
+                break
+        else:
+            raise EngineError(
+                "the program is not stratifiable (recursion through negation)"
+            )
+        height = max(stratum.values(), default=0) + 1
+        strata: list[list[DefiniteClause]] = [[] for _ in range(height)]
+        for clause, (defined, __, ___) in zip(clauses, deps):
+            clause_level = max((stratum[s] for s in defined), default=0)
+            strata[clause_level].append(clause)
+        return strata
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def solve(self, query: Query) -> list[Answer]:
+        """All answers by decomposed (residual) evaluation — complete."""
+        self.saturate()
+        variables = query.variables()
+        out: list[Answer] = []
+        seen: set[tuple] = set()
+        for binding in self._solve_body(query.body, {}):
+            answer = {
+                name: apply_binding(Var(name), binding)
+                for name in variables
+                if name in binding
+            }
+            key = tuple(sorted((k, repr(v)) for k, v in answer.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(answer)
+        return out
+
+    def holds(self, query: Query) -> bool:
+        """True iff the query has at least one answer."""
+        self.saturate()
+        for _ in self._solve_body(query.body, {}):
+            return True
+        return False
+
+    def solve_whole_term(self, query: Query) -> list[Answer]:
+        """Naive whole-term unification against the clustered facts.
+
+        Each term atom of the query must be satisfied *within a single
+        stored fact*.  Incomplete for multi-valued labels spread across
+        facts (E7); provided to reproduce that contrast.
+        """
+        self.saturate()
+        variables = query.variables()
+        out: list[Answer] = []
+        seen: set[tuple] = set()
+        for binding in self._solve_body_whole(tuple(query.body), 0, {}):
+            answer = {
+                name: apply_binding(Var(name), binding)
+                for name in variables
+                if name in binding
+            }
+            key = tuple(sorted((k, repr(v)) for k, v in answer.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(answer)
+        return out
+
+    def solve_subsumption(self, query: Query) -> list[Answer]:
+        """Answers via the description partial ordering on merged facts.
+
+        Supported for queries whose atoms are term descriptions (no
+        predicates or builtins) over an extensional database.
+        """
+        # Imported here: repro.db.subsume uses the C-level unifier from
+        # this package, so a module-level import would be circular.
+        from repro.db.subsume import answers_by_subsumption
+
+        self.saturate()
+        bindings: list[dict[str, BaseTerm]] = [{}]
+        for atom in query.body:
+            if not isinstance(atom, TermAtom):
+                raise EngineError("subsumption solving handles term descriptions only")
+            next_bindings: list[dict[str, BaseTerm]] = []
+            for binding in bindings:
+                from repro.core.terms import substitute_term
+
+                bound_term = substitute_term(atom.term, _ground_binding(binding))
+                for extension in answers_by_subsumption(bound_term, self.store):
+                    merged = dict(binding)
+                    merged.update(extension)
+                    next_bindings.append(merged)
+            bindings = next_bindings
+        variables = query.variables()
+        out: list[Answer] = []
+        seen: set[tuple] = set()
+        for binding in bindings:
+            answer = {
+                name: apply_binding(Var(name), binding)
+                for name in variables
+                if name in binding
+            }
+            key = tuple(sorted((k, repr(v)) for k, v in answer.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(answer)
+        return out
+
+    # ------------------------------------------------------------------
+    # Body solving (clustered, decomposed per label — the residual rule)
+    # ------------------------------------------------------------------
+
+    def _solve_body(
+        self, body: Sequence[BodyAtom], binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        # Negated atoms only test, never bind: solve them after the
+        # positive goals so their shared variables are ground.
+        ordered = [atom for atom in body if not isinstance(atom, NegatedAtom)]
+        ordered.extend(atom for atom in body if isinstance(atom, NegatedAtom))
+        yield from self._solve_ordered(ordered, 0, binding)
+
+    def _solve_ordered(
+        self, body: Sequence[BodyAtom], index: int, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if index == len(body):
+            yield binding
+            return
+        for extended in self._solve_atom(body[index], binding):
+            yield from self._solve_ordered(body, index + 1, extended)
+
+    def _solve_atom(
+        self, atom: BodyAtom, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if isinstance(atom, BuiltinAtom):
+            solved = self._solve_builtin(atom, binding)
+            if solved is not None:
+                yield solved
+            return
+        if isinstance(atom, NegatedAtom):
+            # Unbound variables here are existential inside the negation
+            # (shared variables were bound by the positive goals, which
+            # _solve_body orders first): fail iff the inner description
+            # has any solution.
+            for __ in self._solve_atom(atom.atom, binding):
+                return  # the positive version holds: negation fails
+            yield binding
+            return
+        if isinstance(atom, PredAtom):
+            yield from self._solve_pred(atom, binding)
+            return
+        assert isinstance(atom, TermAtom)
+        yield from self._solve_term(atom.term, binding)
+
+    def _solve_pred(
+        self, atom: PredAtom, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        rows = self.store.pred_rows(atom.pred, len(atom.args))
+        yield from self._solve_pred_rows(atom, binding, rows)
+
+    def _solve_pred_rows(
+        self,
+        atom: PredAtom,
+        binding: dict[str, BaseTerm],
+        rows,
+    ) -> Iterator[dict[str, BaseTerm]]:
+        for row in rows:
+            current: Optional[dict[str, BaseTerm]] = dict(binding)
+            for arg, element in zip(atom.args, row):
+                current = unify_identities(arg, element, current)
+                if current is None:
+                    break
+            if current is None:
+                continue
+            # The tuple matched; now each argument's own assertions
+            # (type membership, labels) must hold of the bound objects.
+            yield from self._check_args(list(atom.args), 0, current)
+
+    def _check_args(
+        self, args: list[Term], index: int, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if index == len(args):
+            yield binding
+            return
+        for extended in self._solve_term(args[index], binding):
+            yield from self._check_args(args, index + 1, extended)
+
+    def _solve_term(
+        self,
+        term: Term,
+        binding: dict[str, BaseTerm],
+        candidates_override: Optional[set[BaseTerm]] = None,
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Enumerate bindings making the description ``term`` hold.
+
+        Candidates for the object come from the type index (or directly
+        from the binding when the identity is already ground); label
+        constraints probe only the candidate's stored values — this is
+        the clustered evaluation strategy.  ``candidates_override``
+        restricts the search (the semi-naive delta).
+        """
+        base = term.base if isinstance(term, LTerm) else term
+        resolved = apply_binding(strip_identity(base), binding)
+        if not variables_of(resolved):
+            identity = ground_id(resolved)
+            if candidates_override is not None and identity not in candidates_override:
+                return
+            if not self.store.has_type(identity, base.type):
+                return
+            candidates: Iterator[BaseTerm] | list[BaseTerm] = [identity]
+        elif candidates_override is not None:
+            candidates = list(candidates_override)
+        else:
+            candidates = self.store.ids_of_type(base.type)
+            candidates = self._narrow_candidates(term, binding, candidates)
+        specs = list(spec_pairs(term)) if isinstance(term, LTerm) else []
+        for identity in candidates:
+            self.stats.candidates += 1
+            if candidates_override is not None and not self.store.has_type(
+                identity, base.type
+            ):
+                continue
+            extended = unify_identities(resolved, identity, binding)
+            if extended is None:
+                continue
+            for with_args in self._check_func_args(base, extended):
+                yield from self._solve_specs(specs, 0, identity, with_args)
+
+    def _narrow_candidates(
+        self,
+        term: Term,
+        binding: dict[str, BaseTerm],
+        candidates: set[BaseTerm],
+    ) -> list[BaseTerm]:
+        """Use the inverted label index when some label value is ground:
+        the hosts of that (label, value) pair are usually far fewer than
+        the type extent."""
+        if not isinstance(term, LTerm):
+            return list(candidates)
+        best: Optional[frozenset[BaseTerm]] = None
+        for label, value in spec_pairs(term):
+            resolved = apply_binding(strip_identity(value), binding)
+            if variables_of(resolved):
+                continue
+            hosts = self.store.label_hosts(label, ground_id(resolved))
+            if best is None or len(hosts) < len(best):
+                best = hosts
+        if best is None:
+            return list(candidates)
+        return [identity for identity in best if identity in candidates]
+
+    def _check_func_args(
+        self, base: BaseTerm, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """For a function-term identity ``tau: f(t1, ..., tn)``, every
+        argument term's own assertions must hold (the ``ti*`` conjuncts
+        of the transformation)."""
+        if not isinstance(base, Func):
+            yield binding
+            return
+        yield from self._check_args(list(base.args), 0, binding)
+
+    def _solve_specs(
+        self,
+        specs: list[tuple[str, Term]],
+        index: int,
+        identity: BaseTerm,
+        binding: dict[str, BaseTerm],
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Solve one label constraint at a time against the store — the
+        residual technique: each constraint may be supported by a
+        different underlying fact."""
+        if index == len(specs):
+            yield binding
+            return
+        label, value = specs[index]
+        value_base = value.base if isinstance(value, LTerm) else value
+        resolved = apply_binding(strip_identity(value_base), binding)
+        if not variables_of(resolved):
+            self.stats.label_probes += 1
+            if not self.store.holds_label(label, identity, ground_id(resolved)):
+                return
+            for extended in self._solve_term(value, binding):
+                yield from self._solve_specs(specs, index + 1, identity, extended)
+            return
+        for stored_value in self.store.label_values(label, identity):
+            self.stats.label_probes += 1
+            extended = unify_identities(resolved, stored_value, binding)
+            if extended is None:
+                continue
+            for checked in self._solve_value_assertions(value, extended):
+                yield from self._solve_specs(specs, index + 1, identity, checked)
+
+    def _solve_value_assertions(
+        self, value: Term, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Check a label value's own description (type + nested labels).
+
+        Fast path: a plain ``object``-typed variable or constant needs
+        nothing — every stored label value is in the active domain.
+        """
+        if isinstance(value, (Var, Const)) and value.type == OBJECT:
+            yield binding
+            return
+        yield from self._solve_term(value, binding)
+
+    # ------------------------------------------------------------------
+    # Builtins (C-level arithmetic)
+    # ------------------------------------------------------------------
+
+    def _solve_builtin(
+        self, atom: BuiltinAtom, binding: dict[str, BaseTerm]
+    ) -> Optional[dict[str, BaseTerm]]:
+        lhs = apply_binding(strip_identity(atom.args[0]), binding)
+        rhs_term = atom.args[1]
+        if atom.op == "=":
+            return unify_identities(lhs, strip_identity(rhs_term), binding)
+        if atom.op == "is":
+            value = Const(self._eval_arith(rhs_term, binding))
+            return unify_identities(lhs, value, binding)
+        compare = _COMPARE[atom.op]
+        if compare(self._eval_arith(atom.args[0], binding), self._eval_arith(rhs_term, binding)):
+            return binding
+        return None
+
+    def _eval_arith(self, term: Term, binding: dict[str, BaseTerm]) -> int:
+        resolved = apply_binding(strip_identity(term), binding)
+        return _eval_ground_arith(resolved)
+
+    # ------------------------------------------------------------------
+    # Whole-term (naive) matching
+    # ------------------------------------------------------------------
+
+    def _solve_body_whole(
+        self, body: tuple[BodyAtom, ...], index: int, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if index == len(body):
+            yield binding
+            return
+        atom = body[index]
+        if isinstance(atom, BuiltinAtom):
+            solved = self._solve_builtin(atom, binding)
+            if solved is not None:
+                yield from self._solve_body_whole(body, index + 1, solved)
+            return
+        if isinstance(atom, PredAtom):
+            for extended in self._solve_pred(atom, binding):
+                yield from self._solve_body_whole(body, index + 1, extended)
+            return
+        assert isinstance(atom, TermAtom)
+        for extended in self._match_whole(atom.term, binding):
+            yield from self._solve_body_whole(body, index + 1, extended)
+
+    def _match_whole(
+        self, query: Term, binding: dict[str, BaseTerm]
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Unify the whole query description against each single stored
+        fact — every label constraint must be satisfied by that fact."""
+        query_base = query.base if isinstance(query, LTerm) else query
+        query_specs = list(spec_pairs(query)) if isinstance(query, LTerm) else []
+        for fact in self.store.clustered_facts():
+            self.stats.candidates += 1
+            fact_base = fact.base if isinstance(fact, LTerm) else fact
+            if not self.hierarchy.is_subtype(fact_base.type, query_base.type):
+                continue
+            # Bind against the canonical (type-erased) identities so
+            # answers are comparable with residual solving's.
+            current = unify_identities(query_base, ground_id(fact_base), binding)
+            if current is None:
+                continue
+            fact_values: dict[str, list[Term]] = {}
+            if isinstance(fact, LTerm):
+                for label, value in spec_pairs(fact):
+                    fact_values.setdefault(label, []).append(ground_id(value))
+            yield from self._match_whole_specs(query_specs, 0, fact_values, current)
+
+    def _match_whole_specs(
+        self,
+        specs: list[tuple[str, Term]],
+        index: int,
+        fact_values: dict[str, list[Term]],
+        binding: dict[str, BaseTerm],
+    ) -> Iterator[dict[str, BaseTerm]]:
+        if index == len(specs):
+            yield binding
+            return
+        label, value = specs[index]
+        for fact_value in fact_values.get(label, ()):
+            extended = unify_identities(value, fact_value, binding)
+            if extended is not None:
+                yield from self._match_whole_specs(specs, index + 1, fact_values, extended)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def _eval_ground_arith(term: Term) -> int:
+    if isinstance(term, Const):
+        if isinstance(term.value, int):
+            return term.value
+        raise BuiltinError(f"non-numeric constant {term.value!r} in arithmetic")
+    if isinstance(term, Var):
+        raise BuiltinError(f"unbound variable {term.name} in arithmetic")
+    if isinstance(term, Func):
+        op = _ARITH.get(term.functor)
+        if op is None or len(term.args) != 2:
+            raise BuiltinError(f"unknown arithmetic functor {term.functor}/{len(term.args)}")
+        return op(
+            _eval_ground_arith(strip_identity(term.args[0])),
+            _eval_ground_arith(strip_identity(term.args[1])),
+        )
+    raise BuiltinError(f"not an arithmetic term: {term!r}")
+
+
+def _ground_binding(binding: Binding) -> dict[str, Term]:
+    """Fully apply a triangular binding for use with substitute_atom."""
+    return {name: apply_binding(Var(name), binding) for name in binding}
+
+
+def _atom_ground(atom: BodyAtom) -> bool:
+    if isinstance(atom, TermAtom):
+        return is_ground(atom.term)
+    return all(is_ground(arg) for arg in atom.args)

@@ -1,0 +1,297 @@
+"""Derivation trees: *why* does a fact hold?
+
+A classic deductive-database facility built on the direct engine: after
+saturation, :class:`Explainer` reconstructs, for any ground atomic fact
+of the minimal model, a derivation tree — which clause produced it,
+under which binding, supported by which sub-derivations.  Complex
+descriptions are explained through their atomic pieces (the Section 3.2
+decomposition), so the explanation of ``path: p[src => a, dest => d]``
+on the E7 database visibly cites *two different facts*, making the
+residual technique inspectable.
+
+Trees render as indented text via :func:`format_derivation`::
+
+    path: id(a, c)[length => 2]
+      by rule 4: path: id(X, Y)[...] :- node: X[linkto => Z], ...
+        node: a[linkto => b]
+          extensional fact 0
+        path: id(b, c)[length => 1]
+          by rule 3: ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.clauses import (
+    BodyAtom,
+    BuiltinAtom,
+    DefiniteClause,
+    NegatedAtom,
+    Query,
+)
+from repro.core.decompose import atomic_descriptions
+from repro.core.errors import EngineError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.pretty import pretty_atom, pretty_clause
+from repro.core.terms import BaseTerm
+from repro.engine.direct import Answer, DirectEngine, _ground_binding
+
+__all__ = ["Derivation", "Explainer", "format_derivation"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One node of a derivation tree.
+
+    ``kind`` is ``"fact"`` (an extensional clause asserted it),
+    ``"rule"`` (derived by the clause at ``clause_index`` under some
+    binding, supported by ``children``), ``"builtin"`` (an evaluated
+    builtin), or ``"absent"`` (a negated atom explained by failure).
+    """
+
+    atom: BodyAtom
+    kind: str
+    clause_index: Optional[int] = None
+    children: tuple["Derivation", ...] = ()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+def format_derivation(derivation: Derivation, program=None, indent: int = 0) -> str:
+    """Indented text rendering; with ``program`` supplied, rule nodes
+    quote the clause."""
+    pad = "  " * indent
+    lines = [pad + pretty_atom(derivation.atom)]
+    if derivation.kind == "fact":
+        lines.append(pad + f"  extensional fact {derivation.clause_index}")
+    elif derivation.kind == "builtin":
+        lines.append(pad + "  builtin")
+    elif derivation.kind == "absent":
+        lines.append(pad + "  holds by absence (negation as failure)")
+    elif derivation.kind == "subtype":
+        lines.append(pad + "  by subtype subsumption")
+    elif derivation.kind == "rule":
+        if derivation.clause_index is None:
+            label = "  by decomposition (one sub-derivation per atomic piece)"
+        else:
+            label = f"  by rule {derivation.clause_index}"
+            if program is not None:
+                label += f": {pretty_clause(program.clauses[derivation.clause_index])}"
+        lines.append(pad + label)
+    for child in derivation.children:
+        lines.append(format_derivation(child, program, indent + 2))
+    return "\n".join(lines)
+
+
+class Explainer:
+    """Reconstructs derivations against a saturated direct engine."""
+
+    def __init__(self, engine: DirectEngine, max_depth: int = 200) -> None:
+        self.engine = engine
+        self.engine.saturate()
+        self.program = engine.program
+        self._max_depth = max_depth
+
+    # ------------------------------------------------------------------
+
+    def explain_query(self, query: Query) -> list[tuple[Answer, list[Derivation]]]:
+        """Each answer paired with one derivation per query atom."""
+        out: list[tuple[Answer, list[Derivation]]] = []
+        for answer in self.engine.solve(query):
+            grounded_atoms = [
+                _substitute(atom, answer) for atom in query.body
+            ]
+            derivations = [self.explain_atom(atom) for atom in grounded_atoms]
+            out.append((answer, [d for d in derivations if d is not None]))
+        return out
+
+    def explain_atom(self, atom: BodyAtom) -> Optional[Derivation]:
+        """A derivation for one ground atom, or None if it fails."""
+        return self._explain(atom, ancestors=frozenset(), depth=0)
+
+    # ------------------------------------------------------------------
+
+    def _explain(
+        self, atom: BodyAtom, ancestors: frozenset, depth: int
+    ) -> Optional[Derivation]:
+        if depth > self._max_depth:
+            raise EngineError("derivation reconstruction exceeded the depth bound")
+        if isinstance(atom, BuiltinAtom):
+            solved = self.engine._solve_builtin(atom, {})
+            return Derivation(atom, "builtin") if solved is not None else None
+        if isinstance(atom, NegatedAtom):
+            if not self.engine.holds(Query((atom.atom,))):
+                return Derivation(atom, "absent")
+            return None
+        assert isinstance(atom, (TermAtom, PredAtom))
+        if not self.engine.holds(Query((atom,))):
+            return None
+        pieces = atomic_descriptions(atom)
+        if len(pieces) == 1:
+            return self._explain_atomic(pieces[0], ancestors, depth)
+        children = []
+        for piece in pieces:
+            child = self._explain_atomic(piece, ancestors, depth + 1)
+            if child is None:
+                return None
+            children.append(child)
+        return Derivation(atom, "rule", None, tuple(children))
+
+    def _explain_atomic(
+        self, atom: Atom, ancestors: frozenset, depth: int
+    ) -> Optional[Derivation]:
+        """Find a producing clause for one atomic fact."""
+        key = _atom_key(atom)
+        if key in ancestors:
+            return None  # do not justify a fact by itself
+        next_ancestors = ancestors | {key}
+        for index, clause in enumerate(self.program.clauses):
+            for binding in self._head_matches(clause, atom):
+                if clause.is_fact:
+                    return Derivation(atom, "fact", index)
+                derived = self._explain_rule_instance(
+                    atom, index, clause, binding, next_ancestors, depth
+                )
+                if derived is not None:
+                    return derived
+        # A type membership may hold through the hierarchy: explain the
+        # asserted subtype instead and record the subsumption step.
+        if key[0] == "t":
+            derived = self._explain_through_hierarchy(
+                atom, key, next_ancestors, depth
+            )
+            if derived is not None:
+                return derived
+        return None
+
+    def _explain_rule_instance(
+        self,
+        atom: Atom,
+        index: int,
+        clause: DefiniteClause,
+        binding: dict[str, BaseTerm],
+        ancestors: frozenset,
+        depth: int,
+    ) -> Optional[Derivation]:
+        for full_binding in self.engine._solve_body(clause.body, binding):
+            children = []
+            failed = False
+            for body_atom in clause.body:
+                grounded = _substitute(body_atom, _ground_binding(full_binding))
+                child = self._explain(grounded, ancestors, depth + 1)
+                if child is None:
+                    failed = True
+                    break
+                children.append(child)
+            if not failed:
+                return Derivation(atom, "rule", index, tuple(children))
+        return None
+
+    def _explain_through_hierarchy(
+        self, atom: Atom, key: tuple, ancestors: frozenset, depth: int
+    ) -> Optional[Derivation]:
+        from repro.core.terms import Const, Func
+
+        type_name, identity = key[1], key[2]
+        candidates = sorted(
+            t for t in self.engine.store.asserted_types(identity) if t != type_name
+        )
+        for asserted in candidates:
+            if not self.engine.hierarchy.is_subtype(asserted, type_name):
+                continue
+            if isinstance(identity, Const):
+                retyped = Const(identity.value, asserted)
+            else:
+                assert isinstance(identity, Func)
+                retyped = Func(identity.functor, identity.args, asserted)
+            child = self._explain_atomic(TermAtom(retyped), ancestors, depth + 1)
+            if child is not None:
+                return Derivation(atom, "subtype", None, (child,))
+        return None
+
+    def _head_matches(
+        self, clause: DefiniteClause, atom: Atom
+    ) -> Iterator[dict[str, BaseTerm]]:
+        """Bindings under which some atomic piece of the clause head is
+        the target fact (head instances assert all their pieces)."""
+        for piece in atomic_descriptions(clause.head):
+            binding = _match_atomic(piece, atom)
+            if binding is not None:
+                yield binding
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def _substitute(atom: BodyAtom, binding) -> BodyAtom:
+    from repro.core.clauses import substitute_atom
+
+    return substitute_atom(atom, dict(binding))
+
+
+def _atom_key(atom: Atom) -> tuple:
+    from repro.db.store import ground_id
+    from repro.core.terms import LTerm
+
+    if isinstance(atom, PredAtom):
+        return ("p", atom.pred, tuple(ground_id(arg) for arg in atom.args))
+    term = atom.term
+    if isinstance(term, LTerm):
+        spec = term.specs[0]
+        values = spec.value_terms()
+        return ("l", spec.label, ground_id(term.base), ground_id(values[0]))
+    return ("t", term.type, ground_id(term))
+
+
+def _match_atomic(pattern: Atom, target: Atom):
+    """One-way structural match of an atomic head piece against a ground
+    atomic fact, returning a binding for the clause variables.
+
+    Bound values are canonical ground identities (types erased via
+    :func:`ground_id`) so the binding never leaks the target atom's
+    annotations back into body evaluation.
+    """
+    from repro.core.terms import LTerm
+    from repro.db.store import ground_id
+    from repro.engine.cunify import unify_identities
+
+    if isinstance(pattern, PredAtom) and isinstance(target, PredAtom):
+        if pattern.pred != target.pred or len(pattern.args) != len(target.args):
+            return None
+        binding: Optional[dict[str, BaseTerm]] = {}
+        for p_arg, t_arg in zip(pattern.args, target.args):
+            binding = unify_identities(p_arg, ground_id(t_arg), binding)
+            if binding is None:
+                return None
+        return binding
+    if isinstance(pattern, TermAtom) and isinstance(target, TermAtom):
+        p_term, t_term = pattern.term, target.term
+        p_labelled = isinstance(p_term, LTerm)
+        t_labelled = isinstance(t_term, LTerm)
+        if p_labelled != t_labelled:
+            return None
+        if p_labelled and t_labelled:
+            p_spec, t_spec = p_term.specs[0], t_term.specs[0]
+            if p_spec.label != t_spec.label:
+                return None
+            binding = unify_identities(p_term.base, ground_id(t_term.base))
+            if binding is None:
+                return None
+            return unify_identities(
+                p_spec.value_terms()[0],
+                ground_id(t_spec.value_terms()[0]),
+                binding,
+            )
+        if p_term.type != t_term.type:
+            return None
+        return unify_identities(p_term, ground_id(t_term))
+    return None

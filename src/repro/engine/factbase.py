@@ -1,0 +1,141 @@
+"""Indexed storage for ground first-order facts.
+
+The bottom-up engines derive sets of ground atoms; :class:`FactBase`
+stores them with two levels of indexing:
+
+* by predicate signature ``(name, arity)``;
+* within a predicate, by the *principal functor* of the first argument
+  (constant value, functor name, or wildcard), the classic first-
+  argument indexing of Prolog systems.
+
+Facts are also stamped with the *round* in which they were derived,
+which is what semi-naive evaluation's delta joins need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.errors import StoreError
+from repro.fol.atoms import FAtom, atom_is_ground
+from repro.fol.terms import FApp, FConst, FTerm
+
+__all__ = ["FactBase", "principal_functor"]
+
+
+def principal_functor(term: FTerm) -> Optional[tuple]:
+    """The index key of a term: ``("c", value)`` for constants,
+    ``("f", functor, arity)`` for applications, ``None`` for variables
+    (matches anything)."""
+    if isinstance(term, FConst):
+        return ("c", type(term.value).__name__, term.value)
+    if isinstance(term, FApp):
+        return ("f", term.functor, len(term.args))
+    return None
+
+
+class FactBase:
+    """A set of ground atoms with predicate and first-argument indexes."""
+
+    __slots__ = ("_atoms", "_by_pred", "_by_first", "_stamps", "_round")
+
+    def __init__(self, atoms: Iterable[FAtom] = ()) -> None:
+        self._atoms: set[FAtom] = set()
+        self._by_pred: dict[tuple[str, int], list[FAtom]] = {}
+        self._by_first: dict[tuple, list[FAtom]] = {}
+        self._stamps: dict[FAtom, int] = {}
+        self._round = 0
+        for atom in atoms:
+            self.add(atom)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, atom: FAtom) -> bool:
+        """Insert a ground atom; returns True iff it was new."""
+        if not atom_is_ground(atom):
+            raise StoreError(f"fact bases hold ground atoms only, got {atom!r}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._stamps[atom] = self._round
+        self._by_pred.setdefault(atom.signature, []).append(atom)
+        key = principal_functor(atom.args[0])
+        self._by_first.setdefault((atom.signature, key), []).append(atom)
+        return True
+
+    def add_all(self, atoms: Iterable[FAtom]) -> int:
+        """Insert many atoms; returns how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def next_round(self) -> int:
+        """Advance the derivation round counter (semi-naive bookkeeping)."""
+        self._round += 1
+        return self._round
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, atom: FAtom) -> bool:
+        return atom in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[FAtom]:
+        return iter(self._atoms)
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def stamp(self, atom: FAtom) -> int:
+        """The round in which ``atom`` was first derived."""
+        return self._stamps[atom]
+
+    def predicates(self) -> set[tuple[str, int]]:
+        return set(self._by_pred)
+
+    def count(self, signature: tuple[str, int]) -> int:
+        return len(self._by_pred.get(signature, ()))
+
+    def candidates(self, pattern: FAtom) -> list[FAtom]:
+        """Facts that could match ``pattern``, narrowed by the indexes.
+
+        With a non-variable first argument the first-argument index is
+        used; otherwise all facts of the predicate are returned.
+        """
+        signature = pattern.signature
+        key = principal_functor(pattern.args[0])
+        if key is None:
+            return list(self._by_pred.get(signature, ()))
+        # Copied so callers may iterate while new facts are derived into
+        # the base (the bottom-up engines do exactly that).
+        return list(self._by_first.get((signature, key), ()))
+
+    def candidate_count(self, pattern: FAtom) -> int:
+        """Number of candidates for ``pattern`` without copying the
+        index list (the join planner's selectivity probe)."""
+        signature = pattern.signature
+        key = principal_functor(pattern.args[0])
+        if key is None:
+            return len(self._by_pred.get(signature, ()))
+        return len(self._by_first.get((signature, key), ()))
+
+    def candidates_since(self, pattern: FAtom, since_round: int) -> list[FAtom]:
+        """Candidates first derived at or after ``since_round`` (the
+        delta restriction of semi-naive evaluation)."""
+        return [a for a in self.candidates(pattern) if self._stamps[a] >= since_round]
+
+    def candidates_before(self, pattern: FAtom, before_round: int) -> list[FAtom]:
+        """Candidates first derived strictly before ``before_round``
+        (the 'old facts' side of the semi-naive partition)."""
+        return [a for a in self.candidates(pattern) if self._stamps[a] < before_round]
+
+    def by_predicate(self, signature: tuple[str, int]) -> list[FAtom]:
+        return list(self._by_pred.get(signature, ()))
+
+    def snapshot(self) -> frozenset[FAtom]:
+        return frozenset(self._atoms)

@@ -1,0 +1,267 @@
+"""Stratified negation — the extension Section 4 points to.
+
+"(Negation can also be added although we do not include it in this
+paper.)"  This module adds it the standard deductive-database way:
+
+* clause bodies may contain *negative* atoms (``\\+ A`` in the concrete
+  syntax, :class:`NegAtom` in the AST);
+* a program is *stratifiable* when its predicate dependency graph has
+  no cycle through a negative edge; :func:`stratify` computes the
+  strata or raises :class:`StratificationError`;
+* :func:`stratified_fixpoint` evaluates stratum by stratum with
+  negation-as-failure against the lower strata (the perfect model).
+
+Negative atoms must be *safe*: every variable in a negative atom must
+occur in a positive body atom of the same clause.
+
+The implementation works on the first-order side (where the dependency
+graph is crisp); C-logic programs with negation are translated first —
+type predicates and labels participate in stratification like any other
+predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.core.errors import EngineError, SafetyError
+from repro.fol.atoms import (
+    FAtom,
+    FBuiltin,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    NegAtom,
+    atom_variables,
+    substitute_fatom,
+)
+from repro.engine.bottomup import EvaluationStats
+from repro.engine.factbase import FactBase
+from repro.engine.builtins import solve_builtin
+from repro.fol.subst import Substitution
+from repro.fol.unify import match_atom
+
+__all__ = [
+    "NegAtom",
+    "NegClause",
+    "StratificationError",
+    "stratify",
+    "stratified_fixpoint",
+]
+
+
+class StratificationError(EngineError):
+    """The program has a cycle through negation: no stratification."""
+
+
+NegBodyAtom = Union[FAtom, FBuiltin, NegAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class NegClause:
+    """A definite clause whose body may contain negative atoms."""
+
+    heads: tuple[FAtom, ...]
+    body: tuple[NegBodyAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "heads", tuple(self.heads))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.heads:
+            raise EngineError("a clause requires at least one head atom")
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        positive_vars: set[str] = set()
+        for atom in self.body:
+            if isinstance(atom, FAtom):
+                positive_vars |= atom_variables(atom)
+        for atom in self.body:
+            if isinstance(atom, NegAtom):
+                unsafe = atom_variables(atom.atom) - positive_vars
+                if unsafe:
+                    raise SafetyError(
+                        f"variables {sorted(unsafe)} of negative atom "
+                        f"{atom.atom.pred}/{atom.atom.arity} do not occur in a "
+                        "positive body atom"
+                    )
+        head_vars: set[str] = set()
+        for head in self.heads:
+            head_vars |= atom_variables(head)
+        bound = set(positive_vars)
+        for atom in self.body:
+            if isinstance(atom, FBuiltin) and atom.op in ("is", "="):
+                from repro.fol.terms import fterm_variables
+
+                bound |= fterm_variables(atom.args[0])
+                if atom.op == "=":
+                    bound |= fterm_variables(atom.args[1])
+        unsafe = head_vars - bound
+        if unsafe and self.body:
+            raise SafetyError(f"head variables {sorted(unsafe)} are unbound")
+        if unsafe and not self.body:
+            raise SafetyError(f"fact with variables {sorted(unsafe)}")
+
+
+ClauseLike = Union[HornClause, GeneralizedClause, NegClause]
+
+
+def _to_neg_clauses(clauses: Union[FOLProgram, Iterable[ClauseLike]]) -> list[NegClause]:
+    if isinstance(clauses, FOLProgram):
+        source: Iterable[ClauseLike] = clauses.clauses
+    else:
+        source = clauses
+    out: list[NegClause] = []
+    for clause in source:
+        if isinstance(clause, NegClause):
+            out.append(clause)
+        elif isinstance(clause, HornClause):
+            out.append(NegClause((clause.head,), clause.body))
+        elif isinstance(clause, GeneralizedClause):
+            out.append(NegClause(clause.heads, clause.body))
+        else:
+            raise EngineError(f"not a clause: {clause!r}")
+    return out
+
+
+def stratify(clauses: Union[FOLProgram, Iterable[ClauseLike]]) -> list[list[NegClause]]:
+    """Partition the clauses into strata.
+
+    Stratum numbers are the least solution of: a head predicate is at
+    least the stratum of every positive body predicate, and *strictly
+    above* the stratum of every negated body predicate.  A cycle through
+    negation makes the numbers diverge and raises
+    :class:`StratificationError`.
+    """
+    neg_clauses = _to_neg_clauses(clauses)
+    # `object/1` is the active domain of the source C-logic program: it
+    # accumulates monotonically (every type axiom feeds it), so it is
+    # pinned at stratum 0 and negating it is rejected — mirroring the
+    # direct engine's policy.
+    domain_signature = ("object", 1)
+    predicates: set[tuple[str, int]] = set()
+    for clause in neg_clauses:
+        for head in clause.heads:
+            predicates.add(head.signature)
+        for atom in clause.body:
+            if isinstance(atom, NegAtom) and atom.signature == domain_signature:
+                raise StratificationError(
+                    "negating object/1 (the active domain) is not supported"
+                )
+            if isinstance(atom, (FAtom, NegAtom)):
+                predicates.add(atom.signature)
+    predicates.discard(domain_signature)
+    stratum = {pred: 0 for pred in predicates}
+    # Bellman-Ford style relaxation; > |P| iterations means divergence.
+    def level_of(signature: tuple[str, int]) -> int:
+        return stratum.get(signature, 0)
+
+    for iteration in range(len(predicates) + 1):
+        changed = False
+        for clause in neg_clauses:
+            for head in clause.heads:
+                if head.signature == domain_signature:
+                    continue
+                required = 0
+                for atom in clause.body:
+                    if isinstance(atom, NegAtom):
+                        required = max(required, level_of(atom.signature) + 1)
+                    elif isinstance(atom, FAtom):
+                        required = max(required, level_of(atom.signature))
+                if stratum[head.signature] < required:
+                    stratum[head.signature] = required
+                    changed = True
+        if not changed:
+            break
+    else:
+        raise StratificationError(
+            "the program is not stratifiable (a recursive cycle passes "
+            "through negation)"
+        )
+    height = max(stratum.values(), default=0) + 1
+    strata: list[list[NegClause]] = [[] for _ in range(height)]
+    for clause in neg_clauses:
+        level = max(level_of(head.signature) for head in clause.heads)
+        strata[level].append(clause)
+    return [level_clauses for level_clauses in strata]
+
+
+def stratified_fixpoint(
+    clauses: Union[FOLProgram, Iterable[ClauseLike]],
+    max_rounds: int = 10_000,
+    stats: EvaluationStats | None = None,
+) -> FactBase:
+    """The perfect model of a stratified program.
+
+    Strata are evaluated bottom-up in order; a negative atom is checked
+    by absence from the facts derived so far, which is sound because the
+    negated predicate's definition is complete in lower strata.
+    """
+    stats = stats if stats is not None else EvaluationStats()
+    facts = FactBase()
+    for level_clauses in stratify(clauses):
+        _saturate_stratum(level_clauses, facts, max_rounds, stats)
+    return facts
+
+
+def _saturate_stratum(
+    clauses: list[NegClause], facts: FactBase, max_rounds: int, stats: EvaluationStats
+) -> None:
+    for clause in clauses:
+        if not clause.body:
+            for head in clause.heads:
+                stats.facts_derived += 1
+                if facts.add(head):
+                    stats.facts_new += 1
+    rules = [clause for clause in clauses if clause.body]
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        facts.next_round()
+        changed = False
+        for clause in rules:
+            for subst in _join_neg(clause.body, 0, facts, Substitution.empty()):
+                stats.body_evaluations += 1
+                for head in clause.heads:
+                    derived = substitute_fatom(head, subst)
+                    assert isinstance(derived, FAtom)
+                    stats.facts_derived += 1
+                    if facts.add(derived):
+                        stats.facts_new += 1
+                        changed = True
+        if not changed:
+            return
+    raise EngineError(f"no fixpoint within {max_rounds} rounds")
+
+
+def _join_neg(
+    body: Sequence[NegBodyAtom], index: int, facts: FactBase, subst: Substitution
+):
+    if index == len(body):
+        yield subst
+        return
+    atom = body[index]
+    if isinstance(atom, FBuiltin):
+        solved = solve_builtin(atom, subst)
+        if solved is not None:
+            yield from _join_neg(body, index + 1, facts, solved)
+        return
+    if isinstance(atom, NegAtom):
+        ground = substitute_fatom(atom.atom, subst)
+        assert isinstance(ground, FAtom)
+        from repro.fol.atoms import atom_is_ground
+
+        if not atom_is_ground(ground):
+            raise SafetyError(
+                f"negative atom {ground.pred}/{ground.arity} is not ground "
+                "when reached (reorder the body)"
+            )
+        if ground not in facts:
+            yield from _join_neg(body, index + 1, facts, subst)
+        return
+    pattern = substitute_fatom(atom, subst)
+    assert isinstance(pattern, FAtom)
+    for fact in facts.candidates(pattern):
+        extended = match_atom(pattern, fact, subst)
+        if extended is not None:
+            yield from _join_neg(body, index + 1, facts, extended)

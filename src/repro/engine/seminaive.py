@@ -1,0 +1,95 @@
+"""Semi-naive bottom-up evaluation.
+
+Same fixpoint as :func:`repro.engine.bottomup.naive_fixpoint`, but each
+round only considers rule instantiations that use at least one fact
+derived in the previous round.  The standard Datalog partition is used
+per body position ``i``: the atom at ``i`` joins against the *delta*
+(facts stamped with the previous round), atoms at earlier positions
+against strictly older facts, later positions against everything — so
+each new instantiation is produced by exactly one position, without
+materializing delta relations (the fact stamps in the
+:class:`~repro.engine.factbase.FactBase` carry the partition).
+
+Multi-head (generalized) clauses are supported directly; the E11
+experiment checks the fixpoint equals the naive one and measures the
+saved body evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.errors import EngineError
+from repro.fol.atoms import FAtom, FBuiltin, FOLProgram, substitute_fatom
+from repro.engine.bottomup import ClauseLike, EvaluationStats, normalize_clauses
+from repro.engine.factbase import FactBase
+from repro.engine.join import check_range_restricted, join_body
+
+__all__ = ["seminaive_fixpoint"]
+
+
+def seminaive_fixpoint(
+    clauses: Union[FOLProgram, Iterable[ClauseLike]],
+    max_rounds: int = 10_000,
+    stats: EvaluationStats | None = None,
+) -> FactBase:
+    """The minimal model of ``clauses``, computed semi-naively."""
+    generalized = normalize_clauses(clauses)
+    from repro.engine.bottomup import _reject_negation
+
+    _reject_negation(generalized)
+    for clause in generalized:
+        check_range_restricted(clause.heads, clause.body)
+    facts = FactBase()
+    stats = stats if stats is not None else EvaluationStats()
+    for clause in generalized:
+        if clause.is_fact:
+            for head in clause.heads:
+                if facts.add(head):
+                    stats.facts_new += 1
+                stats.facts_derived += 1
+    rules = [clause for clause in generalized if not clause.is_fact]
+    # Precompute the joinable (non-builtin) positions of each rule.
+    positions = [
+        [i for i, atom in enumerate(clause.body) if not isinstance(atom, FBuiltin)]
+        for clause in rules
+    ]
+    delta_round = 0  # facts stamped >= this round are "new"
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        current_round = facts.next_round()
+        changed = False
+        for clause, delta_positions in zip(rules, positions):
+            if not delta_positions:
+                # Pure-builtin body: evaluate once, in the first round.
+                if stats.rounds > 1:
+                    continue
+                iterator = join_body(clause.body, facts)
+                for subst in iterator:
+                    stats.body_evaluations += 1
+                    changed |= _derive(clause.heads, subst, facts, stats)
+                continue
+            # The old/delta/all partition in join_body yields each new
+            # instantiation from exactly one position: no dedup needed.
+            for position in delta_positions:
+                for subst in join_body(
+                    clause.body, facts, delta_position=position, delta_round=delta_round
+                ):
+                    stats.body_evaluations += 1
+                    changed |= _derive(clause.heads, subst, facts, stats)
+        delta_round = current_round
+        if not changed:
+            return facts
+    raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
+
+
+def _derive(heads, subst, facts: FactBase, stats: EvaluationStats) -> bool:
+    new = False
+    for head in heads:
+        derived = substitute_fatom(head, subst)
+        assert isinstance(derived, FAtom)
+        stats.facts_derived += 1
+        if facts.add(derived):
+            stats.facts_new += 1
+            new = True
+    return new

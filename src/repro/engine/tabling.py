@@ -1,0 +1,180 @@
+"""Tabled top-down evaluation (answer memoization with fixpoint).
+
+Plain SLD loops on recursive programs like the translated path example
+(``path`` calls ``path``).  Tabling — the OLDT/SLG family pioneered at
+Stony Brook, where this paper was written — memoizes subgoals and their
+answers.  This implementation uses the simple *answer-iteration*
+scheme:
+
+* every call is canonicalized (variables renamed by first occurrence)
+  into a table key;
+* a call whose key is already being produced consumes the answers
+  currently in its table instead of re-entering the clause resolution
+  (this cuts the loops);
+* the top-level query is re-run until no table gained an answer — a
+  fixpoint, after which the collected answers are complete for programs
+  with finite minimal models.
+
+Not the fastest tabling discipline (answers are re-joined per
+iteration), but terminating, complete, and easy to audit; the engine-
+agreement tests check it against bottom-up and the direct engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.core.errors import EngineError
+from repro.fol.atoms import (
+    FAtom,
+    FBodyAtom,
+    FBuiltin,
+    FOLProgram,
+    HornClause,
+    atom_variables,
+    rename_clause,
+    substitute_fatom,
+)
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FTerm, FVar
+from repro.fol.unify import unify_atoms
+from repro.engine.builtins import solve_builtin
+
+__all__ = ["TabledEngine", "TablingStats", "canonical_atom"]
+
+
+@dataclass
+class TablingStats:
+    iterations: int = 0
+    tables: int = 0
+    answers: int = 0
+    consumed: int = 0
+
+
+def canonical_atom(atom: FAtom) -> FAtom:
+    """Rename variables to ``V0, V1, ...`` by first occurrence, so two
+    variant atoms share one table."""
+    mapping: dict[str, FVar] = {}
+
+    def rename(term: FTerm) -> FTerm:
+        if isinstance(term, FVar):
+            fresh = mapping.get(term.name)
+            if fresh is None:
+                fresh = FVar(f"V{len(mapping)}")
+                mapping[term.name] = fresh
+            return fresh
+        if isinstance(term, FConst):
+            return term
+        return FApp(term.functor, tuple(rename(arg) for arg in term.args))
+
+    return FAtom(atom.pred, tuple(rename(arg) for arg in atom.args))
+
+
+class TabledEngine:
+    """A tabled prover over a fixed program."""
+
+    def __init__(self, program: Union[FOLProgram, Iterable[HornClause]]) -> None:
+        clauses = program.clauses if isinstance(program, FOLProgram) else tuple(program)
+        self._by_pred: dict[tuple[str, int], list[HornClause]] = {}
+        for clause in clauses:
+            self._by_pred.setdefault(clause.head.signature, []).append(clause)
+        self._table: dict[FAtom, set[FAtom]] = {}
+        self._active: set[FAtom] = set()
+        self._produced: set[FAtom] = set()
+        self._changed = False
+        self._rename_counter = 0
+        self.stats = TablingStats()
+
+    def solve(
+        self, goals: Sequence[FBodyAtom], max_iterations: int = 10_000
+    ) -> list[Substitution]:
+        """All answers to the goal list, restricted to its variables."""
+        variables: set[str] = set()
+        for goal in goals:
+            variables |= atom_variables(goal)
+        for _ in range(max_iterations):
+            self.stats.iterations += 1
+            self._changed = False
+            self._produced.clear()
+            answers: set[Substitution] = set()
+            for subst in self._solve_goals(list(goals), Substitution.empty()):
+                answers.add(subst.restrict(variables))
+            if not self._changed:
+                self.stats.tables = len(self._table)
+                self.stats.answers = sum(len(v) for v in self._table.values())
+                return sorted(answers, key=repr)
+        raise EngineError(
+            f"tabling did not reach a fixpoint within {max_iterations} iterations"
+        )
+
+    def has_answer(self, goals: Sequence[FBodyAtom]) -> bool:
+        return bool(self.solve(goals))
+
+    # ------------------------------------------------------------------
+
+    def _fresh_suffix(self) -> str:
+        self._rename_counter += 1
+        return f"_t{self._rename_counter}"
+
+    def _solve_goals(
+        self, goals: list[FBodyAtom], subst: Substitution
+    ) -> Iterator[Substitution]:
+        if not goals:
+            yield subst
+            return
+        goal, rest = goals[0], goals[1:]
+        if isinstance(goal, FBuiltin):
+            solved = solve_builtin(goal, subst)
+            if solved is not None:
+                yield from self._solve_goals(rest, solved)
+            return
+        pattern = substitute_fatom(goal, subst)
+        assert isinstance(pattern, FAtom)
+        for answer in self._answers_for(pattern):
+            # Standardize the stored answer apart before unifying.
+            suffix = self._fresh_suffix()
+            renamed = substitute_fatom(
+                answer, {name: FVar(name + suffix) for name in atom_variables(answer)}
+            )
+            assert isinstance(renamed, FAtom)
+            self.stats.consumed += 1
+            unifier = unify_atoms(pattern, renamed, subst)
+            if unifier is not None:
+                yield from self._solve_goals(rest, unifier)
+
+    def _answers_for(self, pattern: FAtom) -> list[FAtom]:
+        key = canonical_atom(pattern)
+        entry = self._table.get(key)
+        if entry is None:
+            entry = set()
+            self._table[key] = entry
+        if key in self._active or key in self._produced:
+            # A recursive variant call, or a table already produced this
+            # iteration: consume the current answers only.  Answers it
+            # may still be missing are picked up by the next outer
+            # iteration (the fixpoint loop re-runs until no table grows).
+            return list(entry)
+        self._active.add(key)
+        self._produced.add(key)
+        try:
+            suffix = self._fresh_suffix()
+            fresh_goal = substitute_fatom(
+                key, {name: FVar(name + suffix) for name in atom_variables(key)}
+            )
+            assert isinstance(fresh_goal, FAtom)
+            for clause in self._by_pred.get(key.signature, ()):
+                renamed = rename_clause(clause, self._fresh_suffix())
+                unifier = unify_atoms(fresh_goal, renamed.head, None)
+                if unifier is None:
+                    continue
+                for subst in self._solve_goals(list(renamed.body), unifier):
+                    answer_atom = substitute_fatom(fresh_goal, subst)
+                    assert isinstance(answer_atom, FAtom)
+                    canonical = canonical_atom(answer_atom)
+                    if canonical not in entry:
+                        entry.add(canonical)
+                        self._changed = True
+        finally:
+            self._active.discard(key)
+        return list(entry)

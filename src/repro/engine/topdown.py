@@ -1,0 +1,239 @@
+"""Top-down SLD resolution (Section 4's "top-down methods").
+
+An SLD prover over first-order definite clauses with clause renaming
+(standardizing apart), the occurs check, builtin evaluation, a depth
+bound, first-argument clause indexing, and two selection rules:
+
+* ``"leftmost"`` (default) — Prolog's computation rule.  Running the
+  translated query of Section 4's path example through it —
+
+      :- path(X), object(S), src(X, S), object(D), dest(X, D).
+
+  — enumerates the whole active domain through ``object/1`` before
+  filtering with ``src``/``dest``, which is exactly why the paper calls
+  direct SLD evaluation of the translation "very inefficient"
+  (experiment E6 measures the gap against the direct engine).
+
+* ``"smallest"`` — selects, at each step, a ready builtin if any,
+  otherwise the goal with the fewest candidate clauses (after
+  first-argument indexing).  For definite programs the selection rule
+  does not affect the answer set (independence of the computation
+  rule), so this is a legitimate optimization; it makes the heavily
+  type-redundant translations tractable for testing while ``leftmost``
+  preserves the paper's worst case.
+
+Depth limiting plus :func:`solve_iterative_deepening` recovers
+completeness for recursive programs at the usual cost;
+:mod:`repro.engine.tabling` does it properly with memoization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.core.errors import BuiltinError, EngineError
+from repro.fol.atoms import (
+    FAtom,
+    FBodyAtom,
+    FBuiltin,
+    FOLProgram,
+    HornClause,
+    atom_variables,
+    rename_clause,
+    substitute_fatom,
+)
+from repro.fol.subst import Substitution
+from repro.fol.unify import unify_atoms
+from repro.engine.builtins import builtin_is_ready, solve_builtin
+from repro.engine.factbase import principal_functor
+
+__all__ = ["SLDStats", "SLDEngine", "solve_iterative_deepening"]
+
+
+@dataclass
+class SLDStats:
+    """Search-effort counters (resolution steps, unification attempts)."""
+
+    resolutions: int = 0
+    unifications: int = 0
+    depth_cutoffs: int = 0
+
+
+class SLDEngine:
+    """An SLD prover over a fixed program."""
+
+    def __init__(self, program: Union[FOLProgram, Iterable[HornClause]]) -> None:
+        clauses = program.clauses if isinstance(program, FOLProgram) else tuple(program)
+        self._clauses: list[HornClause] = list(clauses)
+        self._by_pred: dict[tuple[str, int], list[HornClause]] = {}
+        # First-argument index: clauses whose head first argument has a
+        # given principal functor, plus those with a variable first
+        # argument (which match anything).  Entries carry the program
+        # position so merged candidate lists preserve program order.
+        self._by_first: dict[tuple, list[tuple[int, HornClause]]] = {}
+        self._open_first: dict[tuple[str, int], list[tuple[int, HornClause]]] = {}
+        for position, clause in enumerate(self._clauses):
+            signature = clause.head.signature
+            self._by_pred.setdefault(signature, []).append(clause)
+            key = principal_functor(clause.head.args[0])
+            if key is None:
+                self._open_first.setdefault(signature, []).append((position, clause))
+            else:
+                self._by_first.setdefault((signature, key), []).append((position, clause))
+        self._rename_counter = 0
+
+    def candidates(self, pattern: FAtom) -> list[HornClause]:
+        """Candidate clauses for a goal, narrowed by the indexes; kept in
+        program order (merge of indexed and open-first-argument lists)."""
+        signature = pattern.signature
+        key = principal_functor(pattern.args[0])
+        if key is None:
+            return self._by_pred.get(signature, [])
+        indexed = self._by_first.get((signature, key), [])
+        open_first = self._open_first.get(signature, [])
+        if not open_first:
+            return [clause for _, clause in indexed]
+        if not indexed:
+            return [clause for _, clause in open_first]
+        merged = sorted(indexed + open_first)
+        return [clause for _, clause in merged]
+
+    def solve(
+        self,
+        goals: Sequence[FBodyAtom],
+        max_depth: int = 10_000,
+        stats: SLDStats | None = None,
+        select: str = "leftmost",
+        max_steps: int | None = None,
+    ) -> Iterator[Substitution]:
+        """Yield answer substitutions for the goal list, restricted to
+        the goal variables.
+
+        ``max_depth`` bounds resolution steps on a derivation branch
+        (exceeding it prunes the branch and counts a cutoff);
+        ``max_steps``, if given, bounds *total* resolution steps and
+        raises :class:`EngineError` when exhausted.
+        """
+        if select not in ("leftmost", "smallest"):
+            raise EngineError(f"unknown selection rule {select!r}")
+        stats = stats if stats is not None else SLDStats()
+        budget = [max_steps if max_steps is not None else -1]
+        variables: set[str] = set()
+        for goal in goals:
+            variables |= atom_variables(goal)
+        seen: set[Substitution] = set()
+        iterator = self._solve(list(goals), Substitution.empty(), max_depth, stats, select, budget)
+        for subst in iterator:
+            answer = subst.restrict(variables)
+            if answer not in seen:
+                seen.add(answer)
+                yield answer
+
+    def has_answer(
+        self, goals: Sequence[FBodyAtom], max_depth: int = 10_000, select: str = "leftmost"
+    ) -> bool:
+        """True iff the goal has at least one answer."""
+        for _ in self.solve(goals, max_depth, select=select):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _pick_goal(self, goals: list[FBodyAtom], subst: Substitution, select: str) -> int:
+        if select == "leftmost" or len(goals) == 1:
+            return 0
+        best_index = 0
+        best_cost: float = float("inf")
+        for index, goal in enumerate(goals):
+            if isinstance(goal, FBuiltin):
+                if builtin_is_ready(goal, subst):
+                    return index
+                continue
+            pattern = substitute_fatom(goal, subst)
+            assert isinstance(pattern, FAtom)
+            cost = len(self.candidates(pattern))
+            if cost < best_cost:
+                best_cost = cost
+                best_index = index
+        return best_index
+
+    def _solve(
+        self,
+        goals: list[FBodyAtom],
+        subst: Substitution,
+        depth: int,
+        stats: SLDStats,
+        select: str,
+        budget: list[int],
+    ) -> Iterator[Substitution]:
+        if not goals:
+            yield subst
+            return
+        if depth <= 0:
+            stats.depth_cutoffs += 1
+            return
+        index = self._pick_goal(goals, subst, select)
+        goal = goals[index]
+        rest = goals[:index] + goals[index + 1 :]
+        if isinstance(goal, FBuiltin):
+            try:
+                solved = solve_builtin(goal, subst)
+            except BuiltinError:
+                if select == "smallest" and any(
+                    not isinstance(g, FBuiltin) for g in rest
+                ):
+                    # Not ready yet: postpone behind the other goals.
+                    yield from self._solve(rest + [goal], subst, depth, stats, select, budget)
+                    return
+                raise
+            if solved is not None:
+                yield from self._solve(rest, solved, depth, stats, select, budget)
+            return
+        pattern = substitute_fatom(goal, subst)
+        assert isinstance(pattern, FAtom)
+        for clause in self.candidates(pattern):
+            if budget[0] == 0:
+                raise EngineError("SLD resolution-step budget exhausted")
+            self._rename_counter += 1
+            renamed = rename_clause(clause, f"_r{self._rename_counter}")
+            stats.unifications += 1
+            unifier = unify_atoms(pattern, renamed.head, subst)
+            if unifier is None:
+                continue
+            stats.resolutions += 1
+            if budget[0] > 0:
+                budget[0] -= 1
+            yield from self._solve(
+                list(renamed.body) + rest, unifier, depth - 1, stats, select, budget
+            )
+
+
+def solve_iterative_deepening(
+    engine: SLDEngine,
+    goals: Sequence[FBodyAtom],
+    start_depth: int = 4,
+    max_depth: int = 512,
+    factor: int = 2,
+    select: str = "leftmost",
+) -> list[Substitution]:
+    """Iterative-deepening answer collection.
+
+    Deepens until a full level completes with no depth cutoff (all
+    answers found) or the depth cap is hit.  Raises
+    :class:`EngineError` at the cap with cutoffs still occurring, since
+    answers could be missing.
+    """
+    depth = start_depth
+    while True:
+        stats = SLDStats()
+        answers = list(engine.solve(goals, max_depth=depth, stats=stats, select=select))
+        if stats.depth_cutoffs == 0:
+            return answers
+        if depth >= max_depth:
+            raise EngineError(
+                f"iterative deepening reached depth {depth} with the search "
+                "still being cut off; the program may not terminate top-down "
+                "(use the tabled engine for recursive programs)"
+            )
+        depth = min(max_depth, depth * factor)

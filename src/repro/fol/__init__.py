@@ -1,0 +1,73 @@
+"""First-order logic substrate: terms, atoms, clauses, unification.
+
+This is the target language L* of the Section 3.3 transformation and
+the substrate the generic deduction engines run on.
+"""
+
+from repro.fol.atoms import (
+    FAtom,
+    FBodyAtom,
+    FBuiltin,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    atom_is_ground,
+    atom_variables,
+    rename_clause,
+    rename_generalized,
+    substitute_fatom,
+    substitute_fbody,
+)
+from repro.fol.pretty import (
+    pretty_fatom,
+    pretty_fol_program,
+    pretty_fterm,
+    pretty_generalized,
+    pretty_horn,
+)
+from repro.fol.subst import Substitution
+from repro.fol.terms import (
+    FApp,
+    FConst,
+    FTerm,
+    FVar,
+    fterm_is_ground,
+    fterm_variables,
+    rename_fterm,
+    substitute_fterm,
+)
+from repro.fol.unify import match, match_atom, unify, unify_atoms, unify_terms
+
+__all__ = [
+    "FApp",
+    "FAtom",
+    "FBodyAtom",
+    "FBuiltin",
+    "FConst",
+    "FOLProgram",
+    "FTerm",
+    "FVar",
+    "GeneralizedClause",
+    "HornClause",
+    "Substitution",
+    "atom_is_ground",
+    "atom_variables",
+    "fterm_is_ground",
+    "fterm_variables",
+    "match",
+    "match_atom",
+    "pretty_fatom",
+    "pretty_fol_program",
+    "pretty_fterm",
+    "pretty_generalized",
+    "pretty_horn",
+    "rename_clause",
+    "rename_fterm",
+    "rename_generalized",
+    "substitute_fatom",
+    "substitute_fbody",
+    "substitute_fterm",
+    "unify",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,275 @@
+"""First-order atoms, builtins and clauses.
+
+In the language L* obtained from a language of objects L (Section 3.3),
+every label becomes a binary predicate and every type a unary
+predicate, so a single atom class :class:`FAtom` covers predicates,
+labels and types alike.  Clauses come in two flavours:
+
+* :class:`HornClause` — an ordinary first-order definite clause;
+* :class:`GeneralizedClause` — a *generalized definite clause*
+  (Section 4): a conjunction of atoms as head, one body.  These arise
+  naturally from the transformation because one complex-object rule
+  asserts several first-order facts per body instance; splitting turns
+  one generalized clause into one Horn clause per head atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from repro.core.clauses import BUILTIN_OPS
+from repro.core.errors import SyntaxKindError
+from repro.fol.terms import (
+    FTerm,
+    FVar,
+    FApp,
+    FConst,
+    fterm_is_ground,
+    fterm_variables,
+    rename_fterm,
+    substitute_fterm,
+)
+
+__all__ = [
+    "FAtom",
+    "FBuiltin",
+    "FBodyAtom",
+    "NegAtom",
+    "HornClause",
+    "GeneralizedClause",
+    "FOLProgram",
+    "atom_variables",
+    "atom_is_ground",
+    "substitute_fatom",
+    "substitute_fbody",
+    "rename_clause",
+    "rename_generalized",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FAtom:
+    """An atomic formula ``p(t1, ..., tn)`` (n may be 0 is excluded: the
+    transformation only produces atoms of arity >= 1)."""
+
+    pred: str
+    args: tuple[FTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pred, str) or not self.pred:
+            raise SyntaxKindError(f"predicate symbol must be a nonempty string, got {self.pred!r}")
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        if not args:
+            raise SyntaxKindError("FAtom requires at least one argument")
+        for arg in args:
+            if not isinstance(arg, (FVar, FConst, FApp)):
+                raise SyntaxKindError(f"atom argument must be an FOL term, got {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> tuple[str, int]:
+        return (self.pred, len(self.args))
+
+
+@dataclass(frozen=True, slots=True)
+class FBuiltin:
+    """A builtin body atom (``is``, comparisons, ``=``) at the FOL level."""
+
+    op: str
+    args: tuple[FTerm, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in BUILTIN_OPS:
+            raise SyntaxKindError(f"unknown builtin operator {self.op!r}")
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        if len(args) != 2:
+            raise SyntaxKindError(f"builtin {self.op!r} takes exactly two arguments")
+
+
+@dataclass(frozen=True, slots=True)
+class NegAtom:
+    """A negated body atom ``\\+ p(...)`` (negation as failure).
+
+    Used by the stratified-negation extension the paper points to in
+    Section 4; the positive fragment never produces one.
+    """
+
+    atom: FAtom
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, FAtom):
+            raise SyntaxKindError(f"NegAtom wraps an FAtom, got {self.atom!r}")
+
+    @property
+    def signature(self) -> tuple[str, int]:
+        return self.atom.signature
+
+    @property
+    def args(self) -> tuple[FTerm, ...]:
+        return self.atom.args
+
+
+FBodyAtom = Union[FAtom, FBuiltin, NegAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class HornClause:
+    """``head :- body`` with a single head atom."""
+
+    head: FAtom
+    body: tuple[FBodyAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, FAtom):
+            raise SyntaxKindError(f"Horn clause head must be an FAtom, got {self.head!r}")
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> set[str]:
+        out = atom_variables(self.head)
+        for atom in self.body:
+            out |= atom_variables(atom)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralizedClause:
+    """``h1, ..., hk :- body`` — a generalized definite clause.
+
+    Section 4: "each rule of complex object specification naturally
+    corresponds to a generalized or multi-head first-order clause.
+    Therefore, in bottom-up computation, each successful evaluation of
+    the body may produce multiple results."
+    """
+
+    heads: tuple[FAtom, ...]
+    body: tuple[FBodyAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        heads = tuple(self.heads)
+        object.__setattr__(self, "heads", heads)
+        object.__setattr__(self, "body", tuple(self.body))
+        if not heads:
+            raise SyntaxKindError("a generalized clause requires at least one head atom")
+        for atom in heads:
+            if not isinstance(atom, FAtom):
+                raise SyntaxKindError(f"generalized head atom must be an FAtom, got {atom!r}")
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def split(self) -> list[HornClause]:
+        """One Horn clause per head atom, sharing the body.
+
+        This realizes the paper's observation that "a generalized
+        (definite) clause can be further transformed into a finite
+        number of first-order (definite) clauses"; every occurrence of a
+        shared variable is universally quantified per clause, so the
+        split preserves the meaning.
+        """
+        return [HornClause(head, self.body) for head in self.heads]
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for atom in self.heads:
+            out |= atom_variables(atom)
+        for atom in self.body:
+            out |= atom_variables(atom)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class FOLProgram:
+    """A finite set of Horn clauses (the final transformation target)."""
+
+    clauses: tuple[HornClause, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clauses", tuple(self.clauses))
+        for clause in self.clauses:
+            if not isinstance(clause, HornClause):
+                raise SyntaxKindError(f"not a Horn clause: {clause!r}")
+
+    def facts(self) -> Iterator[HornClause]:
+        return (clause for clause in self.clauses if clause.is_fact)
+
+    def rules(self) -> Iterator[HornClause]:
+        return (clause for clause in self.clauses if not clause.is_fact)
+
+    def predicates(self) -> set[tuple[str, int]]:
+        out: set[tuple[str, int]] = set()
+        for clause in self.clauses:
+            out.add(clause.head.signature)
+            for atom in clause.body:
+                if isinstance(atom, FAtom):
+                    out.add(atom.signature)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def atom_variables(atom: FBodyAtom) -> set[str]:
+    out: set[str] = set()
+    for arg in atom.args:
+        out |= fterm_variables(arg)
+    return out
+
+
+def atom_is_ground(atom: FBodyAtom) -> bool:
+    return all(fterm_is_ground(arg) for arg in atom.args)
+
+
+def substitute_fatom(atom: FBodyAtom, binding: Mapping[str, FTerm]) -> FBodyAtom:
+    if isinstance(atom, NegAtom):
+        inner = substitute_fatom(atom.atom, binding)
+        assert isinstance(inner, FAtom)
+        return atom if inner is atom.atom else NegAtom(inner)
+    new_args = tuple(substitute_fterm(arg, binding) for arg in atom.args)
+    if new_args == atom.args:
+        return atom
+    if isinstance(atom, FAtom):
+        return FAtom(atom.pred, new_args)
+    return FBuiltin(atom.op, new_args)
+
+
+def substitute_fbody(
+    body: tuple[FBodyAtom, ...], binding: Mapping[str, FTerm]
+) -> tuple[FBodyAtom, ...]:
+    return tuple(substitute_fatom(atom, binding) for atom in body)
+
+
+def _rename_atom(atom: FBodyAtom, suffix: str) -> FBodyAtom:
+    if isinstance(atom, NegAtom):
+        inner = _rename_atom(atom.atom, suffix)
+        assert isinstance(inner, FAtom)
+        return NegAtom(inner)
+    new_args = tuple(rename_fterm(arg, suffix) for arg in atom.args)
+    if isinstance(atom, FAtom):
+        return FAtom(atom.pred, new_args)
+    return FBuiltin(atom.op, new_args)
+
+
+def rename_clause(clause: HornClause, suffix: str) -> HornClause:
+    """Standardize a clause apart by renaming all its variables."""
+    head = _rename_atom(clause.head, suffix)
+    assert isinstance(head, FAtom)
+    return HornClause(head, tuple(_rename_atom(atom, suffix) for atom in clause.body))
+
+
+def rename_generalized(clause: GeneralizedClause, suffix: str) -> GeneralizedClause:
+    heads = tuple(_rename_atom(atom, suffix) for atom in clause.heads)
+    return GeneralizedClause(
+        tuple(h for h in heads if isinstance(h, FAtom)),
+        tuple(_rename_atom(atom, suffix) for atom in clause.body),
+    )

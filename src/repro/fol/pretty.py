@@ -1,0 +1,81 @@
+"""Pretty-printer for the first-order side (Prolog-like notation).
+
+Used in the examples and in EXPERIMENTS.md output so translated
+programs look like the paper's Section 4 listings, e.g.::
+
+    common_np(np(Det, Noun)), object(3), pers(np(Det, Noun), 3) :-
+        determiner(Det), object(N), num(Det, N).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fol.atoms import (
+    FBodyAtom,
+    FBuiltin,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    NegAtom,
+)
+from repro.fol.terms import FConst, FTerm, FVar
+
+__all__ = [
+    "pretty_fterm",
+    "pretty_fatom",
+    "pretty_horn",
+    "pretty_generalized",
+    "pretty_fol_program",
+]
+
+_IDENT_RE = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+_ARITH_INFIX = {"+", "-", "*", "//", "mod"}
+
+
+def pretty_fterm(term: FTerm) -> str:
+    if isinstance(term, FVar):
+        return term.name
+    if isinstance(term, FConst):
+        if isinstance(term.value, int):
+            return str(term.value)
+        if _IDENT_RE.match(term.value):
+            return term.value
+        escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if term.functor in _ARITH_INFIX and len(term.args) == 2:
+        lhs, rhs = term.args
+        return f"({pretty_fterm(lhs)} {term.functor} {pretty_fterm(rhs)})"
+    args = ", ".join(pretty_fterm(arg) for arg in term.args)
+    return f"{term.functor}({args})"
+
+
+def pretty_fatom(atom: FBodyAtom) -> str:
+    if isinstance(atom, FBuiltin):
+        lhs, rhs = atom.args
+        return f"{pretty_fterm(lhs)} {atom.op} {pretty_fterm(rhs)}"
+    if isinstance(atom, NegAtom):
+        return f"\\+ {pretty_fatom(atom.atom)}"
+    args = ", ".join(pretty_fterm(arg) for arg in atom.args)
+    return f"{atom.pred}({args})"
+
+
+def _pretty_atoms(atoms: tuple[FBodyAtom, ...]) -> str:
+    return ", ".join(pretty_fatom(atom) for atom in atoms)
+
+
+def pretty_horn(clause: HornClause) -> str:
+    if clause.is_fact:
+        return f"{pretty_fatom(clause.head)}."
+    return f"{pretty_fatom(clause.head)} :- {_pretty_atoms(clause.body)}."
+
+
+def pretty_generalized(clause: GeneralizedClause) -> str:
+    heads = _pretty_atoms(clause.heads)
+    if clause.is_fact:
+        return f"{heads}."
+    return f"{heads} :- {_pretty_atoms(clause.body)}."
+
+
+def pretty_fol_program(program: FOLProgram) -> str:
+    return "\n".join(pretty_horn(clause) for clause in program.clauses)

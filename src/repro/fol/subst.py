@@ -1,0 +1,131 @@
+"""Substitutions over first-order terms.
+
+A :class:`Substitution` is an immutable finite mapping from variable
+names to FOL terms, with the usual operations: application, composition
+and restriction.  Unification (:mod:`repro.fol.unify`) produces
+substitutions in *triangular* (fully applied, idempotent) form: no
+bound variable occurs in any binding's value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from repro.core.errors import SyntaxKindError
+from repro.fol.terms import FTerm, FVar, fterm_variables, substitute_fterm
+
+__all__ = ["Substitution"]
+
+
+class Substitution(Mapping[str, FTerm]):
+    """An immutable variable-to-term mapping.
+
+    Identity bindings (``X -> X``) are dropped on construction so that
+    the empty substitution has a unique representation and idempotence
+    checks are syntactic.
+    """
+
+    __slots__ = ("_binding",)
+
+    def __init__(self, binding: Optional[Mapping[str, FTerm]] = None) -> None:
+        cleaned: dict[str, FTerm] = {}
+        for name, value in (binding or {}).items():
+            if isinstance(value, FVar) and value.name == name:
+                continue
+            cleaned[name] = value
+        self._binding = cleaned
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __getitem__(self, name: str) -> FTerm:
+        return self._binding[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._binding)
+
+    def __len__(self) -> int:
+        return len(self._binding)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._binding == other._binding
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._binding.items()))
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}: {v!r}" for k, v in sorted(self._binding.items()))
+        return f"Substitution({{{items}}})"
+
+    # -- Operations ------------------------------------------------------
+
+    def apply(self, term: FTerm) -> FTerm:
+        """Apply this substitution to a term."""
+        return substitute_fterm(term, self._binding)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """``self`` then ``other``: ``(self.compose(other)).apply(t) ==
+        other.apply(self.apply(t))``."""
+        binding: dict[str, FTerm] = {
+            name: other.apply(value) for name, value in self._binding.items()
+        }
+        for name, value in other.items():
+            if name not in self._binding:
+                binding[name] = value
+        return Substitution(binding)
+
+    def bind(self, name: str, value: FTerm) -> "Substitution":
+        """Extend with one binding, applying it to existing values."""
+        if name in self._binding:
+            raise SyntaxKindError(f"variable {name!r} is already bound")
+        return self.compose(Substitution({name: value}))
+
+    @property
+    def raw(self) -> Mapping[str, FTerm]:
+        """The underlying binding mapping (read-only view for hot paths)."""
+        return self._binding
+
+    def extended(self, new: Mapping[str, FTerm]) -> "Substitution":
+        """Fast extension with disjoint, already-resolved bindings.
+
+        Used by the matcher's hot path: callers guarantee the new names
+        are unbound in ``self`` and the values contain no bound
+        variables (they come from stored facts), so no composition or
+        identity-cleanup pass is needed.
+        """
+        if not new:
+            return self
+        merged = dict(self._binding)
+        merged.update(new)
+        out = Substitution.__new__(Substitution)
+        out._binding = merged
+        return out
+
+    def restrict(self, names: set[str]) -> "Substitution":
+        """Keep only the bindings for ``names`` (answer projection)."""
+        return Substitution({k: v for k, v in self._binding.items() if k in names})
+
+    def is_idempotent(self) -> bool:
+        """True iff no bound variable occurs in any binding value."""
+        bound = set(self._binding)
+        for value in self._binding.values():
+            if fterm_variables(value) & bound:
+                return False
+        return True
+
+    def is_renaming(self) -> bool:
+        """True iff the substitution maps variables injectively to variables."""
+        targets = []
+        for value in self._binding.values():
+            if not isinstance(value, FVar):
+                return False
+            targets.append(value.name)
+        return len(set(targets)) == len(targets)
+
+    @staticmethod
+    def empty() -> "Substitution":
+        return _EMPTY
+
+
+_EMPTY = Substitution()

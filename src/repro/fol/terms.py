@@ -1,0 +1,158 @@
+"""First-order terms — the target language of the Theorem-1 transformation.
+
+Given a language of objects L, the corresponding first-order language L*
+has the same variables and function symbols, a binary predicate symbol
+per label and a unary predicate symbol per type (Section 3.3).  Its
+*individual terms* are the usual FOL terms, built here from
+:class:`FVar`, :class:`FConst` and :class:`FApp`.
+
+These are deliberately separate classes from :mod:`repro.core.terms`:
+FOL terms carry no type annotations and no labels, which keeps the
+deduction engines simple and makes the transformation an explicit,
+testable mapping rather than an in-place reinterpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from repro.core.errors import SyntaxKindError
+
+__all__ = [
+    "FVar",
+    "FConst",
+    "FApp",
+    "FTerm",
+    "fterm_variables",
+    "fterm_is_ground",
+    "substitute_fterm",
+    "rename_fterm",
+    "fterm_size",
+    "walk_fterm",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FVar:
+    """A first-order variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SyntaxKindError(f"variable name must be a nonempty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"FVar({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class FConst:
+    """A constant (zero-ary function symbol); value is str or int."""
+
+    value: Union[str, int]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (str, int)):
+            raise SyntaxKindError(f"constant value must be str or int, got {self.value!r}")
+
+    def __repr__(self) -> str:
+        return f"FConst({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class FApp:
+    """An n-ary function application, n >= 1."""
+
+    functor: str
+    args: tuple["FTerm", ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.functor, str) or not self.functor:
+            raise SyntaxKindError(f"functor must be a nonempty string, got {self.functor!r}")
+        args = tuple(self.args)
+        object.__setattr__(self, "args", args)
+        if not args:
+            raise SyntaxKindError("FApp requires at least one argument; use FConst for arity 0")
+        for arg in args:
+            if not isinstance(arg, (FVar, FConst, FApp)):
+                raise SyntaxKindError(f"function argument must be an FOL term, got {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return f"FApp({self.functor!r}, {self.args!r})"
+
+
+FTerm = Union[FVar, FConst, FApp]
+
+
+def fterm_variables(term: FTerm) -> set[str]:
+    """Variable names occurring in ``term``."""
+    out: set[str] = set()
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, FVar):
+            out.add(current.name)
+        elif isinstance(current, FApp):
+            stack.extend(current.args)
+    return out
+
+
+def fterm_is_ground(term: FTerm) -> bool:
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, FVar):
+            return False
+        if isinstance(current, FApp):
+            stack.extend(current.args)
+    return True
+
+
+def substitute_fterm(term: FTerm, binding: Mapping[str, FTerm]) -> FTerm:
+    """Apply a variable binding, returning the original object when no
+    variable in ``term`` is bound (cheap identity fast path)."""
+    if isinstance(term, FVar):
+        return binding.get(term.name, term)
+    if isinstance(term, FConst):
+        return term
+    new_args = tuple(substitute_fterm(arg, binding) for arg in term.args)
+    if new_args == term.args:
+        return term
+    return FApp(term.functor, new_args)
+
+
+def rename_fterm(term: FTerm, suffix: str) -> FTerm:
+    """Rename every variable by appending ``suffix`` (for standardizing
+    clauses apart)."""
+    if isinstance(term, FVar):
+        return FVar(term.name + suffix)
+    if isinstance(term, FConst):
+        return term
+    return FApp(term.functor, tuple(rename_fterm(arg, suffix) for arg in term.args))
+
+
+def fterm_size(term: FTerm) -> int:
+    count = 0
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        count += 1
+        if isinstance(current, FApp):
+            stack.extend(current.args)
+    return count
+
+
+def walk_fterm(term: FTerm) -> Iterator[FTerm]:
+    """Pre-order iteration over all subterms."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, FApp):
+            stack.extend(reversed(current.args))

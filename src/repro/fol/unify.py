@@ -1,0 +1,220 @@
+"""Unification of first-order terms and atoms.
+
+Implements Robinson-style unification with an optional occurs check
+(enabled by default — the transformation of recursive object rules can
+produce cyclic constraints, and soundness of SLD resolution requires
+the check).  Also provides one-way *matching* (only the pattern's
+variables may be bound), used by the bottom-up engines when joining
+rule bodies against ground facts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fol.atoms import FAtom
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FTerm, FVar
+
+__all__ = ["unify", "unify_terms", "unify_atoms", "match", "match_atom"]
+
+
+def unify(
+    left: FTerm, right: FTerm, subst: Optional[Substitution] = None, occurs_check: bool = True
+) -> Optional[Substitution]:
+    """Most general unifier of two terms under an initial substitution.
+
+    Returns an idempotent substitution extending ``subst``, or ``None``
+    if the terms do not unify.
+    """
+    binding = dict(subst or ())
+    if _unify_into(left, right, binding, occurs_check):
+        return Substitution(binding)
+    return None
+
+
+def unify_terms(
+    lefts: Sequence[FTerm],
+    rights: Sequence[FTerm],
+    subst: Optional[Substitution] = None,
+    occurs_check: bool = True,
+) -> Optional[Substitution]:
+    """Simultaneously unify two equal-length term sequences."""
+    if len(lefts) != len(rights):
+        return None
+    binding = dict(subst or ())
+    for left, right in zip(lefts, rights):
+        if not _unify_into(left, right, binding, occurs_check):
+            return None
+    return Substitution(binding)
+
+
+def unify_atoms(
+    left: FAtom, right: FAtom, subst: Optional[Substitution] = None, occurs_check: bool = True
+) -> Optional[Substitution]:
+    """Unify two atoms: same predicate symbol and arity, arguments unify."""
+    if left.pred != right.pred or len(left.args) != len(right.args):
+        return None
+    return unify_terms(left.args, right.args, subst, occurs_check)
+
+
+def _resolve(term: FTerm, binding: dict[str, FTerm]) -> FTerm:
+    """Follow variable bindings to the representative term (no rebuild)."""
+    while isinstance(term, FVar):
+        bound = binding.get(term.name)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def _occurs(name: str, term: FTerm, binding: dict[str, FTerm]) -> bool:
+    stack = [term]
+    while stack:
+        current = _resolve(stack.pop(), binding)
+        if isinstance(current, FVar):
+            if current.name == name:
+                return True
+        elif isinstance(current, FApp):
+            stack.extend(current.args)
+    return False
+
+
+def _unify_into(left: FTerm, right: FTerm, binding: dict[str, FTerm], occurs_check: bool) -> bool:
+    """Union-find style unification into a mutable binding.
+
+    The binding is kept triangular lazily; callers normalize through
+    :class:`Substitution`, which fully applies bindings on construction
+    via :func:`_deep_apply`.
+    """
+    stack = [(left, right)]
+    while stack:
+        l, r = stack.pop()
+        l = _resolve(l, binding)
+        r = _resolve(r, binding)
+        if l is r:
+            continue
+        if isinstance(l, FVar):
+            if isinstance(r, FVar) and r.name == l.name:
+                continue
+            if occurs_check and _occurs(l.name, r, binding):
+                return False
+            binding[l.name] = r
+            continue
+        if isinstance(r, FVar):
+            if occurs_check and _occurs(r.name, l, binding):
+                return False
+            binding[r.name] = l
+            continue
+        if isinstance(l, FConst) and isinstance(r, FConst):
+            if l.value != r.value or type(l.value) is not type(r.value):
+                return False
+            continue
+        if isinstance(l, FApp) and isinstance(r, FApp):
+            if l.functor != r.functor or len(l.args) != len(r.args):
+                return False
+            stack.extend(zip(l.args, r.args))
+            continue
+        return False
+    # Normalize to an idempotent (fully applied) binding.
+    _triangularize(binding)
+    return True
+
+
+def _triangularize(binding: dict[str, FTerm]) -> None:
+    """Rewrite the binding in place so no bound variable occurs in any
+    value (assumes acyclicity, guaranteed by the occurs check; without
+    it, a depth fuse prevents non-termination)."""
+    for name in list(binding):
+        binding[name] = _deep_apply(binding[name], binding, depth=0)
+
+
+def _deep_apply(term: FTerm, binding: dict[str, FTerm], depth: int) -> FTerm:
+    if depth > 10_000:  # fuse for occurs_check=False misuse
+        return term
+    if isinstance(term, FVar):
+        bound = binding.get(term.name)
+        if bound is None:
+            return term
+        return _deep_apply(bound, binding, depth + 1)
+    if isinstance(term, FConst):
+        return term
+    new_args = tuple(_deep_apply(arg, binding, depth + 1) for arg in term.args)
+    if new_args == term.args:
+        return term
+    return FApp(term.functor, new_args)
+
+
+def _match_into(
+    pattern: FTerm,
+    instance: FTerm,
+    base: "dict[str, FTerm] | None",
+    new: dict[str, FTerm],
+) -> bool:
+    """Shared matching core: collect pattern-variable bindings into
+    ``new`` without copying ``base`` (the engines' hottest loop)."""
+    stack = [(pattern, instance)]
+    while stack:
+        p, i = stack.pop()
+        if isinstance(p, FVar):
+            bound = new.get(p.name)
+            if bound is None and base is not None:
+                bound = base.get(p.name)
+            if bound is None:
+                new[p.name] = i
+                continue
+            if bound != i:
+                return False
+            continue
+        if isinstance(p, FConst):
+            if (
+                not isinstance(i, FConst)
+                or p.value != i.value
+                or type(p.value) is not type(i.value)
+            ):
+                return False
+            continue
+        if isinstance(p, FApp):
+            if (
+                not isinstance(i, FApp)
+                or p.functor != i.functor
+                or len(p.args) != len(i.args)
+            ):
+                return False
+            stack.extend(zip(p.args, i.args))
+            continue
+        return False
+    return True
+
+
+def match(
+    pattern: FTerm, instance: FTerm, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """One-way matching: bind only the pattern's variables.
+
+    ``instance`` is typically ground (a stored fact); its variables, if
+    any, are treated as constants.
+    """
+    new: dict[str, FTerm] = {}
+    base = subst.raw if subst is not None else None
+    if not _match_into(pattern, instance, base, new):
+        return None
+    if subst is None:
+        return Substitution(new)
+    return subst.extended(new)
+
+
+def match_atom(
+    pattern: FAtom, instance: FAtom, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """One-way matching of atoms (pattern variables only)."""
+    if pattern.pred != instance.pred or len(pattern.args) != len(instance.args):
+        return None
+    new: dict[str, FTerm] = {}
+    base = subst.raw if subst is not None else None
+    for p, i in zip(pattern.args, instance.args):
+        if not _match_into(p, i, base, new):
+            return None
+    if subst is None:
+        return Substitution(new)
+    return subst.extended(new)

@@ -1,0 +1,6 @@
+"""The user-facing API: knowledge bases with declarative identity
+policies (Section 2.1's high-level interface) and multi-engine queries."""
+
+from repro.interface.kb import ENGINES, Answer, KnowledgeBase
+
+__all__ = ["ENGINES", "Answer", "KnowledgeBase"]

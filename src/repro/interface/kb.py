@@ -1,0 +1,371 @@
+"""The high-level knowledge-base API.
+
+This is the paper's "high-level interface" (Section 2.1) made concrete:
+the user writes facts and rules in the paper's syntax, *declares* what
+determines the identity of objects created by entity-creating rules —
+never constructing skolem terms by hand — and asks queries, choosing
+any of the five evaluation strategies.
+
+Example::
+
+    kb = KnowledgeBase.from_source('''
+        node: a[linkto => b].
+        node: b[linkto => c].
+        path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+        path: C[src => X, dest => Y, length => L] :-
+            node: X[linkto => Z],
+            path: C0[src => Z, dest => Y, length => L0],
+            L is L0 + 1.
+    ''')
+    kb.declare_identity("C", depends_on=("X", "Y"))     # reading 1 of §2.1
+    for answer in kb.ask("path: P[src => a, dest => Y]"):
+        print(answer.pretty())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.clauses import DefiniteClause, Program, Query
+from repro.core.errors import EngineError, TransformError
+from repro.core.pretty import pretty_term
+from repro.core.skolem import SkolemPolicy, skolemize_clause
+from repro.core.terms import Term
+from repro.core.types import SubtypeDecl
+from repro.db.store import ObjectStore
+from repro.engine.direct import DirectEngine
+from repro.engine.topdown import SLDEngine
+from repro.engine.tabling import TabledEngine
+from repro.fol.subst import Substitution
+from repro.lang.parser import parse_program, parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+from repro.transform.terms import fol_to_identity
+
+__all__ = ["Answer", "KnowledgeBase", "ENGINES"]
+
+#: The evaluation strategies `ask` accepts.
+ENGINES = ("direct", "bottomup", "seminaive", "sld", "tabled")
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One query answer: a binding of query variables to ground terms."""
+
+    binding: tuple[tuple[str, Term], ...]
+
+    def __getitem__(self, name: str) -> Term:
+        for key, value in self.binding:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self.binding)
+
+    def keys(self) -> list[str]:
+        return [key for key, _ in self.binding]
+
+    def pretty(self) -> dict[str, str]:
+        """The binding rendered in the paper's term syntax."""
+        return {key: pretty_term(value) for key, value in self.binding}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k} = {v}" for k, v in self.pretty().items())
+        return f"Answer({inner})"
+
+
+class KnowledgeBase:
+    """Facts, rules, identity declarations and multi-engine querying."""
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        default_engine: str = "direct",
+        sld_depth: int = 64,
+        sld_select: str = "smallest",
+    ) -> None:
+        if default_engine not in ENGINES:
+            raise EngineError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
+        self._program = program if program is not None else Program(())
+        self.default_engine = default_engine
+        self.sld_depth = sld_depth
+        self.sld_select = sld_select
+        self._direct: Optional[DirectEngine] = None
+        self._fol_cache = None
+        self._fol_facts = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, **kwargs) -> "KnowledgeBase":
+        """Build a knowledge base from program text (clauses, subtype
+        declarations; inline queries in the text are ignored here —
+        pass them to :meth:`ask`)."""
+        unit = parse_program(source)
+        return cls(unit.program, **kwargs)
+
+    @classmethod
+    def load(cls, path: str, **kwargs) -> "KnowledgeBase":
+        """Read a program file (the paper's concrete syntax)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), **kwargs)
+
+    def save(self, path: str) -> None:
+        """Write the program in concrete syntax; :meth:`load` restores
+        it exactly (the printer and parser round-trip)."""
+        from repro.core.pretty import pretty_program
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(pretty_program(self._program))
+            handle.write("\n")
+
+    def add_source(self, source: str) -> None:
+        """Parse and append more clauses / subtype declarations."""
+        unit = parse_program(source)
+        self._program = Program(
+            self._program.clauses + unit.program.clauses,
+            self._program.subtypes + unit.program.subtypes,
+        )
+        self._invalidate()
+
+    def add_clause(self, clause: DefiniteClause) -> None:
+        self._program = self._program.extended(clause)
+        self._invalidate()
+
+    def add_clauses(self, clauses: Iterable[DefiniteClause]) -> None:
+        self._program = Program(
+            self._program.clauses + tuple(clauses), self._program.subtypes
+        )
+        self._invalidate()
+
+    def add_subtype(self, sub: str, sup: str) -> None:
+        self._program = Program(
+            self._program.clauses, self._program.subtypes + (SubtypeDecl(sub, sup),)
+        )
+        self._invalidate()
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def _invalidate(self) -> None:
+        self._direct = None
+        self._fol_cache = None
+        self._fol_facts = {}
+
+    # ------------------------------------------------------------------
+    # Identity declarations (the Section 2.1 high-level interface)
+    # ------------------------------------------------------------------
+
+    def declare_identity(
+        self,
+        variable: str,
+        depends_on: Sequence[str],
+        functor: str = "id",
+        clause_index: Optional[int] = None,
+    ) -> int:
+        """Declare that the existential object variable ``variable`` is
+        determined by the variables ``depends_on``.
+
+        The system replaces the variable with the skolem identity
+        ``functor(depends_on...)`` — "the user would not give the
+        explicit construction id(X, Y) of identities, but only that
+        object variable C in the original rules is existentially
+        dependent upon X and Y".
+
+        Without ``clause_index`` the declaration applies to *every*
+        clause in which ``variable`` is existential (head-only) and the
+        dependencies occur; returns how many clauses were rewritten
+        (raising if none were).
+        """
+        clauses = list(self._program.clauses)
+        rewritten = 0
+        indices = [clause_index] if clause_index is not None else range(len(clauses))
+        for index in indices:
+            clause = clauses[index]
+            if variable not in clause.head_only_variables():
+                if clause_index is not None:
+                    raise TransformError(
+                        f"variable {variable!r} is not existential in clause {index}"
+                    )
+                continue
+            policy = SkolemPolicy(variable, tuple(depends_on), functor)
+            clauses[index] = skolemize_clause(clause, policy)
+            rewritten += 1
+        if not rewritten:
+            raise TransformError(
+                f"no clause has {variable!r} as an existential (head-only) variable"
+            )
+        self._program = Program(tuple(clauses), self._program.subtypes)
+        self._invalidate()
+        return rewritten
+
+    def existential_variables(self) -> list[tuple[int, frozenset[str]]]:
+        """Per clause, its head-only (existential) variables — what
+        still needs a :meth:`declare_identity` before evaluation."""
+        out = []
+        for index, clause in enumerate(self._program.clauses):
+            head_only = clause.head_only_variables()
+            if head_only:
+                out.append((index, frozenset(head_only)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def ask(
+        self, query: Union[str, Query], engine: Optional[str] = None
+    ) -> list[Answer]:
+        """Answer a query with the chosen engine (default: the KB's).
+
+        All engines return the same answer set on terminating programs
+        (tested); they differ in cost profile — see DESIGN.md.
+        """
+        engine = engine if engine is not None else self.default_engine
+        if engine not in ENGINES:
+            raise EngineError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if engine == "direct":
+            return self._ask_direct(parsed)
+        return self._ask_fol(parsed, engine)
+
+    def holds(self, query: Union[str, Query], engine: Optional[str] = None) -> bool:
+        """True iff the query has at least one answer."""
+        return bool(self.ask(query, engine))
+
+    def explain(self, query: Union[str, Query]) -> list[str]:
+        """Derivation trees (rendered) for every answer to the query.
+
+        Uses the direct engine's :class:`~repro.engine.explain.Explainer`:
+        each answer comes with one tree per query atom showing which
+        clauses and extensional facts support it.
+        """
+        from repro.engine.explain import Explainer, format_derivation
+
+        parsed = parse_query(query) if isinstance(query, str) else query
+        explainer = Explainer(self.direct_engine())
+        rendered: list[str] = []
+        for answer, derivations in explainer.explain_query(parsed):
+            header = ", ".join(
+                f"{name} = {pretty_term(value)}" for name, value in answer.items()
+            )
+            body = "\n".join(
+                format_derivation(d, self._program) for d in derivations
+            )
+            rendered.append((header + "\n" if header else "") + body)
+        return rendered
+
+    def _ask_direct(self, query: Query) -> list[Answer]:
+        answers = self.direct_engine().solve(query)
+        return sorted(
+            (Answer(tuple(sorted(a.items()))) for a in answers), key=repr
+        )
+
+    def _ask_fol(self, query: Query, engine: str) -> list[Answer]:
+        goals = query_to_fol(query)
+        substitutions: Iterable[Substitution]
+        if engine in ("bottomup", "seminaive"):
+            facts = self._fol_minimal_model(engine)
+            from repro.engine.bottomup import answer_query_bottomup
+
+            substitutions = answer_query_bottomup(goals, facts)
+        elif engine == "sld":
+            if self._uses_negation():
+                from repro.core.errors import UnsupportedFeatureError
+
+                raise UnsupportedFeatureError(
+                    "the SLD engine does not support negation; use the "
+                    "direct, bottomup or seminaive engine"
+                )
+            substitutions = SLDEngine(self._fol_program()).solve(
+                goals, max_depth=self.sld_depth, select=self.sld_select
+            )
+        else:  # tabled
+            if self._uses_negation():
+                from repro.core.errors import UnsupportedFeatureError
+
+                raise UnsupportedFeatureError(
+                    "the tabled engine does not support negation; use the "
+                    "direct, bottomup or seminaive engine"
+                )
+            substitutions = TabledEngine(self._fol_program()).solve(goals)
+        out = []
+        for subst in substitutions:
+            binding = tuple(
+                sorted((name, fol_to_identity(value)) for name, value in subst.items())
+            )
+            out.append(Answer(binding))
+        return sorted(set(out), key=repr)
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+
+    def direct_engine(self) -> DirectEngine:
+        if self._direct is None:
+            self._direct = DirectEngine(self._program)
+        return self._direct
+
+    @property
+    def store(self) -> ObjectStore:
+        """The saturated object store (the minimal model)."""
+        engine = self.direct_engine()
+        engine.saturate()
+        return engine.store
+
+    def objects(self) -> list[Term]:
+        """Merged descriptions of every object in the minimal model."""
+        return list(self.store.merged_descriptions())
+
+    def _fol_program(self):
+        if self._fol_cache is None:
+            self._fol_cache = program_to_fol(self._program)
+        return self._fol_cache
+
+    def _uses_negation(self) -> bool:
+        from repro.core.clauses import NegatedAtom
+
+        return any(
+            isinstance(atom, NegatedAtom)
+            for clause in self._program.clauses
+            for atom in clause.body
+        )
+
+    def _fol_minimal_model(self, engine: str):
+        cached = self._fol_facts.get(engine)
+        if cached is None:
+            if self._uses_negation():
+                # Both bottom-up strategies route through the stratified
+                # engine when the program negates (the positive
+                # fixpoints refuse such rules).
+                from repro.engine.negation import stratified_fixpoint
+
+                cached = stratified_fixpoint(self._fol_program())
+            elif engine == "bottomup":
+                from repro.engine.bottomup import naive_fixpoint
+
+                cached = naive_fixpoint(self._fol_program())
+            else:
+                from repro.engine.seminaive import seminaive_fixpoint
+
+                cached = seminaive_fixpoint(self._fol_program())
+            self._fol_facts[engine] = cached
+        return cached
+
+    def to_fol_source(self, optimize: bool = False) -> str:
+        """The translated first-order program, pretty-printed (with the
+        Section 4 redundancy elimination when ``optimize=True``)."""
+        from repro.fol.pretty import pretty_generalized, pretty_horn
+        from repro.transform.clauses import program_to_generalized
+        from repro.transform.optimize import optimize_program
+
+        generalized = program_to_generalized(self._program)
+        if optimize:
+            generalized, _ = optimize_program(generalized)
+        lines = [pretty_generalized(clause) for clause in generalized.clauses]
+        lines.extend(pretty_horn(axiom) for axiom in generalized.axioms)
+        return "\n".join(lines)

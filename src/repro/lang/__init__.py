@@ -1,0 +1,29 @@
+"""Concrete syntax of C-logic: lexer and parser.
+
+The syntax follows the paper's notation (Sections 2–5) with ASCII
+``=>`` for the label arrow; see :mod:`repro.lang.parser` for the full
+grammar and the predicate/term disambiguation convention.
+"""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import (
+    ParsedUnit,
+    Parser,
+    parse_atom,
+    parse_clause,
+    parse_program,
+    parse_query,
+    parse_term,
+)
+
+__all__ = [
+    "ParsedUnit",
+    "Parser",
+    "Token",
+    "parse_atom",
+    "parse_clause",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+    "tokenize",
+]

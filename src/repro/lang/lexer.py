@@ -1,0 +1,208 @@
+"""Lexer for the concrete syntax of C-logic programs.
+
+Token classes:
+
+* ``IDENT``    — lowercase-initial identifiers (``john``, ``noun_phrase``);
+  used for type symbols, labels, constants, functors and predicates.
+  (The paper prints hyphenated names like ``noun-phrase``; we use
+  underscores so ``-`` can remain the arithmetic minus.)
+* ``VARIABLE`` — uppercase- or underscore-initial identifiers (``X``, ``_L0``).
+* ``NUMBER``   — nonnegative integer literals.
+* ``STRING``   — double-quoted constants (``"John Smith"``).
+* punctuation  — ``: [ ] ( ) { } , . < > + - * // ``, the arrows
+  ``=>`` and ``:-``/``?-``, comparisons ``=< >= =:= =\\=``, ``=`` and
+  the keywords ``is`` and ``mod``.
+
+Comments run from ``%`` to end of line (Prolog convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import LexError
+
+__all__ = ["Token", "tokenize", "TOKEN_KINDS"]
+
+TOKEN_KINDS = frozenset(
+    {
+        "IDENT",
+        "VARIABLE",
+        "NUMBER",
+        "STRING",
+        "COLON",
+        "LBRACKET",
+        "RBRACKET",
+        "LPAREN",
+        "RPAREN",
+        "LBRACE",
+        "RBRACE",
+        "COMMA",
+        "DOT",
+        "ARROW",      # =>
+        "IMPLIED_BY", # :-
+        "QUERY",      # ?-
+        "LT",
+        "GT",
+        "LE",         # =<
+        "GE",         # >=
+        "EQ",         # =
+        "ARITH_EQ",   # =:=
+        "ARITH_NE",   # =\=
+        "PLUS",
+        "MINUS",
+        "STAR",
+        "INTDIV",     # //
+        "IS",
+        "MOD",
+        "NAF",        # \+ (negation as failure)
+        "EOF",
+    }
+)
+
+_ASCII_DIGITS = frozenset("0123456789")
+_ASCII_LETTERS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+)
+
+_KEYWORDS = {"is": "IS", "mod": "MOD"}
+
+# Multi-character operators, longest first so prefixes do not shadow them.
+_OPERATORS = [
+    ("=\\=", "ARITH_NE"),
+    ("\\+", "NAF"),
+    ("=:=", "ARITH_EQ"),
+    (":-", "IMPLIED_BY"),
+    ("?-", "QUERY"),
+    ("=>", "ARROW"),
+    ("=<", "LE"),
+    (">=", "GE"),
+    ("//", "INTDIV"),
+    (":", "COLON"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    (",", "COMMA"),
+    (".", "DOT"),
+    ("<", "LT"),
+    (">", "GT"),
+    ("=", "EQ"),
+    ("+", "PLUS"),
+    ("-", "MINUS"),
+    ("*", "STAR"),
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "%":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            token, index, consumed = _scan_string(source, index, line, column)
+            column += consumed
+            yield token
+            continue
+        if char in _ASCII_DIGITS:
+            # ASCII digits only: str.isdigit() also accepts characters
+            # like '²' that int() rejects.
+            start = index
+            while index < length and source[index] in _ASCII_DIGITS:
+                index += 1
+            text = source[start:index]
+            yield Token("NUMBER", text, line, column)
+            column += len(text)
+            continue
+        if char in _ASCII_LETTERS or char == "_":
+            start = index
+            while index < length and (
+                source[index] in _ASCII_LETTERS
+                or source[index] in _ASCII_DIGITS
+                or source[index] == "_"
+            ):
+                index += 1
+            text = source[start:index]
+            if text in _KEYWORDS:
+                kind = _KEYWORDS[text]
+            elif text[0].isupper() or text[0] == "_":
+                kind = "VARIABLE"
+            else:
+                kind = "IDENT"
+            yield Token(kind, text, line, column)
+            column += len(text)
+            continue
+        matched = False
+        for text, kind in _OPERATORS:
+            if source.startswith(text, index):
+                yield Token(kind, text, line, column)
+                index += len(text)
+                column += len(text)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token("EOF", "", line, column)
+
+
+def _scan_string(source: str, index: int, line: int, column: int) -> tuple[Token, int, int]:
+    """Scan a double-quoted string starting at ``index``; supports the
+    escapes ``\\"`` and ``\\\\``.  Returns (token, new_index, columns_consumed)."""
+    start = index
+    index += 1  # opening quote
+    chars: list[str] = []
+    while index < len(source):
+        char = source[index]
+        if char == "\n":
+            raise LexError("unterminated string (newline inside quotes)", line, column)
+        if char == "\\":
+            if index + 1 >= len(source):
+                raise LexError("unterminated escape in string", line, column)
+            escape = source[index + 1]
+            if escape not in ('"', "\\"):
+                raise LexError(f"unknown string escape \\{escape}", line, column)
+            chars.append(escape)
+            index += 2
+            continue
+        if char == '"':
+            index += 1
+            return Token("STRING", "".join(chars), line, column), index, index - start
+        chars.append(char)
+        index += 1
+    raise LexError("unterminated string", line, column)

@@ -1,0 +1,411 @@
+"""Recursive-descent parser for the concrete syntax of C-logic.
+
+The grammar follows Section 3.1 and the program syntax of Section 4::
+
+    program    := statement* EOF
+    statement  := subtype '.' | clause '.' | query '.'
+    subtype    := IDENT '<' IDENT
+    clause     := atom (':-' body)?
+    query      := (':-' | '?-') body
+    body       := body_atom (',' body_atom)*
+    body_atom  := atom | term 'is' arith | arith CMP arith | term '=' term
+    atom       := term | IDENT '(' term_list ')'
+    term       := (IDENT ':')? base ('[' spec (',' spec)* ']')?
+    base       := VARIABLE | NUMBER | STRING | IDENT ('(' term_list ')')?
+    spec       := IDENT '=>' (term | '{' term_list '}')
+
+One deliberate convention resolves the paper's predicate/term ambiguity:
+at *atom* position, a bare ``name(args)`` with no type prefix and no
+label block is read as a **predicate atom**; prefix it with a type
+(``object: name(args)``) to force the term reading.  The paper keeps
+the two apart semantically (end of Section 3.2) but its concrete syntax
+relies on context; ours makes the choice explicit.
+
+Example 1's non-terms are rejected here: ``student: id[name=>joe][age=>20]``
+(labelling a labelled term), ``part: f(part_id => 123)`` (a label spec
+is not a term, so it cannot be a function argument) and ``part: f[...]``
+where ``f`` is used at arity 0 after being declared unary is permitted
+syntactically — arity policing is a schema concern the paper leaves to
+the layer above the logic, but the first two are grammar violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clauses import (
+    BodyAtom,
+    BuiltinAtom,
+    DefiniteClause,
+    NegatedAtom,
+    Program,
+    Query,
+)
+from repro.core.errors import ParseError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import (
+    BaseTerm,
+    Collection,
+    Const,
+    Func,
+    LabelSpec,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+)
+from repro.core.types import SubtypeDecl
+from repro.lang.lexer import Token, tokenize
+
+__all__ = [
+    "ParsedUnit",
+    "Parser",
+    "parse_program",
+    "parse_clause",
+    "parse_query",
+    "parse_atom",
+    "parse_term",
+]
+
+_CMP_TOKENS = {
+    "LT": "<",
+    "GT": ">",
+    "LE": "=<",
+    "GE": ">=",
+    "ARITH_EQ": "=:=",
+    "ARITH_NE": "=\\=",
+}
+_ADD_TOKENS = {"PLUS": "+", "MINUS": "-"}
+_MUL_TOKENS = {"STAR": "*", "INTDIV": "//", "MOD": "mod"}
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedUnit:
+    """The result of parsing a source file: a program plus any queries
+    that appeared among its statements (in order)."""
+
+    program: Program
+    queries: tuple[Query, ...]
+
+
+class Parser:
+    """A single-use recursive-descent parser over a token list."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message + f" (found {token.kind} {token.text!r})", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ParsedUnit:
+        clauses: list[DefiniteClause] = []
+        subtypes: list[SubtypeDecl] = []
+        queries: list[Query] = []
+        while self._peek().kind != "EOF":
+            if self._peek().kind in ("IMPLIED_BY", "QUERY"):
+                self._advance()
+                body = self._parse_body()
+                self._expect("DOT")
+                queries.append(Query(tuple(body)))
+                continue
+            if (
+                self._peek().kind == "IDENT"
+                and self._peek(1).kind == "LT"
+                and self._peek(2).kind == "IDENT"
+                and self._peek(3).kind == "DOT"
+            ):
+                sub = self._advance().text
+                self._advance()  # <
+                sup = self._advance().text
+                self._expect("DOT")
+                subtypes.append(SubtypeDecl(sub, sup))
+                continue
+            clauses.append(self._parse_clause_statement())
+        return ParsedUnit(Program(tuple(clauses), tuple(subtypes)), tuple(queries))
+
+    def parse_single_clause(self) -> DefiniteClause:
+        clause = self._parse_clause_statement()
+        self._expect("EOF")
+        return clause
+
+    def parse_single_query(self) -> Query:
+        if self._peek().kind in ("IMPLIED_BY", "QUERY"):
+            self._advance()
+        body = self._parse_body()
+        if self._peek().kind == "DOT":
+            self._advance()
+        self._expect("EOF")
+        return Query(tuple(body))
+
+    def parse_single_atom(self) -> BodyAtom:
+        atom = self._parse_body_atom()
+        self._expect("EOF")
+        return atom
+
+    def parse_single_term(self) -> Term:
+        term = self._parse_term()
+        self._expect("EOF")
+        return term
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_clause_statement(self) -> DefiniteClause:
+        head = self._parse_head_atom()
+        body: tuple[BodyAtom, ...] = ()
+        if self._peek().kind == "IMPLIED_BY":
+            self._advance()
+            body = tuple(self._parse_body())
+        self._expect("DOT")
+        return DefiniteClause(head, body)
+
+    def _parse_head_atom(self) -> Atom:
+        atom = self._parse_body_atom()
+        if isinstance(atom, BuiltinAtom):
+            raise self._error("a builtin atom cannot head a clause")
+        if isinstance(atom, NegatedAtom):
+            raise self._error("a negated atom cannot head a clause")
+        return atom
+
+    def _parse_body(self) -> list[BodyAtom]:
+        atoms = [self._parse_body_atom()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            atoms.append(self._parse_body_atom())
+        return atoms
+
+    # ------------------------------------------------------------------
+    # Atoms
+    # ------------------------------------------------------------------
+
+    def _parse_body_atom(self) -> BodyAtom:
+        if self._peek().kind == "NAF":
+            self._advance()
+            inner = self._parse_atom_primary()
+            return NegatedAtom(inner)
+        atom = self._parse_atom_primary()
+        if isinstance(atom, PredAtom):
+            return atom
+        term = atom.term
+        # Arithmetic continuation turns the parsed term into the left
+        # operand of a builtin: "L0 + 1 < N" or "L is L0 + 1".
+        if self._peek().kind in _ADD_TOKENS or self._peek().kind in _MUL_TOKENS:
+            term = self._continue_arith(term)
+        next_kind = self._peek().kind
+        if next_kind == "IS":
+            self._advance()
+            rhs = self._parse_arith()
+            return BuiltinAtom("is", (term, rhs))
+        if next_kind in _CMP_TOKENS:
+            op = _CMP_TOKENS[next_kind]
+            self._advance()
+            rhs = self._parse_arith()
+            return BuiltinAtom(op, (term, rhs))
+        if next_kind == "EQ":
+            self._advance()
+            rhs = self._parse_term()
+            return BuiltinAtom("=", (term, rhs))
+        return TermAtom(term)
+
+    def _parse_atom_primary(self) -> Atom:
+        """A predicate atom or a term atom, per the convention in the
+        module docstring."""
+        token = self._peek()
+        if token.kind == "IDENT" and self._peek(1).kind == "LPAREN":
+            # Could be a predicate atom or an (untyped) labelled function
+            # term; decide after the closing parenthesis.
+            name = self._advance().text
+            args = self._parse_paren_term_list()
+            if self._peek().kind == "LBRACKET":
+                base = Func(name, tuple(args))
+                return TermAtom(self._parse_labels(base))
+            return PredAtom(name, tuple(args))
+        return TermAtom(self._parse_term())
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+
+    def _parse_term(self) -> Term:
+        type_name = OBJECT
+        if self._peek().kind == "IDENT" and self._peek(1).kind == "COLON":
+            type_name = self._advance().text
+            self._advance()  # colon
+        base = self._parse_base(type_name)
+        if self._peek().kind == "LBRACKET":
+            return self._parse_labels(base)
+        return base
+
+    def _parse_base(self, type_name: str) -> BaseTerm:
+        token = self._peek()
+        if token.kind == "VARIABLE":
+            self._advance()
+            return Var(token.text, type_name)
+        if token.kind == "NUMBER":
+            self._advance()
+            return Const(int(token.text), type_name)
+        if token.kind == "STRING":
+            self._advance()
+            return Const(token.text, type_name)
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if self._peek().kind == "LPAREN":
+                args = self._parse_paren_term_list()
+                return Func(name, tuple(args), type_name)
+            return Const(name, type_name)
+        if token.kind == "MINUS" and self._peek(1).kind == "NUMBER":
+            self._advance()
+            number = self._advance()
+            return Const(-int(number.text), type_name)
+        raise self._error("expected a term")
+
+    def _parse_paren_term_list(self) -> list[Term]:
+        self._expect("LPAREN")
+        terms = [self._parse_term()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            terms.append(self._parse_term())
+        self._expect("RPAREN")
+        return terms
+
+    def _parse_labels(self, base: BaseTerm) -> LTerm:
+        self._expect("LBRACKET")
+        specs = [self._parse_spec()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            specs.append(self._parse_spec())
+        self._expect("RBRACKET")
+        labelled = LTerm(base, tuple(specs))
+        if self._peek().kind == "LBRACKET":
+            # t[...][...] is not a term (Example 1).
+            raise self._error("a labelled term cannot be labelled again")
+        return labelled
+
+    def _parse_spec(self) -> LabelSpec:
+        label = self._expect("IDENT").text
+        self._expect("ARROW")
+        if self._peek().kind == "LBRACE":
+            self._advance()
+            items = [self._parse_term()]
+            while self._peek().kind == "COMMA":
+                self._advance()
+                items.append(self._parse_term())
+            self._expect("RBRACE")
+            return LabelSpec(label, Collection(tuple(items)))
+        return LabelSpec(label, self._parse_term())
+
+    # ------------------------------------------------------------------
+    # Arithmetic expressions
+    # ------------------------------------------------------------------
+
+    def _parse_arith(self) -> Term:
+        left = self._parse_arith_term()
+        return self._continue_add(left)
+
+    def _continue_arith(self, left: Term) -> Term:
+        """Continue an arithmetic expression whose first operand has
+        already been parsed as a term."""
+        left = self._continue_mul(left)
+        return self._continue_add(left)
+
+    def _continue_add(self, left: Term) -> Term:
+        while self._peek().kind in _ADD_TOKENS:
+            op = _ADD_TOKENS[self._advance().kind]
+            right = self._parse_arith_term()
+            left = Func(op, (left, right))
+        return left
+
+    def _parse_arith_term(self) -> Term:
+        left = self._parse_arith_factor()
+        return self._continue_mul(left)
+
+    def _continue_mul(self, left: Term) -> Term:
+        while self._peek().kind in _MUL_TOKENS:
+            op = _MUL_TOKENS[self._advance().kind]
+            right = self._parse_arith_factor()
+            left = Func(op, (left, right))
+        return left
+
+    def _parse_arith_factor(self) -> Term:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_arith()
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "MINUS":
+            self._advance()
+            if self._peek().kind == "NUMBER":
+                return Const(-int(self._advance().text))
+            operand = self._parse_arith_factor()
+            return Func("-", (Const(0), operand))
+        if token.kind == "NUMBER":
+            self._advance()
+            return Const(int(token.text))
+        if token.kind == "VARIABLE":
+            self._advance()
+            return Var(token.text)
+        if token.kind == "IDENT":
+            # A symbolic constant used in arithmetic position; evaluation
+            # will reject it unless bound to a number via unification.
+            self._advance()
+            return Const(token.text)
+        raise self._error("expected an arithmetic expression")
+
+
+def parse_program(source: str) -> ParsedUnit:
+    """Parse a full program source (clauses, subtype declarations and
+    optional inline queries)."""
+    return Parser(source).parse_program()
+
+
+def parse_clause(source: str) -> DefiniteClause:
+    """Parse one definite clause, e.g. ``"a[l => b] :- c(X)."``."""
+    return Parser(source).parse_single_clause()
+
+
+def parse_query(source: str) -> Query:
+    """Parse one query; the leading ``:-``/``?-`` and trailing dot are
+    both optional, so ``"path: X[src => S]"`` works."""
+    return Parser(source).parse_single_query()
+
+
+def parse_atom(source: str) -> BodyAtom:
+    """Parse one atom (term atom, predicate atom or builtin)."""
+    return Parser(source).parse_single_atom()
+
+
+def parse_term(source: str) -> Term:
+    """Parse one term."""
+    return Parser(source).parse_single_term()

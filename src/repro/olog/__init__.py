@@ -1,0 +1,22 @@
+"""Maier's O-logic baseline: functional labels, global inconsistency,
+and the lattice-based alternative (Section 2.2)."""
+
+from repro.olog.olog import (
+    TOP,
+    FunctionalityViolation,
+    ValueLattice,
+    check_consistency,
+    lattice_label_value,
+    require_consistent,
+    violations_in_store,
+)
+
+__all__ = [
+    "TOP",
+    "FunctionalityViolation",
+    "ValueLattice",
+    "check_consistency",
+    "lattice_label_value",
+    "require_consistent",
+    "violations_in_store",
+]

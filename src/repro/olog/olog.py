@@ -1,0 +1,173 @@
+"""Maier's O-logic as a baseline: labels as partial functions (Section 2.2).
+
+"In O-logic, labels are considered semantically as partial functions
+from objects to objects.  A program containing a multiply-defined label
+would have no models.  So even if a program contains only Horn-like
+rules, it may still be inconsistent.  Consistency checking of a program
+essentially requires evaluating the whole program ..."
+
+This module reproduces exactly that behaviour on top of the C-logic
+machinery: an O-logic program *is* a C-logic program, but consistency
+additionally demands that in the minimal model every label is
+functional (at most one value per object).  :func:`check_consistency`
+therefore saturates the program with the direct engine — evaluating the
+whole program, as the paper says one must — and reports every
+functionality violation.  :func:`require_consistent` raises
+:class:`~repro.core.errors.ConsistencyError` on the first violation,
+modelling "the program has no models".
+
+The module also implements the *lattice-based* alternative the paper
+discusses (after [6, 18]): with a top object ``T``, a multiply-defined
+label derives ``T`` as its value, making inconsistency local.
+:func:`lattice_label_value` computes the label value under that
+semantics — the least upper bound of the asserted values in a
+user-supplied value lattice, ``T`` when none exists — and
+demonstrates the derivability gap the paper points out (the
+``john[name => "David"]`` sub-object of ``john[name => T]`` is true in
+that semantics but unreachable by resolution-like rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.clauses import Program
+from repro.core.errors import ConsistencyError
+from repro.core.terms import BaseTerm
+from repro.core.types import TypeHierarchy
+from repro.db.store import ObjectStore
+from repro.engine.direct import DirectEngine
+
+__all__ = [
+    "FunctionalityViolation",
+    "check_consistency",
+    "require_consistent",
+    "TOP",
+    "ValueLattice",
+    "lattice_label_value",
+]
+
+#: The top object of the lattice-based semantics.
+TOP = "T"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionalityViolation:
+    """A label with more than one value on one object."""
+
+    label: str
+    host: BaseTerm
+    values: tuple[BaseTerm, ...]
+
+    def __str__(self) -> str:
+        from repro.core.pretty import pretty_term
+
+        rendered = ", ".join(pretty_term(v) for v in self.values)
+        return (
+            f"label {self.label!r} is multiply defined on "
+            f"{pretty_term(self.host)}: {{{rendered}}}"
+        )
+
+
+def check_consistency(program: Program) -> list[FunctionalityViolation]:
+    """Evaluate the whole program and collect functionality violations.
+
+    An empty result means the program is O-logic consistent (it has a
+    model with functional labels).  Note the cost the paper warns
+    about: this *saturates the program* — checking consistency of an
+    O-logic program is as hard as evaluating it.
+    """
+    engine = DirectEngine(program)
+    store = engine.saturate()
+    return violations_in_store(store)
+
+
+def violations_in_store(store: ObjectStore) -> list[FunctionalityViolation]:
+    """Functionality violations present in a saturated store."""
+    out: list[FunctionalityViolation] = []
+    for label in sorted(store.labels()):
+        hosts: dict[BaseTerm, list[BaseTerm]] = {}
+        for host, value in store.label_pairs(label):
+            hosts.setdefault(host, []).append(value)
+        for host, values in hosts.items():
+            if len(values) > 1:
+                out.append(
+                    FunctionalityViolation(label, host, tuple(sorted(values, key=repr)))
+                )
+    return sorted(out, key=lambda v: (v.label, repr(v.host)))
+
+
+def require_consistent(program: Program) -> ObjectStore:
+    """Saturate under O-logic semantics; raise on any multiply-defined
+    label (the program "has no models")."""
+    engine = DirectEngine(program)
+    store = engine.saturate()
+    violations = violations_in_store(store)
+    if violations:
+        raise ConsistencyError(
+            "O-logic program is inconsistent: " + "; ".join(str(v) for v in violations)
+        )
+    return store
+
+
+class ValueLattice:
+    """A finite value lattice with top ``T`` for the lattice-based
+    alternative semantics (Kifer & Wu's repair of O-logic, [18]).
+
+    Built from super-object declarations: ``declare(a, b)`` states that
+    ``b`` is a super-object of ``a``.  ``T`` is implicitly above
+    everything.  (Structurally identical to a type hierarchy; kept
+    separate because its elements are *objects*, not types.)
+    """
+
+    def __init__(self, pairs: Iterable[tuple[str, str]] = ()) -> None:
+        self._hierarchy = TypeHierarchy()
+        for sub, sup in pairs:
+            self.declare(sub, sup)
+
+    def declare(self, obj: str, super_obj: str) -> None:
+        self._hierarchy.declare(obj, super_obj)
+
+    def upper_bounds(self, a: str, b: str) -> frozenset[str]:
+        ups_a = {TOP if s == "object" else s for s in self._hierarchy.supertypes(a)}
+        ups_b = {TOP if s == "object" else s for s in self._hierarchy.supertypes(b)}
+        return frozenset(ups_a & ups_b)
+
+    def join(self, a: str, b: str) -> str:
+        """The least upper bound, ``T`` when only the top is common."""
+        if a == b:
+            return a
+        common = self.upper_bounds(a, b)
+        non_top = {
+            c
+            for c in common
+            if c != TOP
+            and not any(
+                other != c and self._hierarchy.is_subtype(other, c)
+                for other in common
+                if other != TOP
+            )
+        }
+        if len(non_top) == 1:
+            return next(iter(non_top))
+        return TOP
+
+
+def lattice_label_value(
+    values: Iterable[str], lattice: Optional[ValueLattice] = None
+) -> str:
+    """The label's value under the lattice semantics: the join of all
+    asserted values; ``T`` for unrelated values.
+
+    With ``john[name => "John"]`` and ``john[name => "John Smith"]``
+    and no common super-object, the result is ``T`` — inconsistency made
+    local to the object and label concerned, per the paper's discussion.
+    """
+    lattice = lattice if lattice is not None else ValueLattice()
+    result: Optional[str] = None
+    for value in values:
+        result = value if result is None else lattice.join(result, value)
+    if result is None:
+        raise ConsistencyError("lattice_label_value requires at least one value")
+    return result

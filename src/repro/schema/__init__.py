@@ -1,0 +1,27 @@
+"""Schema information layered above C-logic: database-state constraints
+(Section 6's future work) and the static notion of types (Section 2.3),
+both expressed *on top of* the logic rather than inside it."""
+
+from repro.schema.constraints import (
+    Cardinality,
+    Constraint,
+    DomainConstraint,
+    FunctionalLabel,
+    RequiredLabel,
+    Schema,
+    Violation,
+)
+from repro.schema.static_types import StaticType, implied_hierarchy, membership_rule
+
+__all__ = [
+    "Cardinality",
+    "Constraint",
+    "DomainConstraint",
+    "FunctionalLabel",
+    "RequiredLabel",
+    "Schema",
+    "StaticType",
+    "Violation",
+    "implied_hierarchy",
+    "membership_rule",
+]

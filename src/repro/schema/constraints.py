@@ -1,0 +1,214 @@
+"""Constraints over database states — the layer *above* C-logic.
+
+Section 2.2/2.3: functionality of labels and structural obligations are
+"better treated with schema information and other constraints over the
+database state", deliberately not built into the logic.  Section 6
+names extending C-logic with such meta-data as future work.  This
+module supplies that layer: declarative constraints checked against a
+saturated :class:`~repro.db.ObjectStore`, reported (never enforced by
+the logic itself — a violated constraint does not make the *program*
+inconsistent, unlike O-logic).
+
+Constraint kinds:
+
+* :class:`FunctionalLabel` — at most one value per object (what O-logic
+  hard-wires for every label);
+* :class:`DomainConstraint` — typing of a label's hosts and values
+  (the "domain constraints" of Section 6);
+* :class:`RequiredLabel` — every member of a type carries the label
+  (the obligation half of the static notion of types);
+* :class:`Cardinality` — bounds on the number of values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.errors import ConsistencyError
+from repro.core.pretty import pretty_term
+from repro.core.terms import BaseTerm, OBJECT
+from repro.db.store import ObjectStore
+
+__all__ = [
+    "Violation",
+    "Constraint",
+    "FunctionalLabel",
+    "DomainConstraint",
+    "RequiredLabel",
+    "Cardinality",
+    "Schema",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One constraint violation, human-readable."""
+
+    constraint: str
+    subject: Optional[BaseTerm]
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" on {pretty_term(self.subject)}" if self.subject is not None else ""
+        return f"[{self.constraint}]{where}: {self.detail}"
+
+
+class Constraint:
+    """Base class: a named check against a store."""
+
+    name: str = "constraint"
+
+    def check(self, store: ObjectStore) -> list[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FunctionalLabel(Constraint):
+    """``label`` has at most one value per object.
+
+    This is exactly the single-valued-label feature the paper keeps out
+    of the logic ("multi-valued labels do not have the builtin
+    functionality constraint, and thus are easier to implement") and
+    recommends adding on top when wanted.
+    """
+
+    label: str
+    name: str = "functional"
+
+    def check(self, store: ObjectStore) -> list[Violation]:
+        out: list[Violation] = []
+        hosts: dict[BaseTerm, list[BaseTerm]] = {}
+        for host, value in store.label_pairs(self.label):
+            hosts.setdefault(host, []).append(value)
+        for host, values in sorted(hosts.items(), key=lambda kv: repr(kv[0])):
+            if len(values) > 1:
+                rendered = ", ".join(sorted(pretty_term(v) for v in values))
+                out.append(
+                    Violation(
+                        f"functional({self.label})",
+                        host,
+                        f"{len(values)} values: {{{rendered}}}",
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class DomainConstraint(Constraint):
+    """Hosts of ``label`` must be in ``host_type`` and values in
+    ``value_type`` (types read through the hierarchy)."""
+
+    label: str
+    host_type: str = OBJECT
+    value_type: str = OBJECT
+    name: str = "domain"
+
+    def check(self, store: ObjectStore) -> list[Violation]:
+        out: list[Violation] = []
+        for host, value in sorted(store.label_pairs(self.label), key=repr):
+            if not store.has_type(host, self.host_type):
+                out.append(
+                    Violation(
+                        f"domain({self.label})",
+                        host,
+                        f"host is not a {self.host_type}",
+                    )
+                )
+            if not store.has_type(value, self.value_type):
+                out.append(
+                    Violation(
+                        f"domain({self.label})",
+                        value,
+                        f"value of {pretty_term(host)}.{self.label} is not a "
+                        f"{self.value_type}",
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class RequiredLabel(Constraint):
+    """Every member of ``type_name`` must have at least one ``label``."""
+
+    type_name: str
+    label: str
+    name: str = "required"
+
+    def check(self, store: ObjectStore) -> list[Violation]:
+        out: list[Violation] = []
+        for identity in sorted(store.ids_of_type(self.type_name), key=repr):
+            if not store.label_values(self.label, identity):
+                out.append(
+                    Violation(
+                        f"required({self.type_name}.{self.label})",
+                        identity,
+                        f"member of {self.type_name} lacks label {self.label}",
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class Cardinality(Constraint):
+    """Value-count bounds for ``label`` on members of ``type_name``."""
+
+    label: str
+    type_name: str = OBJECT
+    at_least: int = 0
+    at_most: Optional[int] = None
+    name: str = "cardinality"
+
+    def check(self, store: ObjectStore) -> list[Violation]:
+        out: list[Violation] = []
+        for identity in sorted(store.ids_of_type(self.type_name), key=repr):
+            count = len(store.label_values(self.label, identity))
+            if count < self.at_least:
+                out.append(
+                    Violation(
+                        f"cardinality({self.label})",
+                        identity,
+                        f"{count} values, at least {self.at_least} required",
+                    )
+                )
+            if self.at_most is not None and count > self.at_most:
+                out.append(
+                    Violation(
+                        f"cardinality({self.label})",
+                        identity,
+                        f"{count} values, at most {self.at_most} allowed",
+                    )
+                )
+        return out
+
+
+class Schema:
+    """A collection of constraints checked together."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._constraints: list[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint) -> "Schema":
+        self._constraints.append(constraint)
+        return self
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def check(self, store: ObjectStore) -> list[Violation]:
+        out: list[Violation] = []
+        for constraint in self._constraints:
+            out.extend(constraint.check(store))
+        return out
+
+    def require(self, store: ObjectStore) -> None:
+        """Raise :class:`ConsistencyError` listing all violations."""
+        violations = self.check(store)
+        if violations:
+            raise ConsistencyError(
+                "schema violated: " + "; ".join(str(v) for v in violations)
+            )
+
+    def __len__(self) -> int:
+        return len(self._constraints)

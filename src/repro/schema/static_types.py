@@ -1,0 +1,94 @@
+"""The *static* notion of types, built on top of the dynamic one (§2.3).
+
+"Roughly speaking, a type indicates a set of properties which must be
+possessed by objects of that type.  Logically, let l1, ..., ln be
+labels corresponding to all properties indicated by a type T.  Then one
+possible meaning of T is a set of objects specified as follows:
+
+    T(X) :- X[l1 => X1, ..., ln => Xn].
+
+... every object with all properties specified by a type will
+automatically belong to the type."
+
+And: "in a static notion of types, the hierarchy is implicitly
+determined by properties of each type" — more required properties means
+a more specific type.
+
+:class:`StaticType` declares such a type; :func:`membership_rule`
+produces exactly the clause above, ready to append to a program (the
+dynamic machinery then computes the automatic memberships);
+:func:`implied_hierarchy` derives the implicit subtype order from the
+property sets.  This is deliberately a *translation into* C-logic, not
+an extension of it — precisely how the paper says static types should
+be layered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clauses import DefiniteClause
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import TermAtom
+from repro.core.terms import LabelSpec, LTerm, Var
+from repro.core.types import TypeHierarchy
+
+__all__ = ["StaticType", "membership_rule", "implied_hierarchy"]
+
+
+@dataclass(frozen=True)
+class StaticType:
+    """A type defined by the properties its members must possess."""
+
+    name: str
+    required_labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "required_labels", tuple(self.required_labels))
+        if not self.name:
+            raise SyntaxKindError("a static type needs a name")
+        if not self.required_labels:
+            raise SyntaxKindError(
+                f"static type {self.name!r} requires at least one property "
+                "(a property-free static type is just `object`)"
+            )
+        if len(set(self.required_labels)) != len(self.required_labels):
+            raise SyntaxKindError(
+                f"static type {self.name!r} lists a label twice"
+            )
+
+
+def membership_rule(static_type: StaticType) -> DefiniteClause:
+    """The paper's defining rule ``T(X) :- X[l1 => X1, ..., ln => Xn]``.
+
+    Membership is *derived*: running the program re-computes it after
+    every update, which is what makes the static notion expressible on
+    top of the dynamic one.
+    """
+    specs = tuple(
+        LabelSpec(label, Var(f"X{i + 1}"))
+        for i, label in enumerate(static_type.required_labels)
+    )
+    body_term = LTerm(Var("X"), specs)
+    head_term = Var("X", static_type.name)
+    return DefiniteClause(TermAtom(head_term), (TermAtom(body_term),))
+
+
+def implied_hierarchy(static_types: list[StaticType]) -> TypeHierarchy:
+    """The hierarchy implicitly determined by the property sets:
+    ``T1 <= T2`` iff T1 requires every property T2 requires (more
+    obligations = more specific).  Types with identical property sets
+    are distinct but extensionally equal; no edge is added for them
+    (the order must stay antisymmetric)."""
+    hierarchy = TypeHierarchy()
+    for static_type in static_types:
+        hierarchy.add_symbol(static_type.name)
+    for sub in static_types:
+        sub_labels = set(sub.required_labels)
+        for sup in static_types:
+            if sub.name == sup.name:
+                continue
+            sup_labels = set(sup.required_labels)
+            if sup_labels < sub_labels:
+                hierarchy.declare(sub.name, sup.name)
+    return hierarchy

@@ -1,0 +1,42 @@
+"""Model-theoretic semantics of languages of objects (Section 3.2),
+including the first-order reading of structures used by Theorem 1 and
+Herbrand machinery."""
+
+from repro.semantics.herbrand import herbrand_base, herbrand_universe, structure_from_atoms
+from repro.semantics.random_gen import (
+    Signature,
+    random_assignment,
+    random_atom,
+    random_structure,
+    random_term,
+)
+from repro.semantics.satisfaction import (
+    denote_fterm,
+    denote_term,
+    satisfies,
+    satisfies_atom,
+    satisfies_fatom,
+    satisfies_fol_conjunction,
+    satisfies_term,
+)
+from repro.semantics.structure import Assignment, Structure
+
+__all__ = [
+    "Assignment",
+    "Signature",
+    "Structure",
+    "denote_fterm",
+    "denote_term",
+    "herbrand_base",
+    "herbrand_universe",
+    "random_assignment",
+    "random_atom",
+    "random_structure",
+    "random_term",
+    "satisfies",
+    "satisfies_atom",
+    "satisfies_fatom",
+    "satisfies_fol_conjunction",
+    "satisfies_term",
+    "structure_from_atoms",
+]

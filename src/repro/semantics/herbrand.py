@@ -1,0 +1,120 @@
+"""Herbrand universes, bases and structures for the language L*.
+
+Section 3.3 notes that the transformation "indirectly establishes (by
+the Herbrand theorem of first-order logic) that mechanical reasoning
+about complex objects corresponds to complete pure logic deduction".
+This module provides the Herbrand machinery that statement relies on:
+
+* :func:`herbrand_universe` — all ground individual terms over given
+  constants and function symbols, up to a depth bound (the universe is
+  infinite as soon as a function symbol exists);
+* :func:`herbrand_base` — all ground atoms over a universe slice;
+* :func:`structure_from_atoms` — a finite Herbrand-style structure whose
+  domain is the set of ground terms occurring in a fact set, with
+  free interpretation of constants and functions.  Functions are
+  defined on exactly the argument tuples whose applications occur in
+  the domain, which suffices to model-check ground formulas over the
+  fact set (the use in E10).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FApp, FConst, FTerm, walk_fterm
+from repro.semantics.structure import Structure
+
+__all__ = ["herbrand_universe", "herbrand_base", "structure_from_atoms"]
+
+
+def herbrand_universe(
+    constants: Iterable[str | int],
+    functors: Iterable[tuple[str, int]],
+    depth: int,
+) -> list[FTerm]:
+    """All ground terms of nesting depth <= ``depth``.
+
+    ``depth=1`` yields only the constants; each extra level closes once
+    under all function symbols.  Deterministic (sorted) output.
+    """
+    constant_list = sorted(set(constants), key=lambda v: (str(type(v)), str(v)))
+    functor_list = sorted(set(functors))
+    universe: list[FTerm] = [FConst(value) for value in constant_list]
+    seen: set[FTerm] = set(universe)
+    frontier = list(universe)
+    for _ in range(max(0, depth - 1)):
+        additions: list[FTerm] = []
+        for functor, arity in functor_list:
+            for args in product(universe, repeat=arity):
+                # At least one argument from the frontier keeps each
+                # level genuinely new.
+                if frontier and not any(arg in set(frontier) for arg in args):
+                    continue
+                term = FApp(functor, args)
+                if term not in seen:
+                    seen.add(term)
+                    additions.append(term)
+        universe = universe + additions
+        frontier = additions
+        if not additions:
+            break
+    return universe
+
+
+def herbrand_base(
+    universe: Sequence[FTerm], predicates: Iterable[tuple[str, int]]
+) -> Iterator[FAtom]:
+    """All ground atoms over a universe slice (labels and types are
+    predicates of L*, so they are included via ``predicates``)."""
+    for pred, arity in sorted(set(predicates)):
+        for args in product(universe, repeat=arity):
+            yield FAtom(pred, tuple(args))
+
+
+def structure_from_atoms(
+    atoms: Iterable[FAtom],
+    type_symbols: Iterable[str] = (),
+    labels: Iterable[str] = (),
+    extra_domain: Iterable[FTerm] = (),
+) -> Structure:
+    """A finite Herbrand structure whose atoms are exactly ``atoms``.
+
+    The domain is every ground term occurring (at any depth) in the
+    atoms plus ``extra_domain``.  Constants denote themselves
+    (``I(c) = FConst(c)``) and function tables are the free-term
+    construction restricted to the domain.  Unary atoms whose predicate
+    is in ``type_symbols`` populate ``types``; binary atoms whose
+    predicate is in ``labels`` populate ``labels``; everything else
+    populates ``predicates``.
+    """
+    atom_list = list(atoms)
+    type_set = set(type_symbols)
+    label_set = set(labels)
+    domain: set[FTerm] = set(extra_domain)
+    for atom in atom_list:
+        for arg in atom.args:
+            domain.update(walk_fterm(arg))
+    if not domain:
+        domain = {FConst("nothing")}
+
+    constants: dict[Hashable, Hashable] = {}
+    functions: dict[tuple[str, int], dict[tuple, Hashable]] = {}
+    for element in domain:
+        if isinstance(element, FConst):
+            constants[element.value] = element
+        elif isinstance(element, FApp):
+            table = functions.setdefault((element.functor, element.arity), {})
+            table[element.args] = element
+
+    structure = Structure(frozenset(domain), constants, functions)
+    for atom in atom_list:
+        row = tuple(atom.args)
+        if len(row) == 1 and atom.pred in type_set:
+            structure.types.setdefault(atom.pred, set()).add(row[0])
+        elif len(row) == 2 and atom.pred in label_set:
+            structure.labels.setdefault(atom.pred, set()).add((row[0], row[1]))
+        else:
+            structure.predicates.setdefault((atom.pred, len(row)), set()).add(row)
+    return structure

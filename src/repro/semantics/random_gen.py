@@ -1,0 +1,140 @@
+"""Seeded random generation of structures and atomic formulas.
+
+Used by the E10 experiment (and reusable in tests): Theorem 1 is
+checked by sampling random finite structures ``M``, random atomic
+formulas ``alpha`` and random assignments ``s``, and verifying
+``M |= alpha[s]  iff  M* |= alpha*[s]`` where ``M*`` is the same
+structure read as a first-order structure of L*.
+
+Everything is driven by an explicit :class:`random.Random` so runs are
+reproducible; no global randomness is used.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Hashable
+
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LabelSpec, LTerm, OBJECT, Term, Var
+from repro.core.types import TypeHierarchy
+from repro.semantics.structure import Assignment, Structure
+
+__all__ = ["Signature", "random_structure", "random_term", "random_atom", "random_assignment"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A small object-language signature to draw from."""
+
+    constants: tuple[str, ...] = ("a", "b", "c")
+    functors: tuple[tuple[str, int], ...] = (("f", 1), ("g", 2))
+    predicates: tuple[tuple[str, int], ...] = (("p", 1), ("q", 2))
+    labels: tuple[str, ...] = ("src", "dest", "children")
+    types: tuple[str, ...] = (OBJECT, "person", "student", "path")
+    variables: tuple[str, ...] = ("X", "Y", "Z")
+    subtype_pairs: tuple[tuple[str, str], ...] = (("student", "person"),)
+
+    def hierarchy(self) -> TypeHierarchy:
+        hierarchy = TypeHierarchy()
+        for symbol in self.types:
+            if symbol != OBJECT:
+                hierarchy.add_symbol(symbol)
+        for sub, sup in self.subtype_pairs:
+            hierarchy.declare(sub, sup)
+        return hierarchy
+
+
+def random_structure(
+    rng: random.Random, signature: Signature, domain_size: int = 4, density: float = 0.35
+) -> Structure:
+    """A random finite structure over ``signature`` whose type
+    interpretations respect the hierarchy (closed upward)."""
+    domain = frozenset(range(domain_size))
+    elements = sorted(domain)
+    constants: dict[Hashable, Hashable] = {
+        name: rng.choice(elements) for name in signature.constants
+    }
+    functions: dict[tuple[str, int], dict[tuple, Hashable]] = {}
+    for functor, arity in signature.functors:
+        table = {
+            args: rng.choice(elements) for args in product(elements, repeat=arity)
+        }
+        functions[(functor, arity)] = table
+    predicates: dict[tuple[str, int], set[tuple]] = {}
+    for pred, arity in signature.predicates:
+        predicates[(pred, arity)] = {
+            args for args in product(elements, repeat=arity) if rng.random() < density
+        }
+    labels: dict[str, set[tuple[Hashable, Hashable]]] = {}
+    for label in signature.labels:
+        labels[label] = {
+            pair for pair in product(elements, repeat=2) if rng.random() < density
+        }
+    types: dict[str, set[Hashable]] = {OBJECT: set(elements)}
+    for type_name in signature.types:
+        if type_name == OBJECT:
+            continue
+        types[type_name] = {e for e in elements if rng.random() < 0.6}
+    structure = Structure(domain, constants, functions, predicates, labels, types)
+    return structure.enforce_hierarchy(signature.hierarchy())
+
+
+def random_term(
+    rng: random.Random,
+    signature: Signature,
+    depth: int = 3,
+    allow_labels: bool = True,
+) -> Term:
+    """A random term of the language of objects, depth-bounded."""
+    base = _random_base(rng, signature, depth)
+    if allow_labels and depth > 0 and rng.random() < 0.6:
+        spec_count = rng.randint(1, 3)
+        specs = []
+        for _ in range(spec_count):
+            label = rng.choice(signature.labels)
+            if rng.random() < 0.3:
+                items = tuple(
+                    random_term(rng, signature, depth - 1, allow_labels=False)
+                    for _ in range(rng.randint(1, 3))
+                )
+                specs.append(LabelSpec(label, Collection(items)))
+            else:
+                specs.append(
+                    LabelSpec(label, random_term(rng, signature, depth - 1, allow_labels=True))
+                )
+        return LTerm(base, tuple(specs))
+    return base
+
+
+def _random_base(rng: random.Random, signature: Signature, depth: int):
+    type_name = rng.choice(signature.types)
+    choice = rng.random()
+    if choice < 0.35:
+        return Var(rng.choice(signature.variables), type_name)
+    if choice < 0.7 or depth <= 1:
+        return Const(rng.choice(signature.constants), type_name)
+    functor, arity = rng.choice(signature.functors)
+    args = tuple(
+        random_term(rng, signature, depth - 1, allow_labels=rng.random() < 0.3)
+        for _ in range(arity)
+    )
+    return Func(functor, args, type_name)
+
+
+def random_atom(rng: random.Random, signature: Signature, depth: int = 3) -> Atom:
+    """A random atomic formula: a term atom or a predicate atom."""
+    if rng.random() < 0.5:
+        return TermAtom(random_term(rng, signature, depth))
+    pred, arity = rng.choice(signature.predicates)
+    args = tuple(random_term(rng, signature, depth - 1) for _ in range(arity))
+    return PredAtom(pred, args)
+
+
+def random_assignment(
+    rng: random.Random, structure: Structure, variables: set[str]
+) -> Assignment:
+    elements = sorted(structure.domain)
+    return {name: rng.choice(elements) for name in variables}

@@ -1,0 +1,184 @@
+"""Term denotation and the satisfaction relation (Section 3.2).
+
+A term has *two* meanings: it denotes an object
+(:func:`denote_term` — the extension ``s_M`` of a variable assignment
+to all terms) and, used as a formula, it asserts that the denoted
+object is in the annotated type and has the labelled values
+(:func:`satisfies_atom`).  General formulas are evaluated by
+:func:`satisfies` over the finite domain.
+
+The same module evaluates the first-order side (:func:`denote_fterm`,
+:func:`satisfies_fatom`), which is what makes Theorem 1 a directly
+checkable statement here: for the structure ``M* = (M, I)`` read as a
+structure of L*, ``M |= alpha[s]`` iff ``M* |= alpha*[s]`` — see
+``tests/transform/test_theorem1.py`` and the E10 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.errors import SemanticsError
+from repro.core.formulas import (
+    And,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    PredAtom,
+    TermAtom,
+)
+from repro.core.terms import Const, Func, LTerm, Term, Var
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FApp, FConst, FTerm, FVar
+from repro.semantics.structure import Assignment, Structure
+
+__all__ = [
+    "denote_term",
+    "satisfies_term",
+    "satisfies_atom",
+    "satisfies",
+    "denote_fterm",
+    "satisfies_fatom",
+    "satisfies_fol_conjunction",
+]
+
+
+# ----------------------------------------------------------------------
+# The object side (language L)
+# ----------------------------------------------------------------------
+
+def denote_term(term: Term, structure: Structure, assignment: Assignment) -> Hashable:
+    """The extension ``s_M`` of an assignment to all terms.
+
+    Labels never affect denotation: ``s_M(t[l1 => e1, ...]) = s_M(t)``.
+    """
+    if isinstance(term, Var):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise SemanticsError(f"variable {term.name} is unassigned") from None
+    if isinstance(term, Const):
+        return structure.constant(term.value)
+    if isinstance(term, Func):
+        args = tuple(denote_term(arg, structure, assignment) for arg in term.args)
+        return structure.apply_function(term.functor, args)
+    if isinstance(term, LTerm):
+        return denote_term(term.base, structure, assignment)
+    raise SemanticsError(f"not a term: {term!r}")
+
+
+def satisfies_term(term: Term, structure: Structure, assignment: Assignment) -> bool:
+    """``M |= t[s]`` for a term used as an atomic formula."""
+    if isinstance(term, (Var, Const)):
+        return structure.in_type(term.type, denote_term(term, structure, assignment))
+    if isinstance(term, Func):
+        if not structure.in_type(term.type, denote_term(term, structure, assignment)):
+            return False
+        return all(satisfies_term(arg, structure, assignment) for arg in term.args)
+    if isinstance(term, LTerm):
+        if not satisfies_term(term.base, structure, assignment):
+            return False
+        host = denote_term(term.base, structure, assignment)
+        for spec in term.specs:
+            for value in spec.value_terms():
+                if not satisfies_term(value, structure, assignment):
+                    return False
+                if not structure.holds_label(
+                    spec.label, host, denote_term(value, structure, assignment)
+                ):
+                    return False
+        return True
+    raise SemanticsError(f"not a term: {term!r}")
+
+
+def satisfies_atom(atom: Formula, structure: Structure, assignment: Assignment) -> bool:
+    """``M |= alpha[s]`` for an atomic formula."""
+    if isinstance(atom, TermAtom):
+        return satisfies_term(atom.term, structure, assignment)
+    if isinstance(atom, PredAtom):
+        for arg in atom.args:
+            if not satisfies_term(arg, structure, assignment):
+                return False
+        row = tuple(denote_term(arg, structure, assignment) for arg in atom.args)
+        return structure.holds_predicate(atom.pred, row)
+    raise SemanticsError(f"not an atomic formula: {atom!r}")
+
+
+def satisfies(formula: Formula, structure: Structure, assignment: Assignment) -> bool:
+    """``M |= phi[s]`` for a general formula (finite-domain quantifiers)."""
+    if isinstance(formula, (TermAtom, PredAtom)):
+        return satisfies_atom(formula, structure, assignment)
+    if isinstance(formula, Not):
+        return not satisfies(formula.operand, structure, assignment)
+    if isinstance(formula, And):
+        return satisfies(formula.left, structure, assignment) and satisfies(
+            formula.right, structure, assignment
+        )
+    if isinstance(formula, Or):
+        return satisfies(formula.left, structure, assignment) or satisfies(
+            formula.right, structure, assignment
+        )
+    if isinstance(formula, Implies):
+        return (not satisfies(formula.antecedent, structure, assignment)) or satisfies(
+            formula.consequent, structure, assignment
+        )
+    if isinstance(formula, (ForAll, Exists)):
+        extended = dict(assignment)
+        results = []
+        for element in structure.domain:
+            extended[formula.variable] = element
+            results.append(satisfies(formula.body, structure, extended))
+        return all(results) if isinstance(formula, ForAll) else any(results)
+    raise SemanticsError(f"not a formula: {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# The first-order side (language L*)
+# ----------------------------------------------------------------------
+
+def denote_fterm(fterm: FTerm, structure: Structure, assignment: Assignment) -> Hashable:
+    """``s_{M*}(t')`` — denotation of an individual term of L*."""
+    if isinstance(fterm, FVar):
+        try:
+            return assignment[fterm.name]
+        except KeyError:
+            raise SemanticsError(f"variable {fterm.name} is unassigned") from None
+    if isinstance(fterm, FConst):
+        return structure.constant(fterm.value)
+    if isinstance(fterm, FApp):
+        args = tuple(denote_fterm(arg, structure, assignment) for arg in fterm.args)
+        return structure.apply_function(fterm.functor, args)
+    raise SemanticsError(f"not an FOL term: {fterm!r}")
+
+
+def satisfies_fatom(atom: FAtom, structure: Structure, assignment: Assignment) -> bool:
+    """``M* |= p(t1,...,tn)[s]`` where ``p`` may be a predicate symbol,
+    a label (binary) or a type (unary) of the source language.
+
+    Section 3.1 assumes the symbol sets are disjoint, so the dispatch
+    below is unambiguous: an explicit predicate interpretation wins,
+    otherwise unary symbols are read as types and binary ones as labels
+    when the structure interprets them that way.
+    """
+    row = tuple(denote_fterm(arg, structure, assignment) for arg in atom.args)
+    if (atom.pred, len(row)) in structure.predicates:
+        return structure.holds_predicate(atom.pred, row)
+    if len(row) == 1 and atom.pred in structure.types:
+        return structure.in_type(atom.pred, row[0])
+    if len(row) == 2 and atom.pred in structure.labels:
+        return structure.holds_label(atom.pred, row[0], row[1])
+    if len(row) == 1:
+        return structure.in_type(atom.pred, row[0])
+    if len(row) == 2:
+        return structure.holds_label(atom.pred, row[0], row[1])
+    return structure.holds_predicate(atom.pred, row)
+
+
+def satisfies_fol_conjunction(
+    atoms: list[FAtom], structure: Structure, assignment: Assignment
+) -> bool:
+    """``M* |= a1 & ... & ak [s]``."""
+    return all(satisfies_fatom(atom, structure, assignment) for atom in atoms)

@@ -1,0 +1,182 @@
+"""Semantic structures for languages of objects (Section 3.2).
+
+A semantic structure is a pair ``M = (M, I)`` where ``M`` is a nonempty
+domain and ``I`` interprets:
+
+* every n-ary function symbol as a total function ``M^n -> M``;
+* every n-ary predicate symbol as a subset of ``M^n``;
+* every label as a subset of ``M^2`` (a binary relation — labels are
+  possibly multi-valued, non-functional);
+* every type as a subset of ``M`` (a unary relation), such that
+  ``I(t1) ⊆ I(t2)`` whenever ``t1 <= t2`` in the type hierarchy.
+
+The same class doubles as a first-order structure for the language L*
+(Theorem 1 notes ``M`` and ``M*`` are "essentially the same"): labels
+and types are simply looked up as binary/unary predicates.  A structure
+for L* is a structure for L exactly when it satisfies the type axioms —
+:meth:`Structure.respects_hierarchy` checks that condition.
+
+Domains are finite here (this is a database semantics and the checker
+iterates the domain for quantifiers); elements may be any hashable
+Python values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Hashable, Iterable, Mapping
+
+from repro.core.errors import SemanticsError
+from repro.core.terms import OBJECT
+from repro.core.types import TypeHierarchy
+
+__all__ = ["Structure", "Assignment"]
+
+#: A variable assignment ``s : V -> M``.
+Assignment = Mapping[str, Hashable]
+
+
+@dataclass
+class Structure:
+    """A finite semantic structure ``(M, I)``.
+
+    ``functions`` maps ``(name, arity)`` to a dict from argument tuples
+    to domain elements; it must be total on ``domain**arity`` (checked
+    lazily on lookup, eagerly by :meth:`validate`).  ``constants`` maps
+    zero-ary function symbols to elements.  ``predicates`` maps
+    ``(name, arity)`` to sets of tuples; ``labels`` maps label names to
+    sets of pairs; ``types`` maps type symbols to sets of elements.
+
+    ``I(object)`` defaults to the whole domain, matching the paper's
+    reading of ``object`` as the active domain.
+    """
+
+    domain: frozenset[Hashable]
+    constants: dict[str, Hashable] = field(default_factory=dict)
+    functions: dict[tuple[str, int], dict[tuple[Hashable, ...], Hashable]] = field(
+        default_factory=dict
+    )
+    predicates: dict[tuple[str, int], set[tuple[Hashable, ...]]] = field(default_factory=dict)
+    labels: dict[str, set[tuple[Hashable, Hashable]]] = field(default_factory=dict)
+    types: dict[str, set[Hashable]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.domain = frozenset(self.domain)
+        if not self.domain:
+            raise SemanticsError("the domain of a structure must be nonempty")
+        self.types.setdefault(OBJECT, set(self.domain))
+
+    # ------------------------------------------------------------------
+    # Interpretation lookups
+    # ------------------------------------------------------------------
+
+    def constant(self, name: object) -> Hashable:
+        """``I(c)`` for a zero-ary function symbol ``c``."""
+        try:
+            return self.constants[name]  # type: ignore[index]
+        except KeyError:
+            raise SemanticsError(f"constant {name!r} is not interpreted") from None
+
+    def apply_function(self, name: str, args: tuple[Hashable, ...]) -> Hashable:
+        """``I(f)(args)`` for an n-ary function symbol, n >= 1."""
+        table = self.functions.get((name, len(args)))
+        if table is None:
+            raise SemanticsError(f"function {name}/{len(args)} is not interpreted")
+        try:
+            return table[args]
+        except KeyError:
+            raise SemanticsError(
+                f"function {name}/{len(args)} is not defined on {args!r} "
+                "(interpretations must be total)"
+            ) from None
+
+    def holds_predicate(self, name: str, args: tuple[Hashable, ...]) -> bool:
+        return args in self.predicates.get((name, len(args)), ())
+
+    def holds_label(self, label: str, host: Hashable, value: Hashable) -> bool:
+        return (host, value) in self.labels.get(label, ())
+
+    def in_type(self, type_name: str, element: Hashable) -> bool:
+        if type_name == OBJECT:
+            return element in self.types.get(OBJECT, self.domain)
+        return element in self.types.get(type_name, ())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Eagerly check well-formedness: totality of functions and
+        containment of all interpretations in the domain."""
+        for name, value in self.constants.items():
+            if value not in self.domain:
+                raise SemanticsError(f"I({name}) = {value!r} is outside the domain")
+        for (name, arity), table in self.functions.items():
+            expected = set(product(self.domain, repeat=arity))
+            if set(table) != expected:
+                raise SemanticsError(f"function {name}/{arity} is not total on the domain")
+            for result in table.values():
+                if result not in self.domain:
+                    raise SemanticsError(f"function {name}/{arity} maps outside the domain")
+        for (name, arity), tuples in self.predicates.items():
+            for row in tuples:
+                if len(row) != arity or any(e not in self.domain for e in row):
+                    raise SemanticsError(f"predicate {name}/{arity} has a bad tuple {row!r}")
+        for label, pairs in self.labels.items():
+            for host, value in pairs:
+                if host not in self.domain or value not in self.domain:
+                    raise SemanticsError(f"label {label} has a pair outside the domain")
+        for type_name, members in self.types.items():
+            for member in members:
+                if member not in self.domain:
+                    raise SemanticsError(f"type {type_name} contains a non-domain element")
+
+    def respects_hierarchy(self, hierarchy: TypeHierarchy) -> bool:
+        """True iff ``I(t1) ⊆ I(t2)`` whenever ``t1 <= t2``.
+
+        This is the condition distinguishing structures of L from
+        arbitrary structures of L*: Theorem 1's correspondence is
+        one-to-one between structures of L and structures of L*
+        satisfying the type axioms, and satisfying the type axioms is
+        exactly this containment.
+        """
+        symbols = set(hierarchy.symbols) | set(self.types)
+        for sub in symbols:
+            sub_ext = self.types.get(sub, set()) if sub != OBJECT else self.types[OBJECT]
+            for sup in symbols:
+                if sub == sup or not hierarchy.is_subtype(sub, sup):
+                    continue
+                sup_ext = self.types.get(sup, set()) if sup != OBJECT else self.types[OBJECT]
+                if not sub_ext <= sup_ext:
+                    return False
+        return True
+
+    def enforce_hierarchy(self, hierarchy: TypeHierarchy) -> "Structure":
+        """Return a structure whose type interpretations are closed
+        upward along the hierarchy (the least repair)."""
+        closed: dict[str, set[Hashable]] = {t: set(m) for t, m in self.types.items()}
+        for sub, members in self.types.items():
+            for sup in hierarchy.supertypes(sub):
+                if sup == sub:
+                    continue
+                closed.setdefault(sup, set()).update(members)
+        closed.setdefault(OBJECT, set()).update(self.domain)
+        return Structure(
+            self.domain,
+            dict(self.constants),
+            {k: dict(v) for k, v in self.functions.items()},
+            {k: set(v) for k, v in self.predicates.items()},
+            {k: set(v) for k, v in self.labels.items()},
+            closed,
+        )
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+
+    def assignments(self, variables: Iterable[str]) -> Iterable[Assignment]:
+        """All assignments of domain elements to the given variables."""
+        names = sorted(set(variables))
+        for values in product(self.domain, repeat=len(names)):
+            yield dict(zip(names, values))

@@ -1,0 +1,42 @@
+"""The Theorem-1 transformation into first-order logic (Section 3.3)
+and the Section 4 program pipeline (generalized clauses, type axioms,
+splitting, redundancy elimination, back-translation)."""
+
+from repro.transform.atoms import atom_to_fol, body_atom_to_fol, dedupe_atoms, term_atom_conjuncts
+from repro.transform.backmap import facts_to_descriptions, retype_identity
+from repro.transform.clauses import (
+    GeneralizedProgram,
+    clause_to_generalized,
+    object_axioms,
+    program_to_fol,
+    program_to_generalized,
+    query_to_fol,
+    split_program,
+    subtype_axiom,
+    type_axioms,
+)
+from repro.transform.optimize import OptimizationReport, optimize_clause, optimize_program
+from repro.transform.terms import fol_to_identity, term_to_fol
+
+__all__ = [
+    "GeneralizedProgram",
+    "OptimizationReport",
+    "atom_to_fol",
+    "body_atom_to_fol",
+    "clause_to_generalized",
+    "dedupe_atoms",
+    "facts_to_descriptions",
+    "fol_to_identity",
+    "object_axioms",
+    "optimize_clause",
+    "optimize_program",
+    "program_to_fol",
+    "program_to_generalized",
+    "query_to_fol",
+    "retype_identity",
+    "split_program",
+    "subtype_axiom",
+    "term_atom_conjuncts",
+    "term_to_fol",
+    "type_axioms",
+]

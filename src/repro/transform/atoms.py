@@ -1,0 +1,114 @@
+"""Atomic-formula translation ``alpha -> alpha*`` (Theorem 1, Section 3.3).
+
+Every atomic formula of a language of objects becomes a *conjunction*
+of first-order atomic formulas:
+
+* ``(tau : X)*              = tau(X)``
+* ``(tau : c)*              = tau(c)``
+* ``(tau : f(t1,...,tn))*   = tau(f(t1',...,tn')) & t1* & ... & tn*``
+* ``(t[l1 => e1,...])*      = t* & a1* & ... & an*`` where for each
+  ``ei``: if a term, ``ai* = ei* & li(t', ei')``; if a collection
+  ``{u1,...,uk}``, ``ai* = u1* & li(t', u1') & ... & uk* & li(t', uk')``
+* ``(p(t1,...,tn))*         = t1* & ... & tn* & p(t1',...,tn')``
+
+We return the conjunction as a list of :class:`~repro.fol.atoms.FAtom`
+in exactly the paper's order (host assertion first; per labelled value,
+the value's own assertions before the label atom), which makes the
+reproduction of Example 2 an equality test on lists.  An optional
+de-duplication keeps the first occurrence of repeated conjuncts — the
+paper itself prints ``object(N)`` twice in the raw ``common_np``
+translation, so deduplication is off by default and the redundancy is
+removed later by :mod:`repro.transform.optimize`.
+"""
+
+from __future__ import annotations
+
+from repro.core.clauses import BodyAtom, BuiltinAtom
+from repro.core.errors import TransformError
+from repro.core.formulas import Atom, PredAtom, TermAtom
+from repro.core.terms import Const, Func, LTerm, Term, Var
+from repro.fol.atoms import FAtom, FBuiltin
+from repro.transform.terms import term_to_fol
+
+__all__ = ["atom_to_fol", "term_atom_conjuncts", "body_atom_to_fol", "dedupe_atoms"]
+
+
+def term_atom_conjuncts(term: Term) -> list[FAtom]:
+    """The conjuncts of ``(t)*`` for a term used as an atomic formula."""
+    out: list[FAtom] = []
+    _translate_term_atom(term, out)
+    return out
+
+
+def _translate_term_atom(term: Term, out: list[FAtom]) -> None:
+    if isinstance(term, (Var, Const)):
+        out.append(FAtom(term.type, (term_to_fol(term),)))
+        return
+    if isinstance(term, Func):
+        out.append(FAtom(term.type, (term_to_fol(term),)))
+        for arg in term.args:
+            _translate_term_atom(arg, out)
+        return
+    if isinstance(term, LTerm):
+        _translate_term_atom(term.base, out)
+        host = term_to_fol(term.base)
+        for spec in term.specs:
+            for value in spec.value_terms():
+                _translate_term_atom(value, out)
+                out.append(FAtom(spec.label, (host, term_to_fol(value))))
+        return
+    raise TransformError(f"not a term: {term!r}")
+
+
+def atom_to_fol(atom: Atom) -> list[FAtom]:
+    """The conjunction ``alpha*`` for an atomic formula ``alpha``."""
+    if isinstance(atom, TermAtom):
+        return term_atom_conjuncts(atom.term)
+    if isinstance(atom, PredAtom):
+        out: list[FAtom] = []
+        for arg in atom.args:
+            _translate_term_atom(arg, out)
+        out.append(FAtom(atom.pred, tuple(term_to_fol(arg) for arg in atom.args)))
+        return out
+    raise TransformError(f"not an atomic formula: {atom!r}")
+
+
+def body_atom_to_fol(atom: BodyAtom) -> list[FAtom | FBuiltin]:
+    """Translate a body atom; builtins pass through with translated
+    arguments (they are evaluation devices, not object descriptions, so
+    their arguments contribute no type conjuncts).
+
+    Negated atoms are *not* handled here: negating a description means
+    negating its whole conjunction, which needs a Lloyd–Topor auxiliary
+    clause — clause-level context that
+    :func:`repro.transform.clauses.clause_to_generalized` provides.
+    """
+    from repro.core.clauses import NegatedAtom
+
+    if isinstance(atom, NegatedAtom):
+        raise TransformError(
+            "negated atoms are translated at the clause level "
+            "(clause_to_generalized / program_to_generalized)"
+        )
+    if isinstance(atom, BuiltinAtom):
+        return [FBuiltin(atom.op, tuple(term_to_fol(arg) for arg in atom.args))]
+    return list(atom_to_fol(atom))
+
+
+def dedupe_atoms(atoms: list[FAtom | FBuiltin]) -> list[FAtom | FBuiltin]:
+    """Remove duplicate *pure* atoms, keeping first occurrences.
+
+    Builtins are never deduplicated (their re-execution order matters
+    for variable binding).
+    """
+    seen: set[FAtom] = set()
+    out: list[FAtom | FBuiltin] = []
+    for atom in atoms:
+        if isinstance(atom, FBuiltin):
+            out.append(atom)
+            continue
+        if atom in seen:
+            continue
+        seen.add(atom)
+        out.append(atom)
+    return out

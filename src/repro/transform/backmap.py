@@ -1,0 +1,108 @@
+"""Back-translation: from derived first-order facts to object descriptions.
+
+The transformation scatters one complex object over many first-order
+atoms (a unary type atom plus one binary atom per labelled value).
+After bottom-up evaluation of the translated program we often want the
+objects back — e.g. to present answers in the paper's notation, or to
+compare the minimal model of a program of objects with the minimal
+model of its translation (experiment E10).
+
+:func:`facts_to_descriptions` partitions a set of ground FOL atoms by
+object identity and reassembles one maximal description per identity,
+using collections for multi-valued labels.  The partition needs to know
+which unary predicates are *types* and which binary predicates are
+*labels*; both are supplied explicitly (normally from
+``Program.type_symbols()`` and ``Program.labels()``) because L* cannot
+distinguish them from ordinary predicates by itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.terms import (
+    BaseTerm,
+    Collection,
+    Const,
+    Func,
+    LabelSpec,
+    LTerm,
+    OBJECT,
+    Term,
+    Var,
+)
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FTerm
+from repro.transform.terms import fol_to_identity
+
+__all__ = ["facts_to_descriptions", "retype_identity"]
+
+
+def retype_identity(identity: BaseTerm, types: set[str]) -> BaseTerm:
+    """Annotate an identity with its most informative derived type.
+
+    When several incomparable types hold, the lexicographically first
+    non-``object`` one is chosen for the annotation (the full type set
+    is returned separately by :func:`facts_to_descriptions`).
+    """
+    informative = sorted(t for t in types if t != OBJECT)
+    type_name = informative[0] if informative else OBJECT
+    if isinstance(identity, Var):
+        return Var(identity.name, type_name)
+    if isinstance(identity, Const):
+        return Const(identity.value, type_name)
+    assert isinstance(identity, Func)
+    return Func(identity.functor, identity.args, type_name)
+
+
+def facts_to_descriptions(
+    atoms: Iterable[FAtom],
+    type_symbols: set[str],
+    labels: set[str],
+) -> dict[Term, tuple[frozenset[str], Term]]:
+    """Group ground FOL atoms into per-identity object descriptions.
+
+    Returns a mapping from the (untyped) identity term to a pair
+    ``(types, description)`` where ``types`` is the set of derived type
+    symbols and ``description`` is the merged labelled term (or the bare
+    identity if the object has no labelled values).  Atoms that are
+    neither type atoms nor label atoms are ignored — they are ordinary
+    predicate facts, not object descriptions.
+    """
+    type_map: dict[FTerm, set[str]] = {}
+    label_map: dict[FTerm, dict[str, list[FTerm]]] = {}
+
+    def touch(identity: FTerm) -> None:
+        type_map.setdefault(identity, set())
+        label_map.setdefault(identity, {})
+
+    for atom in atoms:
+        if len(atom.args) == 1 and atom.pred in type_symbols:
+            touch(atom.args[0])
+            type_map[atom.args[0]].add(atom.pred)
+        elif len(atom.args) == 2 and atom.pred in labels:
+            host, value = atom.args
+            touch(host)
+            values = label_map[host].setdefault(atom.pred, [])
+            if value not in values:
+                values.append(value)
+
+    out: dict[Term, tuple[frozenset[str], Term]] = {}
+    for fidentity in type_map:
+        identity = fol_to_identity(fidentity)
+        assert isinstance(identity, (Var, Const, Func))
+        types = frozenset(type_map[fidentity])
+        base = retype_identity(identity, set(types))
+        label_values = label_map[fidentity]
+        if not label_values:
+            out[identity] = (types, base)
+            continue
+        specs = []
+        for label in sorted(label_values):
+            values = [fol_to_identity(v) for v in label_values[label]]
+            if len(values) == 1:
+                specs.append(LabelSpec(label, values[0]))
+            else:
+                specs.append(LabelSpec(label, Collection(tuple(values))))
+        out[identity] = (types, LTerm(base, tuple(specs)))
+    return out

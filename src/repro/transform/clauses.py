@@ -1,0 +1,233 @@
+"""Clause- and program-level transformation (Sections 3.3 and 4).
+
+A C-logic definite clause translates to a *generalized definite
+clause*: the head atom's conjunction ``head*`` becomes the multi-head,
+the concatenation of the body atoms' conjunctions becomes the body.  A
+program of objects additionally contributes:
+
+* one first-order clause ``tau2(X) :- tau1(X)`` per subtype declaration
+  ``tau1 < tau2``;
+* one *type axiom* ``object(X) :- tau(X)`` per type symbol ``tau``
+  occurring in the program (only finitely many occur, so the axiom set
+  is finite even though the type poset may be infinite).
+
+Splitting each generalized clause into one Horn clause per head atom
+yields an ordinary first-order logic program, on which "model-theoretic
+results in deductive databases and logic programming can be readily
+applied" and "known query evaluation techniques, including both
+bottom-up and top-down methods, can be used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.clauses import DefiniteClause, NegatedAtom, Program, Query
+from repro.core.errors import TransformError
+from repro.core.terms import OBJECT
+from repro.core.types import SubtypeDecl, TypeHierarchy
+from repro.fol.atoms import (
+    FAtom,
+    FBodyAtom,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    NegAtom,
+)
+from repro.fol.terms import FVar
+from repro.transform.atoms import body_atom_to_fol, dedupe_atoms
+
+__all__ = [
+    "GeneralizedProgram",
+    "clause_to_generalized",
+    "query_to_fol",
+    "subtype_axiom",
+    "object_axioms",
+    "type_axioms",
+    "program_to_generalized",
+    "program_to_fol",
+    "split_program",
+]
+
+#: The canonical variable used in type axioms.
+_AXIOM_VAR = FVar("X")
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralizedProgram:
+    """The intermediate *generalized logic program* of Section 4:
+    generalized definite clauses plus the (single-head) type axioms,
+    with the source hierarchy kept for optimization."""
+
+    clauses: tuple[GeneralizedClause, ...]
+    axioms: tuple[HornClause, ...]
+    hierarchy: TypeHierarchy
+
+    def split(self) -> FOLProgram:
+        """The final first-order logic program (one Horn clause per head
+        atom of each generalized clause, plus the axioms)."""
+        horn: list[HornClause] = []
+        for clause in self.clauses:
+            horn.extend(clause.split())
+        horn.extend(self.axioms)
+        return FOLProgram(tuple(horn))
+
+    def atom_count(self) -> int:
+        """Total number of atoms, a size measure used by the
+        redundancy-elimination experiment (E5)."""
+        total = 0
+        for clause in self.clauses:
+            total += len(clause.heads) + len(clause.body)
+        for axiom in self.axioms:
+            total += 1 + len(axiom.body)
+        return total
+
+
+def clause_to_generalized(
+    clause: DefiniteClause,
+    dedupe: bool = True,
+    aux_sink: list[GeneralizedClause] | None = None,
+) -> GeneralizedClause:
+    """Translate one definite clause of objects.
+
+    With ``dedupe=True`` (default) repeated conjuncts within the head
+    and within the body collapse to their first occurrence — this
+    matches the paper's listing of the translated noun-phrase program,
+    which writes each typing atom once per zone.  Pass ``dedupe=False``
+    to keep the raw conjunctions.
+
+    A negated body atom whose translation has a single conjunct becomes
+    a first-order :class:`~repro.fol.atoms.NegAtom`; one with several
+    conjuncts needs a Lloyd–Topor auxiliary predicate (``naf_auxN``)
+    whose defining clause is appended to ``aux_sink`` — supply one (or
+    use :func:`program_to_generalized`, which does).
+    """
+    from repro.core.clauses import atom_variables as c_atom_variables
+
+    head_atoms = body_atom_to_fol(clause.head)
+    heads: list[FAtom] = [atom for atom in head_atoms if isinstance(atom, FAtom)]
+    body: list[FBodyAtom] = []
+    for index, atom in enumerate(clause.body):
+        if isinstance(atom, NegatedAtom):
+            # Variables local to the negated atom are existentially
+            # quantified inside the negation; only those shared with
+            # the rest of the clause surface in the auxiliary head.
+            outer: set[str] = c_atom_variables(clause.head)
+            for other_index, other in enumerate(clause.body):
+                if other_index != index:
+                    outer |= c_atom_variables(other)
+            body.append(_translate_negated(atom, aux_sink, outer))
+        else:
+            body.extend(body_atom_to_fol(atom))
+    if dedupe:
+        deduped_heads = dedupe_atoms(list(heads))
+        heads = [atom for atom in deduped_heads if isinstance(atom, FAtom)]
+        body = dedupe_atoms(body)
+    return GeneralizedClause(tuple(heads), tuple(body))
+
+
+def _translate_negated(
+    atom: NegatedAtom,
+    aux_sink: list[GeneralizedClause] | None,
+    outer_vars: set[str],
+) -> NegAtom:
+    from repro.core.clauses import atom_variables
+    from repro.transform.atoms import atom_to_fol
+
+    conjuncts = atom_to_fol(atom.atom)
+    shared = sorted(atom_variables(atom) & outer_vars)
+    local = atom_variables(atom) - outer_vars
+    if len(conjuncts) == 1 and not local:
+        return NegAtom(conjuncts[0])
+    if aux_sink is None:
+        raise TransformError(
+            "negating a complex description requires an auxiliary clause; "
+            "translate through program_to_generalized (or pass aux_sink)"
+        )
+    name = f"naf_aux{len(aux_sink) + 1}"
+    if shared:
+        head = FAtom(name, tuple(FVar(v) for v in shared))
+    else:
+        from repro.fol.terms import FConst
+
+        head = FAtom(name, (FConst("true"),))
+    aux_sink.append(GeneralizedClause((head,), tuple(conjuncts)))
+    return NegAtom(head)
+
+
+def query_to_fol(query: Query, dedupe: bool = True) -> tuple[FBodyAtom, ...]:
+    """Translate a query body into a first-order goal list.
+
+    Negated query atoms must translate to a single conjunct (a plain
+    typed term or predicate atom); for a negated complex description,
+    name it with a helper rule in the program instead.
+    """
+    from repro.core.clauses import atom_variables as c_atom_variables
+
+    goals: list[FBodyAtom] = []
+    for index, atom in enumerate(query.body):
+        if isinstance(atom, NegatedAtom):
+            outer: set[str] = set()
+            for other_index, other in enumerate(query.body):
+                if other_index != index:
+                    outer |= c_atom_variables(other)
+            goals.append(_translate_negated(atom, None, outer))
+        else:
+            goals.extend(body_atom_to_fol(atom))
+    if dedupe:
+        goals = dedupe_atoms(goals)
+    return tuple(goals)
+
+
+def subtype_axiom(decl: SubtypeDecl) -> HornClause:
+    """``tau2(X) :- tau1(X)`` for the declaration ``tau1 < tau2``."""
+    return HornClause(
+        FAtom(decl.sup, (_AXIOM_VAR,)), (FAtom(decl.sub, (_AXIOM_VAR,)),)
+    )
+
+
+def object_axioms(type_symbols: Iterable[str]) -> list[HornClause]:
+    """``object(X) :- tau(X)`` for every non-``object`` symbol, sorted
+    for determinism."""
+    return [
+        HornClause(FAtom(OBJECT, (_AXIOM_VAR,)), (FAtom(symbol, (_AXIOM_VAR,)),))
+        for symbol in sorted(set(type_symbols))
+        if symbol != OBJECT
+    ]
+
+
+def type_axioms(program: Program) -> list[HornClause]:
+    """All type axioms of a program: subtype clauses then object axioms."""
+    axioms = [subtype_axiom(decl) for decl in program.subtypes]
+    axioms.extend(object_axioms(program.type_symbols()))
+    return axioms
+
+
+def program_to_generalized(program: Program, dedupe: bool = True) -> GeneralizedProgram:
+    """Translate a program of objects into a generalized logic program.
+
+    Negated complex descriptions produce Lloyd–Topor auxiliary clauses,
+    appended after the program's own clauses.
+    """
+    aux: list[GeneralizedClause] = []
+    clauses = tuple(
+        clause_to_generalized(clause, dedupe, aux_sink=aux)
+        for clause in program.clauses
+    )
+    return GeneralizedProgram(
+        clauses + tuple(aux), tuple(type_axioms(program)), program.hierarchy()
+    )
+
+
+def program_to_fol(program: Program, dedupe: bool = True) -> FOLProgram:
+    """The full pipeline: program of objects -> first-order logic program."""
+    return program_to_generalized(program, dedupe).split()
+
+
+def split_program(clauses: Iterable[GeneralizedClause]) -> FOLProgram:
+    """Split loose generalized clauses (without axioms) into Horn form."""
+    horn: list[HornClause] = []
+    for clause in clauses:
+        horn.extend(clause.split())
+    return FOLProgram(tuple(horn))

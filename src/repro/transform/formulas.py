@@ -1,0 +1,153 @@
+"""Compositional translation of *general* formulas into first-order logic.
+
+Theorem 1 covers atomic formulas; the paper notes that "formulas are
+freely generated from atomic formulas by logical connectives", so the
+full translation is the compositional closure: connectives and
+quantifiers map to themselves, atomic formulas map to the conjunction
+``alpha*``.  This module implements that closure over the
+:mod:`repro.core.formulas` AST, producing a first-order formula AST
+(:class:`FolFormula`), plus a satisfaction checker for the target so
+the equivalence
+
+    M |= phi[s]   iff   M* |= phi*[s]
+
+is testable for arbitrary formulas (see
+``tests/transform/test_formulas.py`` and the property suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.errors import TransformError
+from repro.core.formulas import (
+    And,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    PredAtom,
+    TermAtom,
+)
+from repro.fol.atoms import FAtom
+from repro.semantics.satisfaction import satisfies_fatom
+from repro.semantics.structure import Assignment, Structure
+from repro.transform.atoms import atom_to_fol
+
+__all__ = [
+    "FolAtomF",
+    "FolNot",
+    "FolAnd",
+    "FolOr",
+    "FolImplies",
+    "FolForAll",
+    "FolExists",
+    "FolFormula",
+    "formula_to_fol",
+    "satisfies_fol_formula",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FolAtomF:
+    atom: FAtom
+
+
+@dataclass(frozen=True, slots=True)
+class FolNot:
+    operand: "FolFormula"
+
+
+@dataclass(frozen=True, slots=True)
+class FolAnd:
+    left: "FolFormula"
+    right: "FolFormula"
+
+
+@dataclass(frozen=True, slots=True)
+class FolOr:
+    left: "FolFormula"
+    right: "FolFormula"
+
+
+@dataclass(frozen=True, slots=True)
+class FolImplies:
+    antecedent: "FolFormula"
+    consequent: "FolFormula"
+
+
+@dataclass(frozen=True, slots=True)
+class FolForAll:
+    variable: str
+    body: "FolFormula"
+
+
+@dataclass(frozen=True, slots=True)
+class FolExists:
+    variable: str
+    body: "FolFormula"
+
+
+FolFormula = Union[FolAtomF, FolNot, FolAnd, FolOr, FolImplies, FolForAll, FolExists]
+
+
+def _conjoin(atoms: list[FAtom]) -> FolFormula:
+    result: FolFormula = FolAtomF(atoms[-1])
+    for atom in reversed(atoms[:-1]):
+        result = FolAnd(FolAtomF(atom), result)
+    return result
+
+
+def formula_to_fol(formula: Formula) -> FolFormula:
+    """``phi -> phi*``: atomic formulas become their conjunction, the
+    connective structure is preserved."""
+    if isinstance(formula, (TermAtom, PredAtom)):
+        return _conjoin(atom_to_fol(formula))
+    if isinstance(formula, Not):
+        return FolNot(formula_to_fol(formula.operand))
+    if isinstance(formula, And):
+        return FolAnd(formula_to_fol(formula.left), formula_to_fol(formula.right))
+    if isinstance(formula, Or):
+        return FolOr(formula_to_fol(formula.left), formula_to_fol(formula.right))
+    if isinstance(formula, Implies):
+        return FolImplies(
+            formula_to_fol(formula.antecedent), formula_to_fol(formula.consequent)
+        )
+    if isinstance(formula, ForAll):
+        return FolForAll(formula.variable, formula_to_fol(formula.body))
+    if isinstance(formula, Exists):
+        return FolExists(formula.variable, formula_to_fol(formula.body))
+    raise TransformError(f"not a formula: {formula!r}")
+
+
+def satisfies_fol_formula(
+    formula: FolFormula, structure: Structure, assignment: Assignment
+) -> bool:
+    """``M* |= phi*[s]`` over the finite structure."""
+    if isinstance(formula, FolAtomF):
+        return satisfies_fatom(formula.atom, structure, assignment)
+    if isinstance(formula, FolNot):
+        return not satisfies_fol_formula(formula.operand, structure, assignment)
+    if isinstance(formula, FolAnd):
+        return satisfies_fol_formula(
+            formula.left, structure, assignment
+        ) and satisfies_fol_formula(formula.right, structure, assignment)
+    if isinstance(formula, FolOr):
+        return satisfies_fol_formula(
+            formula.left, structure, assignment
+        ) or satisfies_fol_formula(formula.right, structure, assignment)
+    if isinstance(formula, FolImplies):
+        return (
+            not satisfies_fol_formula(formula.antecedent, structure, assignment)
+        ) or satisfies_fol_formula(formula.consequent, structure, assignment)
+    if isinstance(formula, (FolForAll, FolExists)):
+        extended = dict(assignment)
+        results = []
+        for element in structure.domain:
+            extended[formula.variable] = element
+            results.append(satisfies_fol_formula(formula.body, structure, extended))
+        return all(results) if isinstance(formula, FolForAll) else any(results)
+    raise TransformError(f"not a FOL formula: {formula!r}")

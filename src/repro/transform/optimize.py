@@ -1,0 +1,172 @@
+"""Static redundancy elimination for translated programs (Section 4).
+
+The first-order program produced by the transformation "may have
+certain redundancies, especially in typing predicates".  The paper
+gives two elimination cases over generalized definite clauses, both
+justified by the type axioms:
+
+1. If ``tau1(a)`` and ``tau2(a)`` both appear in the head, or both in
+   the body, of a generalized definite clause, and ``tau1 <= tau2``,
+   then ``tau2(a)`` can be deleted.
+2. If ``tau1(a)`` appears in the head and ``tau2(a)`` in the body of
+   the same generalized definite clause, and ``tau2 <= tau1``, then
+   ``tau1(a)`` in the head can be deleted.
+
+(The paper writes the argument as a variable ``X``; the same reasoning
+applies to any argument term, and its own worked example deletes
+``object(Det)`` for the compound-free constant case, so we match on
+arbitrary equal argument terms.)
+
+A *type atom* here is a unary atom whose predicate is a known type
+symbol of the source program — including ``object``; since every type
+is below ``object``, case 1 also removes the "many redundant clauses
+for object" the paper mentions.  If every head atom of a clause is
+eliminated, the clause derives nothing not already derivable and is
+dropped entirely.
+
+Applying both cases to the translated noun-phrase program reproduces
+the simplified ``common_np`` clause printed in the paper (tested in
+``tests/transform/test_optimize.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import TypeHierarchy
+from repro.fol.atoms import FAtom, FBodyAtom, GeneralizedClause
+from repro.transform.clauses import GeneralizedProgram
+
+__all__ = ["OptimizationReport", "optimize_clause", "optimize_program"]
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer removed (for the E5 experiment)."""
+
+    head_atoms_deleted: int = 0
+    body_atoms_deleted: int = 0
+    clauses_dropped: int = 0
+    duplicate_clauses_dropped: int = 0
+
+    @property
+    def atoms_deleted(self) -> int:
+        return self.head_atoms_deleted + self.body_atoms_deleted
+
+
+def _is_type_atom(atom: FBodyAtom, hierarchy: TypeHierarchy) -> bool:
+    return isinstance(atom, FAtom) and len(atom.args) == 1 and atom.pred in hierarchy
+
+
+def _eliminate_within_zone(
+    atoms: list[FBodyAtom], hierarchy: TypeHierarchy, report: OptimizationReport, zone: str
+) -> list[FBodyAtom]:
+    """Case 1 within one zone (head or body): for equal arguments, keep
+    only the minimal types; for equal types keep the first occurrence."""
+    kept: list[FBodyAtom] = []
+    for position, atom in enumerate(atoms):
+        if not _is_type_atom(atom, hierarchy):
+            kept.append(atom)
+            continue
+        assert isinstance(atom, FAtom)
+        redundant = False
+        for other_position, other in enumerate(atoms):
+            if other_position == position or not _is_type_atom(other, hierarchy):
+                continue
+            assert isinstance(other, FAtom)
+            if other.args != atom.args:
+                continue
+            if other.pred == atom.pred:
+                # Exact duplicate: keep only the first occurrence.
+                if other_position < position:
+                    redundant = True
+                    break
+            elif hierarchy.is_subtype(other.pred, atom.pred):
+                # A strictly smaller type is present: atom is implied.
+                redundant = True
+                break
+        if redundant:
+            if zone == "head":
+                report.head_atoms_deleted += 1
+            else:
+                report.body_atoms_deleted += 1
+        else:
+            kept.append(atom)
+    return kept
+
+
+def _eliminate_head_by_body(
+    heads: list[FBodyAtom],
+    body: list[FBodyAtom],
+    hierarchy: TypeHierarchy,
+    report: OptimizationReport,
+) -> list[FBodyAtom]:
+    """Case 2: drop head type atoms implied by body type atoms."""
+    kept: list[FBodyAtom] = []
+    for atom in heads:
+        if not _is_type_atom(atom, hierarchy):
+            kept.append(atom)
+            continue
+        assert isinstance(atom, FAtom)
+        implied = False
+        for other in body:
+            if not _is_type_atom(other, hierarchy):
+                continue
+            assert isinstance(other, FAtom)
+            if other.args == atom.args and hierarchy.is_subtype(other.pred, atom.pred):
+                implied = True
+                break
+        if implied:
+            report.head_atoms_deleted += 1
+        else:
+            kept.append(atom)
+    return kept
+
+
+def optimize_clause(
+    clause: GeneralizedClause,
+    hierarchy: TypeHierarchy,
+    report: OptimizationReport | None = None,
+) -> GeneralizedClause | None:
+    """Apply both elimination cases to one generalized clause.
+
+    Returns the simplified clause, or ``None`` when every head atom was
+    redundant (the clause derives nothing new).
+    """
+    report = report if report is not None else OptimizationReport()
+    heads: list[FBodyAtom] = list(clause.heads)
+    body: list[FBodyAtom] = list(clause.body)
+    heads = _eliminate_within_zone(heads, hierarchy, report, "head")
+    body = _eliminate_within_zone(body, hierarchy, report, "body")
+    heads = _eliminate_head_by_body(heads, body, hierarchy, report)
+    if not heads:
+        report.clauses_dropped += 1
+        return None
+    fatom_heads = tuple(atom for atom in heads if isinstance(atom, FAtom))
+    return GeneralizedClause(fatom_heads, tuple(body))
+
+
+def optimize_program(
+    program: GeneralizedProgram,
+) -> tuple[GeneralizedProgram, OptimizationReport]:
+    """Optimize every clause and drop exact duplicate clauses.
+
+    The type axioms are left untouched: they are what justifies the
+    deletions, so they must survive into the final program.
+    """
+    report = OptimizationReport()
+    seen: set[GeneralizedClause] = set()
+    optimized: list[GeneralizedClause] = []
+    for clause in program.clauses:
+        simplified = optimize_clause(clause, program.hierarchy, report)
+        if simplified is None:
+            continue
+        if simplified in seen:
+            report.duplicate_clauses_dropped += 1
+            continue
+        seen.add(simplified)
+        optimized.append(simplified)
+    return (
+        GeneralizedProgram(tuple(optimized), program.axioms, program.hierarchy),
+        report,
+    )

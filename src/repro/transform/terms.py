@@ -1,0 +1,57 @@
+"""Term translation ``t -> t'`` of the Theorem-1 transformation.
+
+Section 3.3 defines, for each term ``t`` of a language of objects, a
+first-order term ``t'``:
+
+* ``(tau : X)' = X``
+* ``(tau : c)' = c``
+* ``(tau : f(t1, ..., tn))' = f(t1', ..., tn')``
+* ``(t[l1 => e1, ..., ln => en])' = t'``
+
+The translation forgets the type annotation and the labels: they turn
+into conjuncts of the *formula* translation (:mod:`repro.transform.atoms`),
+while ``t'`` is the pure identity tree.  The paper proves
+``s_M(t) = s_{M*}(t')`` for every structure and assignment; our
+property tests check this through :mod:`repro.semantics`.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TransformError
+from repro.core.terms import Const, Func, LTerm, Term, Var
+from repro.fol.terms import FApp, FConst, FTerm, FVar
+
+__all__ = ["term_to_fol", "fol_to_identity"]
+
+
+def term_to_fol(term: Term) -> FTerm:
+    """The individual term ``t'`` of L* corresponding to ``t``."""
+    if isinstance(term, Var):
+        return FVar(term.name)
+    if isinstance(term, Const):
+        return FConst(term.value)
+    if isinstance(term, Func):
+        return FApp(term.functor, tuple(term_to_fol(arg) for arg in term.args))
+    if isinstance(term, LTerm):
+        return term_to_fol(term.base)
+    raise TransformError(f"not a term: {term!r}")
+
+
+def fol_to_identity(fterm: FTerm) -> Term:
+    """The inverse embedding: an FOL term read back as an (untyped)
+    C-logic identity term.
+
+    Total and injective on the image of :func:`term_to_fol` restricted
+    to label-free terms, so ``fol_to_identity(term_to_fol(t)) == t`` for
+    every untyped, label-free ``t`` (tested).  Types and labels are not
+    recoverable from ``t'`` alone — they live in the unary/binary
+    predicates of the translated formula; :mod:`repro.transform.backmap`
+    reassembles full descriptions from those.
+    """
+    if isinstance(fterm, FVar):
+        return Var(fterm.name)
+    if isinstance(fterm, FConst):
+        return Const(fterm.value)
+    if isinstance(fterm, FApp):
+        return Func(fterm.functor, tuple(fol_to_identity(arg) for arg in fterm.args))
+    raise TransformError(f"not an FOL term: {fterm!r}")

@@ -1,0 +1,3 @@
+"""Package version, kept in one place for pyproject and runtime use."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,96 @@
+"""Shared fixtures: the paper's example programs and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+
+#: Example 3 (Section 4): objects of type noun_phrase.
+NOUN_PHRASE_SOURCE = """
+name: john.
+name: bob.
+determiner: the[num => {singular, plural}, def => definite].
+determiner: a[num => singular, def => indef].
+determiner: all[num => plural, def => indef].
+noun: student[num => singular].
+noun: students[num => plural].
+proper_np: X[pers => 3, num => singular, def => definite] :- name: X.
+common_np: np(Det, Noun)[pers => 3, num => N, def => D] :-
+    determiner: Det[num => N, def => D],
+    noun: Noun[num => N].
+proper_np < noun_phrase.
+common_np < noun_phrase.
+"""
+
+#: Section 2.1's path rules, already skolemized with reading 1
+#: (identity determined by the node objects at both ends only).
+PATH_SOURCE = """
+node: a[linkto => b].
+node: b[linkto => c].
+node: c[linkto => d].
+path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+path: id(X, Y)[src => X, dest => Y, length => L] :-
+    node: X[linkto => Z],
+    path: C0[src => Z, dest => Y, length => L0],
+    L is L0 + 1.
+"""
+
+#: The unskolemized path rules (existential object variable C).
+PATH_SOURCE_EXISTENTIAL = """
+node: a[linkto => b].
+node: b[linkto => c].
+node: c[linkto => d].
+path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+path: C[src => X, dest => Y, length => L] :-
+    node: X[linkto => Z],
+    path: C0[src => Z, dest => Y, length => L0],
+    L is L0 + 1.
+"""
+
+#: Section 4's multi-valued label facts: two partial descriptions of p.
+RESIDUAL_SOURCE = """
+path: p[src => a, dest => b].
+path: p[src => c, dest => d].
+"""
+
+#: Section 5's set-through-multi-valued-labels fact.
+CHILDREN_SOURCE = """
+person: john[children => {bob, bill, joe}].
+"""
+
+#: Section 2.2's O-logic inconsistency example.
+JOHN_NAMES_SOURCE = """
+john[name => "John"].
+john[name => "John Smith"].
+"""
+
+
+@pytest.fixture
+def noun_phrase_program():
+    return parse_program(NOUN_PHRASE_SOURCE).program
+
+
+@pytest.fixture
+def path_program():
+    return parse_program(PATH_SOURCE).program
+
+
+@pytest.fixture
+def path_program_existential():
+    return parse_program(PATH_SOURCE_EXISTENTIAL).program
+
+
+@pytest.fixture
+def residual_program():
+    return parse_program(RESIDUAL_SOURCE).program
+
+
+@pytest.fixture
+def children_program():
+    return parse_program(CHILDREN_SOURCE).program
+
+
+@pytest.fixture
+def john_names_program():
+    return parse_program(JOHN_NAMES_SOURCE).program

@@ -1,0 +1,122 @@
+"""Unit tests for the Python builder DSL."""
+
+import pytest
+
+from repro.core.builder import (
+    V,
+    arith,
+    atom,
+    builtin,
+    c,
+    fact,
+    fn,
+    labeled,
+    lift,
+    obj,
+    pred,
+    program,
+    query,
+    rule,
+)
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LTerm, Var
+from repro.lang.parser import parse_clause, parse_term
+
+
+class TestLift:
+    def test_string_to_constant(self):
+        assert lift("john") == Const("john")
+
+    def test_int_to_constant(self):
+        assert lift(28) == Const(28)
+
+    def test_term_passthrough(self):
+        assert lift(Var("X")) is not None
+        assert lift(Var("X")) == Var("X")
+
+    def test_set_to_sorted_collection(self):
+        assert lift({"bob", "bill"}) == Collection((Const("bill"), Const("bob")))
+
+    def test_list_preserves_order(self):
+        assert lift(["z", "a"]) == Collection((Const("z"), Const("a")))
+
+    def test_nested_collection_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            lift([["a"]])
+
+    def test_unliftable(self):
+        with pytest.raises(SyntaxKindError):
+            lift(3.5)
+
+
+class TestObj:
+    def test_matches_parsed_term(self):
+        built = obj("john", type="person", age=28, children={"bob", "bill"})
+        parsed = parse_term("person: john[age => 28, children => {bill, bob}]")
+        assert built == parsed
+
+    def test_plain_identity(self):
+        assert obj("john") == Const("john")
+
+    def test_typed_variable_identity(self):
+        assert obj(V("X"), type="noun") == Var("X", "noun")
+
+    def test_function_identity(self):
+        built = obj(fn("id", V("X"), V("Y")), type="path", src=V("X"))
+        assert isinstance(built, LTerm)
+        assert built.base == Func("id", (Var("X"), Var("Y")), "path")
+
+    def test_labelled_identity_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            obj(obj("p", src="a"), type="path")
+
+
+class TestClauses:
+    def test_rule_matches_parsed(self):
+        built = rule(
+            obj(fn("id", V("X"), V("Y")), type="path", src=V("X"), dest=V("Y"), length=1),
+            obj(V("X"), type="node", linkto=V("Y")),
+        )
+        parsed = parse_clause(
+            "path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y]."
+        )
+        assert built == parsed
+
+    def test_rule_with_builtin(self):
+        built = rule(
+            pred("bigger", V("X")),
+            pred("size", V("X"), V("S")),
+            builtin(">", V("S"), 10),
+        )
+        parsed = parse_clause("bigger(X) :- size(X, S), S > 10.")
+        assert built == parsed
+
+    def test_fact_rejects_builtin(self):
+        with pytest.raises(SyntaxKindError):
+            fact(builtin("is", V("X"), c(1)))
+
+    def test_query(self):
+        q = query(obj(V("X"), type="noun_phrase", num="plural"))
+        assert len(q.body) == 1
+
+    def test_atom_coercion(self):
+        assert isinstance(atom(obj("a")), TermAtom)
+        assert isinstance(atom(pred("p", "a")), PredAtom)
+        with pytest.raises(SyntaxKindError):
+            atom(42)
+
+    def test_labeled_for_awkward_names(self):
+        t = labeled(c("p", type="path"), ("src", "a"), ("dest", "b"))
+        assert t == parse_term("path: p[src => a, dest => b]")
+
+    def test_labeled_rejects_labelled_base(self):
+        with pytest.raises(SyntaxKindError):
+            labeled(labeled(c("p"), ("a", "x")), ("b", "y"))
+
+    def test_arith(self):
+        assert arith("+", V("L0"), 1) == Func("+", (Var("L0"), Const(1)))
+
+    def test_program_builder(self):
+        p = program(fact(obj("a")), rule(pred("q", V("X")), pred("p", V("X"))))
+        assert len(p) == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the clausal subset (Section 4)."""
+
+import pytest
+
+from repro.core.builder import V, builtin, c, fact, fn, obj, pred, program, rule, subtype
+from repro.core.clauses import (
+    BuiltinAtom,
+    DefiniteClause,
+    Program,
+    Query,
+    atom_is_ground,
+    atom_variables,
+    substitute_atom,
+)
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import Const, OBJECT, Var
+from repro.lang.parser import parse_clause, parse_program
+
+
+class TestBuiltinAtom:
+    def test_is(self):
+        atom = builtin("is", V("L"), fn("+", V("L0"), 1))
+        assert atom.op == "is"
+
+    def test_unknown_operator(self):
+        with pytest.raises(SyntaxKindError):
+            BuiltinAtom("**", (Const(1), Const(2)))
+
+    def test_wrong_arity(self):
+        with pytest.raises(SyntaxKindError):
+            BuiltinAtom("is", (Const(1),))
+
+
+class TestDefiniteClause:
+    def test_fact(self):
+        clause = fact(obj("john", type="person"))
+        assert clause.is_fact
+
+    def test_rule_not_fact(self):
+        clause = rule(pred("p", V("X")), pred("q", V("X")))
+        assert not clause.is_fact
+
+    def test_builtin_cannot_head(self):
+        with pytest.raises(SyntaxKindError):
+            DefiniteClause(builtin("is", V("X"), Const(1)))
+
+    def test_variables(self):
+        clause = parse_clause("p(X, Y) :- q(X, Z).")
+        assert clause.variables() == {"X", "Y", "Z"}
+
+    def test_head_only_variables(self):
+        """Existential object variables (Section 2.1) are exactly the
+        head-only variables."""
+        clause = parse_clause(
+            "path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y]."
+        )
+        assert clause.head_only_variables() == {"C"}
+
+    def test_head_only_variables_empty_for_safe_clause(self):
+        clause = parse_clause("p(X) :- q(X).")
+        assert clause.head_only_variables() == set()
+
+
+class TestQuery:
+    def test_requires_body(self):
+        with pytest.raises(SyntaxKindError):
+            Query(())
+
+    def test_variables(self):
+        q = Query((TermAtom(Var("X", "noun_phrase")),))
+        assert q.variables() == {"X"}
+
+
+class TestProgram:
+    def test_type_symbols(self, noun_phrase_program):
+        symbols = noun_phrase_program.type_symbols()
+        assert {
+            "name",
+            "determiner",
+            "noun",
+            "proper_np",
+            "common_np",
+            "noun_phrase",
+            OBJECT,
+        } <= symbols
+
+    def test_labels(self, noun_phrase_program):
+        assert noun_phrase_program.labels() == {"num", "def", "pers"}
+
+    def test_predicates_empty_in_object_program(self, noun_phrase_program):
+        assert noun_phrase_program.predicates() == set()
+
+    def test_hierarchy_from_declarations(self, noun_phrase_program):
+        h = noun_phrase_program.hierarchy()
+        assert h.is_subtype("proper_np", "noun_phrase")
+        assert h.is_subtype("common_np", "noun_phrase")
+        assert not h.is_subtype("proper_np", "common_np")
+
+    def test_facts_and_rules_partition(self, noun_phrase_program):
+        facts = list(noun_phrase_program.facts())
+        rules = list(noun_phrase_program.rules())
+        assert len(facts) + len(rules) == len(noun_phrase_program)
+        assert len(rules) == 2
+
+    def test_extended(self):
+        p = program(fact(obj("a")))
+        q = p.extended(fact(obj("b")))
+        assert len(q) == 2 and len(p) == 1
+
+    def test_builder_subtype(self):
+        p = program(fact(obj("a", type="t1")), subtypes=[subtype("t1", "t2")])
+        assert p.hierarchy().is_subtype("t1", "t2")
+
+
+class TestAtomHelpers:
+    def test_atom_variables_builtin(self):
+        atom = builtin("is", V("L"), fn("+", V("L0"), 1))
+        assert atom_variables(atom) == {"L", "L0"}
+
+    def test_atom_is_ground(self):
+        assert atom_is_ground(TermAtom(Const("a")))
+        assert not atom_is_ground(PredAtom("p", (Var("X"),)))
+
+    def test_substitute_atom_predicate(self):
+        atom = PredAtom("p", (Var("X"),))
+        assert substitute_atom(atom, {"X": Const("a")}) == PredAtom("p", (Const("a"),))
+
+    def test_substitute_atom_builtin(self):
+        atom = builtin("<", V("X"), c(3))
+        out = substitute_atom(atom, {"X": Const(1)})
+        assert out == BuiltinAtom("<", (Const(1), Const(3)))

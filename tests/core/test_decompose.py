@@ -1,0 +1,167 @@
+"""The decomposition/recombination laws of Section 3.2.
+
+"A term of the form t[l1 => t1, ..., ln => tn] is semantically
+equivalent to t[l1 => t1] & ... & t[ln => tn]; a term of the form
+t[l => {t1, ..., tn}] is semantically equivalent to t[l => t1] & ... &
+t[l => tn]."
+"""
+
+from repro.core.decompose import (
+    atomic_descriptions,
+    decompose_atom,
+    decompose_term,
+    normalize_atom,
+    normalize_term,
+    recombine,
+    spec_pairs,
+)
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LabelSpec, LTerm, Var
+from repro.lang.parser import parse_atom, parse_term
+
+
+class TestDecompose:
+    def test_unlabelled_term_is_atomic(self):
+        assert decompose_term(Const("john", "person")) == [Const("john", "person")]
+
+    def test_multi_label_splits(self):
+        t = parse_term('john[name => "John Smith", age => 28]')
+        pieces = decompose_term(t)
+        assert pieces == [
+            Const("john"),
+            parse_term('john[name => "John Smith"]'),
+            parse_term("john[age => 28]"),
+        ]
+
+    def test_collection_splits(self):
+        t = parse_term("person: john[children => {bob, bill, joe}]")
+        pieces = decompose_term(t)
+        assert parse_term("person: john[children => bob]") in pieces
+        assert parse_term("person: john[children => bill]") in pieces
+        assert parse_term("person: john[children => joe]") in pieces
+        assert len(pieces) == 4  # bare identity + three atomic labels
+
+    def test_decompose_atom_predicate_unchanged(self):
+        atom = PredAtom("p", (Const("a"),))
+        assert decompose_atom(atom) == [atom]
+
+    def test_spec_pairs_flattens_collections(self):
+        t = parse_term("p[l => {a, b}, m => c]")
+        assert list(spec_pairs(t)) == [
+            ("l", Const("a")),
+            ("l", Const("b")),
+            ("m", Const("c")),
+        ]
+
+
+class TestRecombine:
+    def test_inverse_of_decompose_up_to_normalization(self):
+        t = parse_term("person: john[children => {bob, bill}, age => 28]")
+        pieces = decompose_term(t)
+        merged = recombine(pieces)
+        assert len(merged) == 1
+        assert normalize_term(merged[0]) == normalize_term(t)
+
+    def test_combines_separate_pieces(self):
+        """Information about an object may be accumulated piecewise."""
+        one = parse_term('john[name => "John Smith"]')
+        two = parse_term("john[age => 28]")
+        merged = recombine([one, two])
+        assert len(merged) == 1
+        assert normalize_term(merged[0]) == normalize_term(
+            parse_term('john[name => "John Smith", age => 28]')
+        )
+
+    def test_distinct_identities_stay_separate(self):
+        merged = recombine([parse_term("a[l => x]"), parse_term("b[l => y]")])
+        assert len(merged) == 2
+
+    def test_multivalued_labels_become_collections(self):
+        merged = recombine(
+            [parse_term("p[src => a]"), parse_term("p[src => c]")]
+        )
+        assert merged == [parse_term("p[src => {a, c}]")]
+
+    def test_duplicate_values_collapse(self):
+        merged = recombine([parse_term("p[src => a]"), parse_term("p[src => a]")])
+        assert merged == [parse_term("p[src => a]")]
+
+
+class TestNormalize:
+    def test_spec_order_irrelevant(self):
+        one = parse_term("t[a => x, b => y]")
+        two = parse_term("t[b => y, a => x]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_collection_order_irrelevant(self):
+        one = parse_term("t[l => {x, y}]")
+        two = parse_term("t[l => {y, x}]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_collection_duplicates_collapse(self):
+        one = parse_term("t[l => {x, x, y}]")
+        two = parse_term("t[l => {x, y}]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_singleton_collection_equals_plain_value(self):
+        one = parse_term("t[l => {x}]")
+        two = parse_term("t[l => x]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_repeated_label_merges(self):
+        one = parse_term("t[l => x, l => y]")
+        two = parse_term("t[l => {x, y}]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_normalizes_nested_values(self):
+        one = parse_term("t[l => u[b => q, a => p]]")
+        two = parse_term("t[l => u[a => p, b => q]]")
+        assert normalize_term(one) == normalize_term(two)
+
+    def test_distinct_terms_stay_distinct(self):
+        assert normalize_term(parse_term("t[l => x]")) != normalize_term(
+            parse_term("t[l => y]")
+        )
+
+    def test_normalize_atom_predicate(self):
+        one = normalize_atom(parse_atom("q(t[b => y, a => x])"))
+        two = normalize_atom(parse_atom("q(t[a => x, b => y])"))
+        assert one == two
+
+    def test_normalize_plain_terms_identity(self):
+        for source in ("X", "john", "f(a, b)"):
+            t = parse_term(source)
+            assert normalize_term(t) == t
+
+
+class TestAtomicDescriptions:
+    def test_matches_transformation_shape(self):
+        """Flattening mirrors the alpha* conjunct list of Example 2."""
+        atom = parse_atom("determiner: the[num => {singular, plural}, def => definite]")
+        flat = atomic_descriptions(atom)
+        rendered = [
+            a.term if isinstance(a, TermAtom) else a for a in flat
+        ]
+        assert rendered[0] == Const("the", "determiner")
+        assert parse_term("determiner: the[num => singular]") in rendered
+        assert parse_term("determiner: the[num => plural]") in rendered
+        assert parse_term("determiner: the[def => definite]") in rendered
+        # one host assertion + 3 value assertions + 3 label assertions
+        assert len(flat) == 7
+
+    def test_nested_function_identity(self):
+        atom = parse_atom("object: id(a, b)")
+        flat = atomic_descriptions(atom)
+        terms = [a.term for a in flat]
+        assert Func("id", (Const("a"), Const("b"))) in terms
+        assert Const("a") in terms and Const("b") in terms
+
+    def test_predicate_atom_strips_labels_from_args(self):
+        atom = parse_atom("edge(a[weight => 3], b)")
+        flat = atomic_descriptions(atom)
+        pred = [a for a in flat if isinstance(a, PredAtom)]
+        assert pred == [PredAtom("edge", (Const("a"), Const("b")))]
+        label_atoms = [
+            a for a in flat if isinstance(a, TermAtom) and isinstance(a.term, LTerm)
+        ]
+        assert len(label_atoms) == 1

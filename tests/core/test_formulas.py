@@ -1,0 +1,84 @@
+"""Formula-AST unit tests (free variables, folds, validation)."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.core.formulas import (
+    And,
+    Exists,
+    ForAll,
+    Implies,
+    Not,
+    Or,
+    PredAtom,
+    TermAtom,
+    conjoin,
+    disjoin,
+    free_variables,
+)
+from repro.core.terms import Const, Var
+from repro.lang.parser import parse_term
+
+
+def t(name="X"):
+    return TermAtom(Var(name))
+
+
+class TestConstruction:
+    def test_term_atom_requires_term(self):
+        with pytest.raises(SyntaxKindError):
+            TermAtom("john")
+
+    def test_pred_atom_requires_terms(self):
+        with pytest.raises(SyntaxKindError):
+            PredAtom("p", ("a",))
+
+    def test_pred_atom_empty_name(self):
+        with pytest.raises(SyntaxKindError):
+            PredAtom("", (Const("a"),))
+
+    def test_pred_arity(self):
+        assert PredAtom("p", (Const("a"), Const("b"))).arity == 2
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        atom = TermAtom(parse_term("path: P[src => X]"))
+        assert free_variables(atom) == {"P", "X"}
+
+    def test_pred_atom(self):
+        assert free_variables(PredAtom("p", (Var("X"), Const("a")))) == {"X"}
+
+    def test_connectives_union(self):
+        formula = And(t("X"), Or(t("Y"), Not(t("Z"))))
+        assert free_variables(formula) == {"X", "Y", "Z"}
+
+    def test_implication(self):
+        assert free_variables(Implies(t("X"), t("Y"))) == {"X", "Y"}
+
+    def test_quantifier_binds(self):
+        assert free_variables(ForAll("X", And(t("X"), t("Y")))) == {"Y"}
+        assert free_variables(Exists("Y", t("Y"))) == set()
+
+    def test_shadowing(self):
+        formula = And(t("X"), ForAll("X", t("X")))
+        assert free_variables(formula) == {"X"}
+
+
+class TestFolds:
+    def test_conjoin_single(self):
+        assert conjoin([t("X")]) == t("X")
+
+    def test_conjoin_right_fold(self):
+        formula = conjoin([t("X"), t("Y"), t("Z")])
+        assert formula == And(t("X"), And(t("Y"), t("Z")))
+
+    def test_disjoin_right_fold(self):
+        formula = disjoin([t("X"), t("Y")])
+        assert formula == Or(t("X"), t("Y"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            conjoin([])
+        with pytest.raises(SyntaxKindError):
+            disjoin([])

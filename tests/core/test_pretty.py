@@ -1,0 +1,125 @@
+"""Pretty-printer tests: paper notation, parser round-trips."""
+
+from repro.core.builder import V, c, fn, obj, pred, query, rule
+from repro.core.formulas import And, Exists, ForAll, Implies, Not, Or, TermAtom
+from repro.core.pretty import (
+    pretty_atom,
+    pretty_clause,
+    pretty_formula,
+    pretty_program,
+    pretty_query,
+    pretty_term,
+)
+from repro.core.terms import Const, Var
+from repro.lang.parser import parse_clause, parse_program, parse_query, parse_term
+
+
+class TestTermPrinting:
+    def test_object_prefix_omitted(self):
+        assert pretty_term(Const("john")) == "john"
+        assert pretty_term(Var("X")) == "X"
+
+    def test_type_prefix(self):
+        assert pretty_term(Const("john", "person")) == "person: john"
+
+    def test_labels(self):
+        t = obj("p1", type="path", src="a", dest="b")
+        assert pretty_term(t) == "path: p1[src => a, dest => b]"
+
+    def test_collection(self):
+        t = obj("john", type="person", children=["bob", "bill"])
+        assert pretty_term(t) == "person: john[children => {bob, bill}]"
+
+    def test_quoted_string(self):
+        t = obj("john", name="John Smith")
+        assert pretty_term(t) == 'john[name => "John Smith"]'
+
+    def test_string_with_quote_escaped(self):
+        rendered = pretty_term(Const('say "hi"'))
+        assert rendered == '"say \\"hi\\""'
+        assert parse_term(rendered) == Const('say "hi"')
+
+    def test_negative_number(self):
+        assert pretty_term(Const(-3)) == "-3"
+
+    def test_arith_infix(self):
+        assert pretty_term(fn("+", V("L0"), 1)) == "(L0 + 1)"
+
+    def test_function_identity(self):
+        assert pretty_term(fn("id", "a", "b", type="path")) == "path: id(a, b)"
+
+
+class TestClausePrinting:
+    def test_fact(self):
+        assert pretty_clause(parse_clause("name: john.")) == "name: john."
+
+    def test_rule(self):
+        source = "proper_np: X[pers => 3] :- name: X."
+        assert pretty_clause(parse_clause(source)) == source
+
+    def test_query(self):
+        assert pretty_query(parse_query(":- noun_phrase: X[num => plural].")) == (
+            ":- noun_phrase: X[num => plural]."
+        )
+
+    def test_builtin_in_body(self):
+        clause = parse_clause("p(L) :- q(L0), L is L0 + 1.")
+        assert pretty_clause(clause) == "p(L) :- q(L0), L is (L0 + 1)."
+
+    def test_predicate_atom(self):
+        assert pretty_atom(pred("edge", "a", "b")) == "edge(a, b)"
+
+    def test_program_roundtrip(self, noun_phrase_program):
+        text = pretty_program(noun_phrase_program)
+        reparsed = parse_program(text).program
+        assert reparsed == noun_phrase_program
+
+
+class TestFormulaPrinting:
+    def test_connectives(self):
+        a = TermAtom(Const("a"))
+        b = TermAtom(Const("b"))
+        assert pretty_formula(And(a, b)) == "a & b"
+        assert pretty_formula(Or(a, b)) == "a | b"
+        assert pretty_formula(Not(a)) == "~a"
+        assert pretty_formula(Implies(a, b)) == "a -> b"
+
+    def test_precedence_parentheses(self):
+        a = TermAtom(Const("a"))
+        b = TermAtom(Const("b"))
+        c_atom = TermAtom(Const("c"))
+        assert pretty_formula(And(Or(a, b), c_atom)) == "(a | b) & c"
+        assert pretty_formula(Or(And(a, b), c_atom)) == "a & b | c"
+
+    def test_quantifiers(self):
+        body = TermAtom(Var("X", "person"))
+        assert pretty_formula(ForAll("X", body)) == "forall X. person: X"
+        assert pretty_formula(Exists("X", body)) == "exists X. person: X"
+
+
+class TestRoundTrips:
+    SOURCES = [
+        "X",
+        "path: g(X, Y)[length => 10]",
+        "person: john[children => {person: bob, person: bill}]",
+        "instructor: david[course => courseid: cse538, course => courseid: cse505]",
+        "determiner: the[num => {singular, plural}, def => definite]",
+        'john[name => "John Smith", age => 28]',
+        "path: id(X, Y)[src => X, dest => Y, length => L]",
+    ]
+
+    def test_parse_pretty_parse(self):
+        for source in self.SOURCES:
+            term = parse_term(source)
+            assert parse_term(pretty_term(term)) == term
+
+
+class TestNegationPrinting:
+    def test_negated_atom_roundtrip(self):
+        source = "lonely(X) :- node: X, \\+ node: X[linkto => Y]."
+        clause = parse_clause(source)
+        assert parse_clause(pretty_clause(clause)) == clause
+
+    def test_negated_rendering(self):
+        clause = parse_clause("q(X) :- p(X), \\+ r(X).")
+        assert pretty_clause(clause) == "q(X) :- p(X), \\+ r(X)."

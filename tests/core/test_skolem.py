@@ -1,0 +1,90 @@
+"""Skolemization of existential object variables (Section 2.1)."""
+
+import pytest
+
+from repro.core.errors import TransformError
+from repro.core.skolem import SkolemPolicy, fresh_skolem_namer, skolemize_clause, skolemize_program
+from repro.core.terms import Const, Func, Var
+from repro.core.formulas import TermAtom
+from repro.lang.parser import parse_clause, parse_program
+
+
+RULE1 = "path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y]."
+RULE2 = (
+    "path: C[src => X, dest => Y, length => L] :- node: X[linkto => Z], "
+    "path: C0[src => Z, dest => Y, length => L0], L is L0 + 1."
+)
+
+
+class TestSkolemizeClause:
+    def test_reading_one_matches_paper(self):
+        """Reading 1: path objects determined by nodes at both ends —
+        C becomes id(X, Y), exactly the paper's rewritten rule."""
+        clause = parse_clause(RULE1)
+        result = skolemize_clause(clause, SkolemPolicy("C", ("X", "Y")))
+        expected = parse_clause(
+            "path: id(X, Y)[src => X, dest => Y, length => 1] :- node: X[linkto => Y]."
+        )
+        assert result == expected
+
+    def test_reading_two_includes_length(self):
+        clause = parse_clause(RULE2)
+        result = skolemize_clause(clause, SkolemPolicy("C", ("X", "Y", "L")))
+        assert isinstance(result.head, TermAtom)
+        head_base = result.head.term.base
+        assert head_base == Func("id", (Var("X"), Var("Y"), Var("L")), "path")
+
+    def test_reading_three_sequence(self):
+        """Reading 3: VX VC0 EC — identity depends on the extending node
+        and the extended path (which encodes the node sequence)."""
+        clause = parse_clause(RULE2)
+        result = skolemize_clause(clause, SkolemPolicy("C", ("X", "C0")))
+        head_base = result.head.term.base
+        assert head_base == Func("id", (Var("X"), Var("C0")), "path")
+
+    def test_non_existential_variable_rejected(self):
+        clause = parse_clause(RULE1)
+        with pytest.raises(TransformError):
+            skolemize_clause(clause, SkolemPolicy("X", ("Y",)))
+
+    def test_missing_dependency_rejected(self):
+        clause = parse_clause(RULE1)
+        with pytest.raises(TransformError):
+            skolemize_clause(clause, SkolemPolicy("C", ("NOPE",)))
+
+    def test_self_dependency_rejected(self):
+        clause = parse_clause(RULE1)
+        with pytest.raises(TransformError):
+            skolemize_clause(clause, SkolemPolicy("C", ("C",)))
+
+    def test_no_dependencies_yields_constant_identity(self):
+        clause = parse_clause("thing: C[kind => x] :- object: x.")
+        result = skolemize_clause(clause, SkolemPolicy("C", (), functor="the_thing"))
+        assert result.head.term.base == Const("the_thing", "thing")
+
+    def test_custom_functor(self):
+        clause = parse_clause(RULE1)
+        result = skolemize_clause(clause, SkolemPolicy("C", ("X", "Y"), functor="pth"))
+        assert result.head.term.base.functor == "pth"
+
+
+class TestSkolemizeProgram:
+    def test_both_path_rules(self):
+        program = parse_program(RULE1 + "\n" + RULE2).program
+        result = skolemize_program(
+            program,
+            [(0, SkolemPolicy("C", ("X", "Y"))), (1, SkolemPolicy("C", ("X", "Y")))],
+        )
+        for clause in result.clauses:
+            assert clause.head_only_variables() == set()
+
+    def test_bad_index(self):
+        program = parse_program(RULE1).program
+        with pytest.raises(TransformError):
+            skolemize_program(program, [(5, SkolemPolicy("C", ("X",)))])
+
+
+def test_fresh_skolem_namer():
+    namer = fresh_skolem_namer("id")
+    assert namer() == "id1"
+    assert namer() == "id2"

@@ -1,0 +1,224 @@
+"""Unit tests for the term language (Section 3.1)."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.core.terms import (
+    Collection,
+    Const,
+    Func,
+    LabelSpec,
+    LTerm,
+    OBJECT,
+    Var,
+    constants_of,
+    functors_of,
+    identity_of,
+    is_ground,
+    is_term,
+    labels_of,
+    substitute_term,
+    term_depth,
+    term_size,
+    type_of,
+    types_of,
+    variables_of,
+)
+
+
+class TestConstruction:
+    def test_variable_default_type_is_object(self):
+        assert Var("X").type == OBJECT
+
+    def test_typed_variable(self):
+        v = Var("X", "path")
+        assert v.name == "X" and v.type == "path"
+
+    def test_constant_str_and_int(self):
+        assert Const("john").value == "john"
+        assert Const(7).value == 7
+
+    def test_constant_rejects_bool(self):
+        with pytest.raises(SyntaxKindError):
+            Const(True)
+
+    def test_constant_rejects_float(self):
+        with pytest.raises(SyntaxKindError):
+            Const(3.14)
+
+    def test_func_requires_args(self):
+        with pytest.raises(SyntaxKindError):
+            Func("f", ())
+
+    def test_func_args_must_be_terms(self):
+        with pytest.raises(SyntaxKindError):
+            Func("f", ("not-a-term",))
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            Var("")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            Var("X", "")
+
+    def test_collection_nonempty(self):
+        with pytest.raises(SyntaxKindError):
+            Collection(())
+
+    def test_collection_members_must_be_terms(self):
+        with pytest.raises(SyntaxKindError):
+            Collection((Const("a"), "b"))
+
+    def test_lterm_requires_specs(self):
+        with pytest.raises(SyntaxKindError):
+            LTerm(Const("john"), ())
+
+    def test_lterm_base_cannot_be_labelled(self):
+        """Example 1: student: id[name => joe][age => 20] is not a term."""
+        inner = LTerm(Const("id", "student"), (LabelSpec("name", Const("joe")),))
+        with pytest.raises(SyntaxKindError):
+            LTerm(inner, (LabelSpec("age", Const(20)),))
+
+    def test_label_spec_value_kinds(self):
+        LabelSpec("l", Const("a"))
+        LabelSpec("l", Collection((Const("a"), Const("b"))))
+        with pytest.raises(SyntaxKindError):
+            LabelSpec("l", "raw")
+
+    def test_nested_labelled_term_inside_function_args(self):
+        """Function arguments may themselves be labelled terms."""
+        inner = LTerm(Const("n1", "node"), (LabelSpec("linkto", Const("n2")),))
+        outer = Func("id", (inner, Const("n2")), "path")
+        assert outer.arity == 2
+
+    def test_lterm_type_is_base_type(self):
+        t = LTerm(Const("p1", "path"), (LabelSpec("src", Const("a")),))
+        assert t.type == "path"
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        a = LTerm(Const("john", "person"), (LabelSpec("age", Const(28)),))
+        b = LTerm(Const("john", "person"), (LabelSpec("age", Const(28)),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_spec_order_distinguishes_syntax(self):
+        """t[a=>x, b=>y] and t[b=>y, a=>x] are different syntax trees
+        (though semantically equivalent — see decompose tests)."""
+        base = Const("t")
+        one = LTerm(base, (LabelSpec("a", Const("x")), LabelSpec("b", Const("y"))))
+        two = LTerm(base, (LabelSpec("b", Const("y")), LabelSpec("a", Const("x"))))
+        assert one != two
+
+    def test_type_distinguishes_terms(self):
+        assert Const("john", "person") != Const("john")
+
+    def test_int_str_constants_distinct(self):
+        assert Const(1) != Const("1")
+
+    def test_terms_usable_in_sets(self):
+        terms = {Var("X"), Var("X"), Const("a"), Func("f", (Var("X"),))}
+        assert len(terms) == 3
+
+
+class TestAccessors:
+    def test_identity_of_strips_labels(self):
+        t = LTerm(Const("p", "path"), (LabelSpec("src", Const("a")),))
+        assert identity_of(t) == Const("p", "path")
+
+    def test_identity_of_plain_term(self):
+        assert identity_of(Var("X")) == Var("X")
+
+    def test_type_of(self):
+        assert type_of(Const("john", "person")) == "person"
+        assert type_of(Var("X")) == OBJECT
+
+    def test_variables_of_collects_everywhere(self):
+        t = LTerm(
+            Func("id", (Var("X"), Var("Y")), "path"),
+            (LabelSpec("src", Var("X")), LabelSpec("vals", Collection((Var("Z"), Const("a"))))),
+        )
+        assert variables_of(t) == {"X", "Y", "Z"}
+
+    def test_is_ground(self):
+        assert is_ground(Const("a"))
+        assert is_ground(Func("f", (Const("a"),)))
+        assert not is_ground(Var("X"))
+        assert not is_ground(LTerm(Const("p"), (LabelSpec("l", Var("V")),)))
+
+    def test_is_ground_collection_value(self):
+        t = LTerm(Const("p"), (LabelSpec("l", Collection((Const("a"), Var("X")))),))
+        assert not is_ground(t)
+
+    def test_labels_of_nested(self):
+        inner = LTerm(Const("c"), (LabelSpec("inner", Const("v")),))
+        t = LTerm(Const("p"), (LabelSpec("outer", inner),))
+        assert labels_of(t) == {"outer", "inner"}
+
+    def test_types_of(self):
+        t = LTerm(Const("p", "path"), (LabelSpec("src", Const("a", "node")),))
+        assert types_of(t) == {"path", "node"}
+
+    def test_constants_and_functors(self):
+        t = Func("f", (Const("a"), Func("g", (Const(1),))))
+        assert constants_of(t) == {"a", 1}
+        assert functors_of(t) == {("f", 2), ("g", 1)}
+
+    def test_term_size_and_depth(self):
+        assert term_size(Const("a")) == 1
+        assert term_depth(Const("a")) == 1
+        nested = Func("f", (Func("g", (Const("a"),)),))
+        assert term_depth(nested) == 3
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        assert substitute_term(Var("X"), {"X": Const("a")}) == Const("a")
+
+    def test_substitute_missing_is_identity(self):
+        assert substitute_term(Var("X"), {}) == Var("X")
+
+    def test_substitute_inside_function(self):
+        t = Func("id", (Var("X"), Var("Y")))
+        result = substitute_term(t, {"X": Const("a")})
+        assert result == Func("id", (Const("a"), Var("Y")))
+
+    def test_substitute_inside_labels(self):
+        t = LTerm(Var("P", "path"), (LabelSpec("src", Var("X")),))
+        result = substitute_term(t, {"P": Const("p1"), "X": Const("a")})
+        assert result == LTerm(Const("p1", "path"), (LabelSpec("src", Const("a")),))
+
+    def test_substitute_transfers_type_to_untyped_replacement(self):
+        result = substitute_term(Var("X", "node"), {"X": Const("a")})
+        assert result == Const("a", "node")
+
+    def test_substitute_keeps_existing_type(self):
+        result = substitute_term(Var("X", "node"), {"X": Const("a", "city")})
+        assert result == Const("a", "city")
+
+    def test_substitute_collection_values(self):
+        t = LTerm(Const("p"), (LabelSpec("l", Collection((Var("X"), Const("b")))),))
+        result = substitute_term(t, {"X": Const("a")})
+        assert result == LTerm(Const("p"), (LabelSpec("l", Collection((Const("a"), Const("b")))),))
+
+    def test_substitute_labelled_replacement_folds_labels(self):
+        """Binding a labelled-term base variable merges label blocks
+        instead of creating the forbidden t[...][...]."""
+        replacement = LTerm(Const("p"), (LabelSpec("a", Const("x")),))
+        t = LTerm(Var("P"), (LabelSpec("b", Const("y")),))
+        result = substitute_term(t, {"P": replacement})
+        assert isinstance(result, LTerm)
+        assert result.base == Const("p")
+        assert [s.label for s in result.specs] == ["a", "b"]
+
+    def test_no_new_object_when_unchanged(self):
+        t = Func("f", (Const("a"),))
+        assert substitute_term(t, {"Z": Const("q")}) is t
+
+    def test_is_term(self):
+        assert is_term(Var("X"))
+        assert is_term(Const("a"))
+        assert not is_term("a")
+        assert not is_term(Collection((Const("a"),)))

@@ -1,0 +1,130 @@
+"""Unit tests for the type hierarchy (Sections 2.3, 3.1)."""
+
+import pytest
+
+from repro.core.errors import TypeOrderError
+from repro.core.terms import OBJECT
+from repro.core.types import SubtypeDecl, TypeHierarchy
+
+
+class TestSubtypeDecl:
+    def test_valid(self):
+        decl = SubtypeDecl("proper_np", "noun_phrase")
+        assert decl.sub == "proper_np"
+
+    def test_reflexive_rejected(self):
+        with pytest.raises(TypeOrderError):
+            SubtypeDecl("a", "a")
+
+    def test_object_has_no_proper_supertype(self):
+        with pytest.raises(TypeOrderError):
+            SubtypeDecl(OBJECT, "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeOrderError):
+            SubtypeDecl("", "a")
+
+
+class TestHierarchy:
+    def test_everything_below_object(self):
+        h = TypeHierarchy()
+        h.add_symbol("anything")
+        assert h.is_subtype("anything", OBJECT)
+        assert h.is_subtype(OBJECT, OBJECT)
+
+    def test_declared_edge(self):
+        h = TypeHierarchy()
+        h.declare("student", "person")
+        assert h.is_subtype("student", "person")
+        assert not h.is_subtype("person", "student")
+
+    def test_transitivity(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        h.declare("b", "c")
+        assert h.is_subtype("a", "c")
+
+    def test_reflexivity(self):
+        h = TypeHierarchy()
+        h.add_symbol("a")
+        assert h.is_subtype("a", "a")
+
+    def test_cycle_rejected(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        h.declare("b", "c")
+        with pytest.raises(TypeOrderError):
+            h.declare("c", "a")
+
+    def test_two_cycle_rejected(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        with pytest.raises(TypeOrderError):
+            h.declare("b", "a")
+
+    def test_diamond_allowed(self):
+        h = TypeHierarchy()
+        h.declare("bottom", "left")
+        h.declare("bottom", "right")
+        h.declare("left", "top")
+        h.declare("right", "top")
+        assert h.is_subtype("bottom", "top")
+        assert not h.comparable("left", "right")
+
+    def test_supertypes_include_self_and_object(self):
+        h = TypeHierarchy()
+        h.declare("student", "person")
+        assert h.supertypes("student") == {"student", "person", OBJECT}
+
+    def test_subtypes_of_object_is_everything(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        assert h.subtypes(OBJECT) == {OBJECT, "a", "b"}
+
+    def test_subtypes_downset(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        h.declare("c", "b")
+        assert h.subtypes("b") == {"a", "b", "c"}
+
+    def test_symbols(self):
+        h = TypeHierarchy()
+        h.declare("proper_np", "noun_phrase")
+        assert h.symbols == {OBJECT, "proper_np", "noun_phrase"}
+
+    def test_declarations_roundtrip(self):
+        decls = [SubtypeDecl("a", "b"), SubtypeDecl("c", "b")]
+        h = TypeHierarchy(decls)
+        assert list(h.declarations()) == decls
+
+    def test_copy_is_independent(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        clone = h.copy()
+        clone.declare("c", "d")
+        assert "c" not in h
+        assert clone.is_subtype("a", "b")
+
+    def test_contains(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        assert "a" in h and OBJECT in h and "zzz" not in h
+
+    def test_least_common_supertypes_top_only(self):
+        h = TypeHierarchy()
+        h.add_symbol("x")
+        h.add_symbol("y")
+        assert h.least_common_supertypes("x", "y") == {OBJECT}
+
+    def test_least_common_supertypes_shared_parent(self):
+        h = TypeHierarchy()
+        h.declare("x", "p")
+        h.declare("y", "p")
+        assert h.least_common_supertypes("x", "y") == {"p"}
+
+    def test_cache_invalidation_on_declare(self):
+        h = TypeHierarchy()
+        h.declare("a", "b")
+        assert not h.is_subtype("a", "c")
+        h.declare("b", "c")
+        assert h.is_subtype("a", "c")

@@ -1,0 +1,165 @@
+"""ObjectStore unit tests."""
+
+import pytest
+
+from repro.core.decompose import normalize_term
+from repro.core.errors import StoreError
+from repro.core.formulas import PredAtom
+from repro.core.terms import Const, Func, Var
+from repro.core.types import TypeHierarchy
+from repro.db.store import ObjectStore, ground_id
+from repro.lang.parser import parse_atom, parse_term
+
+
+class TestGroundId:
+    def test_erases_types(self):
+        assert ground_id(Const("john", "person")) == Const("john")
+
+    def test_strips_labels(self):
+        assert ground_id(parse_term("path: p[src => a]")) == Const("p")
+
+    def test_recursive(self):
+        t = parse_term("path: id(node: a, b[w => 1])")
+        assert ground_id(t) == Func("id", (Const("a"), Const("b")))
+
+    def test_rejects_variables(self):
+        with pytest.raises(StoreError):
+            ground_id(Var("X"))
+
+    def test_identity_fast_path(self):
+        t = Const("a")
+        assert ground_id(t) is t
+
+
+class TestAssertion:
+    def test_description_populates_indexes(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: p1[src => a, dest => b]"))
+        assert store.has_type(Const("p1"), "path")
+        assert store.holds_label("src", Const("p1"), Const("a"))
+        assert store.label_values("dest", Const("p1")) == {Const("b")}
+        assert store.label_hosts("src", Const("a")) == {Const("p1")}
+
+    def test_values_join_active_domain(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: p1[src => a]"))
+        assert Const("a") in store.all_ids()
+        assert store.has_type(Const("a"), "object")
+
+    def test_typed_values_keep_their_types(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("person: john[children => person: bob]"))
+        assert store.has_type(Const("bob"), "person")
+
+    def test_function_identity_asserts_args(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: id(a, b)[length => 1]"))
+        identity = Func("id", (Const("a"), Const("b")))
+        assert store.has_type(identity, "path")
+        assert Const("a") in store.all_ids()
+
+    def test_predicate_atom(self):
+        store = ObjectStore()
+        store.assert_atom(parse_atom("edge(a, b)"))
+        assert store.holds_pred("edge", (Const("a"), Const("b")))
+        assert Const("a") in store.all_ids()
+
+    def test_non_ground_rejected(self):
+        store = ObjectStore()
+        with pytest.raises(StoreError):
+            store.assert_description(parse_term("path: p[src => X]"))
+
+    def test_returns_changed_flag(self):
+        store = ObjectStore()
+        assert store.assert_description(parse_term("node: a"))
+        assert not store.assert_description(parse_term("node: a"))
+
+    def test_collection_values(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("person: john[children => {bob, bill}]"))
+        assert store.label_values("children", Const("john")) == {
+            Const("bob"),
+            Const("bill"),
+        }
+
+
+class TestHierarchyQueries:
+    @pytest.fixture
+    def store(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.declare("proper_np", "noun_phrase")
+        hierarchy.declare("common_np", "noun_phrase")
+        store = ObjectStore(hierarchy)
+        store.assert_description(parse_term("proper_np: john"))
+        store.assert_description(parse_term("common_np: np1"))
+        store.assert_description(parse_term("verb: runs"))
+        return store
+
+    def test_membership_modulo_hierarchy(self, store):
+        assert store.has_type(Const("john"), "noun_phrase")
+        assert not store.has_type(Const("runs"), "noun_phrase")
+
+    def test_extent_closed_downward(self, store):
+        assert store.ids_of_type("noun_phrase") == {Const("john"), Const("np1")}
+
+    def test_object_is_active_domain(self, store):
+        assert store.ids_of_type("object") == store.all_ids()
+        assert store.has_type(Const("runs"), "object")
+
+
+class TestMergedDescriptions:
+    def test_merges_partial_facts(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: p[src => a, dest => b]"))
+        store.assert_description(parse_term("path: p[src => c, dest => d]"))
+        merged = store.merged_description(Const("p"))
+        assert normalize_term(merged) == normalize_term(
+            parse_term("path: p[src => {a, c}, dest => {b, d}]")
+        )
+
+    def test_object_without_labels(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("node: a"))
+        assert store.merged_description(Const("a")) == Const("a", "node")
+
+    def test_merged_descriptions_iteration(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("node: a[linkto => b]"))
+        descriptions = list(store.merged_descriptions())
+        assert len(descriptions) == len(store.all_ids())
+
+
+class TestBookkeeping:
+    def test_fact_count_and_repr(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: p[src => a]"))
+        # types: path(p), object(a); label: src(p, a)
+        assert store.fact_count() == 3
+        assert "ObjectStore" in repr(store)
+
+    def test_rounds_stamp_new_facts(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("node: a"))
+        store.next_round()
+        store.assert_description(parse_term("node: b"))
+        assert store.stamp(("t", "node", Const("a"))) == 0
+        assert store.stamp(("t", "node", Const("b"))) == 1
+
+    def test_clustered_facts_keep_originals(self):
+        store = ObjectStore()
+        original = parse_term("path: p[src => a, dest => b]")
+        store.assert_description(original)
+        assert store.clustered_facts() == [original]
+
+    def test_clustered_facts_deduplicate(self):
+        store = ObjectStore()
+        fact = parse_term("node: a")
+        store.assert_description(fact)
+        store.assert_description(fact)
+        assert store.clustered_facts() == [fact]
+
+    def test_label_count(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("p[l => {a, b, c}]"))
+        assert store.label_count("l") == 3
+        assert store.label_count("zzz") == 0

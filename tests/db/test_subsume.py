@@ -1,0 +1,81 @@
+"""Description subsumption ordering tests (Section 4 / [6])."""
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.core.terms import Const, Var
+from repro.core.types import TypeHierarchy
+from repro.db.store import ObjectStore
+from repro.db.subsume import answers_by_subsumption, description_leq
+from repro.lang.parser import parse_term
+
+
+class TestDescriptionLeq:
+    def test_fewer_labels_is_more_general(self):
+        general = parse_term("path: p[src => a]")
+        specific = parse_term("path: p[src => a, dest => b]")
+        assert description_leq(general, specific)
+        assert not description_leq(specific, general)
+
+    def test_reflexive(self):
+        d = parse_term("path: p[src => a]")
+        assert description_leq(d, d)
+
+    def test_identity_mismatch(self):
+        assert not description_leq(
+            parse_term("path: p[src => a]"), parse_term("path: q[src => a]")
+        )
+
+    def test_value_subset_semantics(self):
+        general = parse_term("p[src => {a}]")
+        specific = parse_term("p[src => {a, c}]")
+        assert description_leq(general, specific)
+        assert not description_leq(specific, general)
+
+    def test_type_direction(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.declare("student", "person")
+        general = parse_term("person: x")
+        specific = parse_term("student: x")
+        assert description_leq(general, specific, hierarchy)
+        assert not description_leq(specific, general, hierarchy)
+
+    def test_object_general_type(self):
+        assert description_leq(parse_term("x"), parse_term("student: x"))
+
+    def test_requires_ground(self):
+        with pytest.raises(StoreError):
+            description_leq(parse_term("p[src => X]"), parse_term("p[src => a]"))
+
+
+class TestAnswersBySubsumption:
+    @pytest.fixture
+    def store(self):
+        store = ObjectStore()
+        store.assert_description(parse_term("path: p[src => a, dest => b]"))
+        store.assert_description(parse_term("path: p[src => c, dest => d]"))
+        store.assert_description(parse_term("path: q[src => a, dest => e]"))
+        return store
+
+    def test_ground_cross_fact_query(self, store):
+        answers = list(answers_by_subsumption(parse_term("path: p[src => a, dest => d]"), store))
+        assert answers == [{}]
+
+    def test_variable_identity(self, store):
+        answers = list(answers_by_subsumption(parse_term("path: X[src => a]"), store))
+        bound = {a["X"] for a in answers}
+        assert bound == {Const("p"), Const("q")}
+
+    def test_variable_values(self, store):
+        answers = list(answers_by_subsumption(parse_term("path: q[dest => D]"), store))
+        assert [a["D"] for a in answers] == [Const("e")]
+
+    def test_no_match(self, store):
+        assert list(answers_by_subsumption(parse_term("path: p[src => z]"), store)) == []
+
+    def test_repeated_variable_consistency(self, store):
+        store.assert_description(parse_term("path: r[src => x, dest => x]"))
+        answers = list(
+            answers_by_subsumption(parse_term("path: X[src => V, dest => V]"), store)
+        )
+        assert {(a["X"], a["V"]) for a in answers} == {(Const("r"), Const("x"))}

@@ -1,0 +1,90 @@
+"""Dynamic-type update tests (Section 2.3)."""
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.core.terms import Const
+from repro.db.updates import UpdatableStore
+from repro.lang.parser import parse_term
+
+
+@pytest.fixture
+def db():
+    db = UpdatableStore()
+    db.insert(parse_term("person: john[children => {bob, bill}]"))
+    db.insert(parse_term("person: mary"))
+    return db
+
+
+class TestInserts:
+    def test_insert(self, db):
+        assert db.store.has_type(Const("john"), "person")
+
+    def test_add_to_type_changes_membership(self, db):
+        """Membership is part of the database state, changed by updates —
+        no structural precondition applies."""
+        assert not db.store.has_type(Const("mary"), "parent")
+        db.add_to_type(Const("mary"), "parent")
+        assert db.store.has_type(Const("mary"), "parent")
+
+    def test_add_label(self, db):
+        db.add_label(Const("mary"), "children", Const("ann"))
+        assert db.store.holds_label("children", Const("mary"), Const("ann"))
+        assert Const("ann") in db.store.all_ids()
+
+    def test_default_type_is_object(self, db):
+        db.insert(parse_term("loose_thing"))
+        assert db.store.has_type(Const("loose_thing"), "object")
+        assert db.store.asserted_types(Const("loose_thing")) == {"object"}
+
+
+class TestRetracts:
+    def test_remove_from_type(self, db):
+        db.add_to_type(Const("mary"), "parent")
+        assert db.remove_from_type(Const("mary"), "parent")
+        assert not db.store.has_type(Const("mary"), "parent")
+
+    def test_remove_from_type_missing(self, db):
+        assert not db.remove_from_type(Const("mary"), "parent")
+
+    def test_remove_from_object_rejected(self, db):
+        with pytest.raises(StoreError):
+            db.remove_from_type(Const("mary"), "object")
+
+    def test_remove_label(self, db):
+        assert db.remove_label(Const("john"), "children", Const("bob"))
+        assert not db.store.holds_label("children", Const("john"), Const("bob"))
+        assert db.store.holds_label("children", Const("john"), Const("bill"))
+        # inverted index maintained
+        assert Const("john") not in db.store.label_hosts("children", Const("bob"))
+
+    def test_remove_label_missing(self, db):
+        assert not db.remove_label(Const("john"), "children", Const("zed"))
+
+    def test_remove_object_clears_everything(self, db):
+        assert db.remove_object(Const("john"))
+        assert Const("john") not in db.store.all_ids()
+        assert db.store.label_values("children", Const("john")) == frozenset()
+        assert not db.store.has_type(Const("john"), "person")
+
+    def test_remove_object_as_label_value(self, db):
+        """Deleting bob removes the pairs he participates in as a value."""
+        assert db.remove_object(Const("bob"))
+        assert not db.store.holds_label("children", Const("john"), Const("bob"))
+        assert db.store.holds_label("children", Const("john"), Const("bill"))
+
+    def test_remove_object_clears_predicates(self):
+        db = UpdatableStore()
+        from repro.lang.parser import parse_atom
+
+        db.store.assert_atom(parse_atom("edge(a, b)"))
+        db.remove_object(Const("a"))
+        assert not db.store.holds_pred("edge", (Const("a"), Const("b")))
+
+    def test_remove_missing_object(self, db):
+        assert not db.remove_object(Const("ghost"))
+
+    def test_remove_object_clears_clustered(self, db):
+        db.remove_object(Const("john"))
+        identities = {repr(f) for f in db.store.clustered_facts()}
+        assert not any("john" in i for i in identities)

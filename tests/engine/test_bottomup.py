@@ -1,0 +1,156 @@
+"""Naive and semi-naive bottom-up evaluation tests."""
+
+import pytest
+
+from repro.core.errors import EngineError, SafetyError
+from repro.engine.bottomup import (
+    EvaluationStats,
+    answer_query_bottomup,
+    naive_fixpoint,
+    normalize_clauses,
+)
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.fol.atoms import FAtom, FBuiltin, GeneralizedClause, HornClause
+from repro.fol.terms import FApp, FConst, FVar
+from repro.lang.parser import parse_program, parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+def transitive_closure_clauses(n: int) -> list[HornClause]:
+    """edge chain 0 -> 1 -> ... -> n with tc rules."""
+    clauses = [
+        HornClause(atom("edge", FConst(i), FConst(i + 1))) for i in range(n)
+    ]
+    clauses.append(
+        HornClause(
+            atom("tc", FVar("X"), FVar("Y")), (atom("edge", FVar("X"), FVar("Y")),)
+        )
+    )
+    clauses.append(
+        HornClause(
+            atom("tc", FVar("X"), FVar("Z")),
+            (atom("edge", FVar("X"), FVar("Y")), atom("tc", FVar("Y"), FVar("Z"))),
+        )
+    )
+    return clauses
+
+
+class TestNaive:
+    def test_facts_only(self):
+        facts = naive_fixpoint([HornClause(atom("p", FConst("a")))])
+        assert atom("p", FConst("a")) in facts
+
+    def test_transitive_closure_count(self):
+        facts = naive_fixpoint(transitive_closure_clauses(5))
+        tc_facts = facts.by_predicate(("tc", 2))
+        assert len(tc_facts) == 5 * 6 // 2  # 15 pairs on a 6-node chain
+
+    def test_unsafe_clause_rejected(self):
+        unsafe = HornClause(atom("p", FVar("X")))
+        with pytest.raises(SafetyError):
+            naive_fixpoint([unsafe])
+
+    def test_builtin_bound_head_variable_is_safe(self):
+        clauses = [
+            HornClause(atom("n", FConst(1))),
+            HornClause(
+                atom("m", FVar("Y")),
+                (
+                    atom("n", FVar("X")),
+                    FBuiltin("is", (FVar("Y"), FApp("+", (FVar("X"), FConst(1))))),
+                ),
+            ),
+        ]
+        facts = naive_fixpoint(clauses)
+        assert atom("m", FConst(2)) in facts
+
+    def test_generalized_multi_head(self):
+        """One body evaluation produces multiple results (Section 4)."""
+        gen = GeneralizedClause(
+            (atom("a", FVar("X")), atom("b", FVar("X"))),
+            (atom("c", FVar("X")),),
+        )
+        facts = naive_fixpoint([HornClause(atom("c", FConst("k"))), gen])
+        assert atom("a", FConst("k")) in facts
+        assert atom("b", FConst("k")) in facts
+
+    def test_nontermination_detected(self):
+        grow = HornClause(
+            atom("p", FApp("s", (FVar("X"),))), (atom("p", FVar("X")),)
+        )
+        with pytest.raises(EngineError):
+            naive_fixpoint([HornClause(atom("p", FConst(0))), grow], max_rounds=20)
+
+    def test_stats_populated(self):
+        stats = EvaluationStats()
+        naive_fixpoint(transitive_closure_clauses(4), stats=stats)
+        assert stats.rounds >= 3
+        assert stats.facts_new > 0
+        assert stats.facts_derived >= stats.facts_new
+
+
+class TestSemiNaive:
+    def test_agrees_with_naive_on_tc(self):
+        clauses = transitive_closure_clauses(7)
+        assert naive_fixpoint(clauses).snapshot() == seminaive_fixpoint(clauses).snapshot()
+
+    def test_agrees_on_translated_program(self, noun_phrase_program):
+        fol = program_to_fol(noun_phrase_program)
+        assert naive_fixpoint(fol).snapshot() == seminaive_fixpoint(fol).snapshot()
+
+    def test_agrees_on_path_program(self, path_program):
+        fol = program_to_fol(path_program)
+        assert naive_fixpoint(fol).snapshot() == seminaive_fixpoint(fol).snapshot()
+
+    def test_does_less_work(self):
+        clauses = transitive_closure_clauses(12)
+        naive_stats = EvaluationStats()
+        semi_stats = EvaluationStats()
+        naive_fixpoint(clauses, stats=naive_stats)
+        seminaive_fixpoint(clauses, stats=semi_stats)
+        assert semi_stats.facts_derived < naive_stats.facts_derived
+
+    def test_unsafe_clause_rejected(self):
+        with pytest.raises(SafetyError):
+            seminaive_fixpoint([HornClause(atom("p", FVar("X")))])
+
+    def test_multi_head(self):
+        gen = GeneralizedClause(
+            (atom("a", FVar("X")), atom("b", FVar("X"))),
+            (atom("c", FVar("X")),),
+        )
+        facts = seminaive_fixpoint([HornClause(atom("c", FConst("k"))), gen])
+        assert atom("a", FConst("k")) in facts and atom("b", FConst("k")) in facts
+
+
+class TestQueryAnswering:
+    def test_example3_answers(self, noun_phrase_program):
+        facts = naive_fixpoint(program_to_fol(noun_phrase_program))
+        goals = query_to_fol(parse_query(":- noun_phrase: X[num => plural]."))
+        answers = {s["X"] for s in answer_query_bottomup(goals, facts)}
+        assert answers == {
+            FApp("np", (FConst("the"), FConst("students"))),
+            FApp("np", (FConst("all"), FConst("students"))),
+        }
+
+    def test_duplicate_answers_suppressed(self):
+        facts = naive_fixpoint(
+            [
+                HornClause(atom("p", FConst("a"), FConst(1))),
+                HornClause(atom("p", FConst("a"), FConst(2))),
+            ]
+        )
+        answers = list(
+            answer_query_bottomup(
+                [atom("p", FVar("X"), FVar("_Y"))], facts, variables={"X"}
+            )
+        )
+        assert len(answers) == 1
+
+    def test_normalize_rejects_garbage(self):
+        with pytest.raises(EngineError):
+            normalize_clauses(["nope"])

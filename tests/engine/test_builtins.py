@@ -1,0 +1,111 @@
+"""Builtin evaluation unit tests."""
+
+import pytest
+
+from repro.core.errors import BuiltinError
+from repro.engine.builtins import builtin_is_ready, eval_arith, solve_builtin
+from repro.fol.atoms import FBuiltin
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FVar
+
+
+def b(op, lhs, rhs):
+    return FBuiltin(op, (lhs, rhs))
+
+
+class TestEvalArith:
+    def test_constant(self):
+        assert eval_arith(FConst(7)) == 7
+
+    def test_operations(self):
+        assert eval_arith(FApp("+", (FConst(2), FConst(3)))) == 5
+        assert eval_arith(FApp("-", (FConst(2), FConst(3)))) == -1
+        assert eval_arith(FApp("*", (FConst(2), FConst(3)))) == 6
+        assert eval_arith(FApp("//", (FConst(7), FConst(2)))) == 3
+        assert eval_arith(FApp("mod", (FConst(7), FConst(2)))) == 1
+
+    def test_nested(self):
+        expr = FApp("+", (FConst(1), FApp("*", (FConst(2), FConst(3)))))
+        assert eval_arith(expr) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(FVar("X"))
+
+    def test_symbolic_constant(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(FConst("a"))
+
+    def test_division_by_zero(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(FApp("//", (FConst(1), FConst(0))))
+
+    def test_mod_by_zero(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(FApp("mod", (FConst(1), FConst(0))))
+
+    def test_unknown_functor(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(FApp("**", (FConst(1), FConst(2))))
+
+
+class TestSolveBuiltin:
+    def test_is_binds_result(self):
+        subst = solve_builtin(
+            b("is", FVar("L"), FApp("+", (FConst(1), FConst(2)))), Substitution.empty()
+        )
+        assert subst["L"] == FConst(3)
+
+    def test_is_checks_bound_result(self):
+        ok = solve_builtin(b("is", FConst(3), FConst(3)), Substitution.empty())
+        assert ok is not None
+        bad = solve_builtin(b("is", FConst(4), FConst(3)), Substitution.empty())
+        assert bad is None
+
+    def test_is_uses_substitution(self):
+        initial = Substitution({"L0": FConst(2)})
+        subst = solve_builtin(
+            b("is", FVar("L"), FApp("+", (FVar("L0"), FConst(1)))), initial
+        )
+        assert subst["L"] == FConst(3)
+
+    def test_comparisons(self):
+        empty = Substitution.empty()
+        assert solve_builtin(b("<", FConst(1), FConst(2)), empty) is not None
+        assert solve_builtin(b("<", FConst(2), FConst(1)), empty) is None
+        assert solve_builtin(b(">=", FConst(2), FConst(2)), empty) is not None
+        assert solve_builtin(b("=:=", FConst(2), FConst(2)), empty) is not None
+        assert solve_builtin(b("=\\=", FConst(2), FConst(2)), empty) is None
+
+    def test_unification_builtin(self):
+        subst = solve_builtin(
+            b("=", FVar("X"), FApp("f", (FConst("a"),))), Substitution.empty()
+        )
+        assert subst["X"] == FApp("f", (FConst("a"),))
+
+    def test_unification_failure(self):
+        assert solve_builtin(b("=", FConst("a"), FConst("b")), Substitution.empty()) is None
+
+    def test_insufficient_instantiation(self):
+        with pytest.raises(BuiltinError):
+            solve_builtin(b("<", FVar("X"), FConst(1)), Substitution.empty())
+
+
+class TestReadiness:
+    def test_is_ready(self):
+        assert builtin_is_ready(
+            b("is", FVar("L"), FConst(1)), Substitution.empty()
+        )
+        assert not builtin_is_ready(
+            b("is", FVar("L"), FVar("L0")), Substitution.empty()
+        )
+        assert builtin_is_ready(
+            b("is", FVar("L"), FVar("L0")), Substitution({"L0": FConst(2)})
+        )
+
+    def test_comparison_ready(self):
+        assert not builtin_is_ready(b("<", FVar("X"), FConst(1)), Substitution.empty())
+        assert builtin_is_ready(b("<", FConst(0), FConst(1)), Substitution.empty())
+
+    def test_unify_always_ready(self):
+        assert builtin_is_ready(b("=", FVar("X"), FVar("Y")), Substitution.empty())

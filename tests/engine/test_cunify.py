@@ -1,0 +1,74 @@
+"""C-level identity unification tests."""
+
+from repro.core.terms import Const, Func, Var
+from repro.engine.cunify import apply_binding, resolve, strip_identity, unify_identities
+from repro.lang.parser import parse_term
+
+
+class TestStripIdentity:
+    def test_labels_removed_everywhere(self):
+        t = parse_term("path: id(a[w => 1], b)[src => a]")
+        stripped = strip_identity(t)
+        assert stripped == Func("id", (Const("a"), Const("b")), "path")
+
+    def test_plain_terms_unchanged(self):
+        assert strip_identity(Var("X")) == Var("X")
+
+
+class TestUnifyIdentities:
+    def test_constants(self):
+        assert unify_identities(Const("a"), Const("a")) == {}
+        assert unify_identities(Const("a"), Const("b")) is None
+
+    def test_int_vs_str(self):
+        assert unify_identities(Const(1), Const("1")) is None
+
+    def test_types_do_not_block_unification(self):
+        """Type annotations are constraints, not identity structure."""
+        assert unify_identities(Const("a", "node"), Const("a", "city")) == {}
+
+    def test_variable_binding(self):
+        binding = unify_identities(Var("X"), Const("a"))
+        assert binding == {"X": Const("a")}
+
+    def test_labels_ignored(self):
+        """p[src => a] and p[dest => b] denote the same object."""
+        left = parse_term("path: p[src => a]")
+        right = parse_term("path: p[dest => b]")
+        assert unify_identities(left, right) == {}
+
+    def test_function_structures(self):
+        left = parse_term("id(X, b)")
+        right = parse_term("id(a, Y)")
+        binding = unify_identities(left, right)
+        assert apply_binding(Var("X"), binding) == Const("a")
+        assert apply_binding(Var("Y"), binding) == Const("b")
+
+    def test_occurs_check(self):
+        assert unify_identities(Var("X"), parse_term("f(X)")) is None
+
+    def test_functor_clash(self):
+        assert unify_identities(parse_term("f(a)"), parse_term("g(a)")) is None
+
+    def test_extends_binding_without_mutation(self):
+        binding = {"X": Const("a")}
+        out = unify_identities(Var("Y"), Var("X"), binding)
+        assert out is not binding
+        assert "Y" in out and binding == {"X": Const("a")}
+
+    def test_inconsistent_with_binding(self):
+        binding = {"X": Const("a")}
+        assert unify_identities(Var("X"), Const("b"), binding) is None
+
+
+class TestApplyBinding:
+    def test_triangular_resolution(self):
+        binding = {"X": Var("Y"), "Y": Const("a")}
+        assert apply_binding(Var("X"), binding) == Const("a")
+        assert resolve(Var("X"), binding) == Const("a")
+
+    def test_inside_functions(self):
+        binding = {"X": Const("a")}
+        assert apply_binding(parse_term("id(X, b)"), binding) == Func(
+            "id", (Const("a"), Const("b"))
+        )

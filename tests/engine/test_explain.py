@@ -1,0 +1,154 @@
+"""Derivation-tree (explanation) tests."""
+
+import pytest
+
+from repro.core.terms import Const
+from repro.engine.direct import DirectEngine
+from repro.engine.explain import Derivation, Explainer, format_derivation
+from repro.lang.parser import parse_program, parse_query
+
+
+def explainer(program_source_or_fixture):
+    program = (
+        parse_program(program_source_or_fixture).program
+        if isinstance(program_source_or_fixture, str)
+        else program_source_or_fixture
+    )
+    return Explainer(DirectEngine(program)), program
+
+
+def atom_of(query_source: str):
+    return parse_query(query_source).body[0]
+
+
+class TestExtensional:
+    def test_fact_explained_by_its_clause(self, residual_program):
+        exp, __ = explainer(residual_program)
+        derivation = exp.explain_atom(atom_of(":- path: p[src => a]."))
+        assert derivation is not None
+        leaves = _leaves(derivation)
+        assert all(leaf.kind == "fact" for leaf in leaves)
+
+    def test_residual_cites_two_facts(self, residual_program):
+        """E7 made inspectable: the cross-fact description's derivation
+        uses extensional fact 0 for src and fact 1 for dest."""
+        exp, __ = explainer(residual_program)
+        derivation = exp.explain_atom(atom_of(":- path: p[src => a, dest => d]."))
+        cited = {leaf.clause_index for leaf in _leaves(derivation)}
+        assert cited == {0, 1}
+
+    def test_failing_atom_returns_none(self, residual_program):
+        exp, __ = explainer(residual_program)
+        assert exp.explain_atom(atom_of(":- path: p[src => z].")) is None
+
+
+class TestRules:
+    def test_recursive_derivation_depth(self, path_program):
+        exp, program = explainer(path_program)
+        derivation = exp.explain_atom(
+            atom_of(":- path: id(a, d)[length => 3].")
+        )
+        assert derivation is not None
+        # length-3 path: 3 nested rule applications.
+        rule_nodes = [n for n in _nodes(derivation) if n.kind == "rule" and n.clause_index is not None]
+        assert len(rule_nodes) >= 3
+        text = format_derivation(derivation, program)
+        assert "by rule 4" in text  # the recursive rule
+        assert "by rule 3" in text  # the base rule
+        assert "extensional fact" in text
+
+    def test_builtin_nodes(self, path_program):
+        exp, __ = explainer(path_program)
+        derivation = exp.explain_atom(atom_of(":- path: id(a, c)[length => 2]."))
+        assert any(n.kind == "builtin" for n in _nodes(derivation))
+
+    def test_subtype_subsumption_node(self, noun_phrase_program):
+        exp, program = explainer(noun_phrase_program)
+        derivation = exp.explain_atom(atom_of(":- noun_phrase: john."))
+        assert derivation.kind == "subtype"
+        text = format_derivation(derivation, program)
+        assert "by subtype subsumption" in text
+        assert "proper_np: john" in text
+
+    def test_predicate_atom_explanation(self):
+        exp, program = explainer(
+            "edge(a, b).\nreach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Z) :- edge(X, Y), reach(Y, Z).\n"
+        )
+        derivation = exp.explain_atom(atom_of(":- reach(a, b)."))
+        # The atom decomposes (object(a), object(b), reach(a, b)); the
+        # predicate piece itself is derived by clause 1.
+        rule_nodes = [
+            n
+            for n in _nodes(derivation)
+            if n.kind == "rule" and n.clause_index == 1
+        ]
+        assert rule_nodes
+
+    def test_negation_explained_by_absence(self):
+        exp, program = explainer(
+            "node: a[linkto => b].\nnode: b.\n"
+            "haslink(X) :- node: X[linkto => Y].\n"
+            "sink(X) :- node: X, \\+ haslink(X).\n"
+        )
+        derivation = exp.explain_atom(atom_of(":- sink(b)."))
+        assert any(n.kind == "absent" for n in _nodes(derivation))
+
+
+class TestExplainQuery:
+    def test_answers_with_trees(self, path_program):
+        exp, __ = explainer(path_program)
+        results = exp.explain_query(
+            parse_query(":- path: P[src => a, dest => D].")
+        )
+        assert len(results) == 3
+        for answer, derivations in results:
+            assert derivations and all(d is not None for d in derivations)
+
+    def test_tree_metrics(self, path_program):
+        exp, __ = explainer(path_program)
+        derivation = exp.explain_atom(atom_of(":- path: id(a, b)."))
+        assert derivation.size() >= derivation.depth() >= 2
+
+
+class TestKnowledgeBaseAndRepl:
+    def test_kb_explain(self, path_program):
+        from repro import KnowledgeBase
+
+        kb = KnowledgeBase(path_program)
+        trees = kb.explain("path: P[src => a, dest => b]")
+        assert len(trees) == 1
+        assert "P = id(a, b)" in trees[0]
+        assert "extensional fact" in trees[0]
+
+    def test_repl_why(self):
+        import io
+
+        from repro.cli import Repl
+
+        out = io.StringIO()
+        repl = Repl(out=out)
+        repl.handle("name: john.")
+        repl.handle(":why name: X")
+        text = out.getvalue()
+        assert "X = john" in text
+        assert "extensional fact 0" in text
+
+    def test_repl_why_usage(self):
+        import io
+
+        from repro.cli import Repl
+
+        out = io.StringIO()
+        Repl(out=out).handle(":why")
+        assert "usage: :why" in out.getvalue()
+
+
+def _nodes(derivation: Derivation):
+    yield derivation
+    for child in derivation.children:
+        yield from _nodes(child)
+
+
+def _leaves(derivation: Derivation):
+    return [n for n in _nodes(derivation) if not n.children]

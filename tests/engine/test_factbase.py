@@ -1,0 +1,113 @@
+"""FactBase indexing unit tests."""
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.engine.factbase import FactBase, principal_functor
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FApp, FConst, FVar
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+class TestPrincipalFunctor:
+    def test_constant(self):
+        assert principal_functor(FConst("a")) == ("c", "str", "a")
+
+    def test_int_and_str_keys_differ(self):
+        assert principal_functor(FConst(1)) != principal_functor(FConst("1"))
+
+    def test_application(self):
+        assert principal_functor(FApp("id", (FConst("a"), FConst("b")))) == ("f", "id", 2)
+
+    def test_variable(self):
+        assert principal_functor(FVar("X")) is None
+
+
+class TestFactBase:
+    def test_add_and_contains(self):
+        base = FactBase()
+        assert base.add(atom("p", FConst("a")))
+        assert atom("p", FConst("a")) in base
+        assert len(base) == 1
+
+    def test_duplicate_not_added(self):
+        base = FactBase()
+        base.add(atom("p", FConst("a")))
+        assert not base.add(atom("p", FConst("a")))
+        assert len(base) == 1
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(StoreError):
+            FactBase().add(atom("p", FVar("X")))
+
+    def test_candidates_by_predicate(self):
+        base = FactBase([atom("p", FConst("a")), atom("q", FConst("a"))])
+        cands = base.candidates(atom("p", FVar("X")))
+        assert cands == [atom("p", FConst("a"))]
+
+    def test_candidates_by_first_argument(self):
+        base = FactBase(
+            [atom("src", FConst("p1"), FConst("a")), atom("src", FConst("p2"), FConst("c"))]
+        )
+        cands = base.candidates(atom("src", FConst("p1"), FVar("S")))
+        assert cands == [atom("src", FConst("p1"), FConst("a"))]
+
+    def test_candidates_variable_first_argument_returns_all(self):
+        base = FactBase(
+            [atom("src", FConst("p1"), FConst("a")), atom("src", FConst("p2"), FConst("c"))]
+        )
+        assert len(base.candidates(atom("src", FVar("X"), FVar("S")))) == 2
+
+    def test_rounds_and_stamps(self):
+        base = FactBase()
+        base.add(atom("p", FConst("a")))
+        base.next_round()
+        base.add(atom("p", FConst("b")))
+        assert base.stamp(atom("p", FConst("a"))) == 0
+        assert base.stamp(atom("p", FConst("b"))) == 1
+
+    def test_candidates_since(self):
+        base = FactBase([atom("p", FConst("a"))])
+        base.next_round()
+        base.add(atom("p", FConst("b")))
+        fresh = base.candidates_since(atom("p", FVar("X")), since_round=1)
+        assert fresh == [atom("p", FConst("b"))]
+
+    def test_count_and_predicates(self):
+        base = FactBase([atom("p", FConst("a")), atom("q", FConst("a"), FConst("b"))])
+        assert base.count(("p", 1)) == 1
+        assert base.predicates() == {("p", 1), ("q", 2)}
+
+    def test_snapshot_frozen(self):
+        base = FactBase([atom("p", FConst("a"))])
+        snap = base.snapshot()
+        base.add(atom("p", FConst("b")))
+        assert len(snap) == 1
+
+    def test_add_all(self):
+        base = FactBase()
+        added = base.add_all([atom("p", FConst("a")), atom("p", FConst("a"))])
+        assert added == 1
+
+
+class TestDeltaHelpers:
+    def test_candidate_count_matches_candidates(self):
+        base = FactBase(
+            [atom("src", FConst("p1"), FConst("a")), atom("src", FConst("p2"), FConst("c"))]
+        )
+        for pattern in (
+            atom("src", FVar("X"), FVar("S")),
+            atom("src", FConst("p1"), FVar("S")),
+            atom("zzz", FVar("X")),
+        ):
+            assert base.candidate_count(pattern) == len(base.candidates(pattern))
+
+    def test_candidates_before(self):
+        base = FactBase([atom("p", FConst("a"))])
+        base.next_round()
+        base.add(atom("p", FConst("b")))
+        old = base.candidates_before(atom("p", FVar("X")), before_round=1)
+        assert old == [atom("p", FConst("a"))]

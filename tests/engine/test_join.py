@@ -1,0 +1,106 @@
+"""Body-join unit tests (the shared bottom-up evaluation core)."""
+
+import pytest
+
+from repro.core.errors import SafetyError
+from repro.engine.factbase import FactBase
+from repro.engine.join import check_range_restricted, join_body
+from repro.fol.atoms import FAtom, FBuiltin, NegAtom
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FVar
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+@pytest.fixture
+def facts():
+    return FactBase(
+        [
+            atom("edge", FConst("a"), FConst("b")),
+            atom("edge", FConst("b"), FConst("c")),
+            atom("n", FConst(1)),
+            atom("n", FConst(2)),
+        ]
+    )
+
+
+class TestJoin:
+    def test_single_atom(self, facts):
+        results = list(join_body([atom("edge", FVar("X"), FVar("Y"))], facts))
+        assert len(results) == 2
+
+    def test_conjunction_chains_bindings(self, facts):
+        body = [
+            atom("edge", FVar("X"), FVar("Y")),
+            atom("edge", FVar("Y"), FVar("Z")),
+        ]
+        results = list(join_body(body, facts))
+        assert len(results) == 1
+        assert results[0]["Z"] == FConst("c")
+
+    def test_initial_substitution(self, facts):
+        initial = Substitution({"X": FConst("b")})
+        results = list(join_body([atom("edge", FVar("X"), FVar("Y"))], facts, initial))
+        assert len(results) == 1 and results[0]["Y"] == FConst("c")
+
+    def test_builtin_in_body(self, facts):
+        body = [
+            atom("n", FVar("X")),
+            FBuiltin("is", (FVar("Y"), FApp("*", (FVar("X"), FConst(10))))),
+            FBuiltin(">", (FVar("Y"), FConst(15))),
+        ]
+        results = list(join_body(body, facts))
+        assert len(results) == 1 and results[0]["Y"] == FConst(20)
+
+    def test_empty_body_yields_initial(self, facts):
+        assert list(join_body([], facts)) == [Substitution.empty()]
+
+    def test_delta_position_restricts(self, facts):
+        facts.next_round()
+        facts.add(atom("edge", FConst("c"), FConst("d")))
+        body = [atom("edge", FVar("X"), FVar("Y"))]
+        fresh = list(join_body(body, facts, delta_position=0, delta_round=1))
+        assert len(fresh) == 1 and fresh[0]["X"] == FConst("c")
+
+    def test_negative_atom_ground_naf(self, facts):
+        body = [
+            atom("edge", FVar("X"), FVar("Y")),
+            NegAtom(atom("edge", FVar("Y"), FConst("c"))),
+        ]
+        results = list(join_body(body, facts))
+        # only (b, c) survives: edge(c, c) is absent; (a, b) fails since
+        # edge(b, c) is present.
+        assert len(results) == 1 and results[0]["X"] == FConst("b")
+
+    def test_negative_atom_must_be_ground(self, facts):
+        body = [NegAtom(atom("edge", FVar("X"), FVar("Y")))]
+        with pytest.raises(SafetyError):
+            list(join_body(body, facts))
+
+
+class TestRangeRestriction:
+    def test_safe_clause_passes(self):
+        check_range_restricted(
+            [atom("p", FVar("X"))], [atom("q", FVar("X"))]
+        )
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(SafetyError):
+            check_range_restricted([atom("p", FVar("X"))], [])
+
+    def test_is_binds_head_variable(self):
+        check_range_restricted(
+            [atom("p", FVar("Y"))],
+            [
+                atom("q", FVar("X")),
+                FBuiltin("is", (FVar("Y"), FApp("+", (FVar("X"), FConst(1))))),
+            ],
+        )
+
+    def test_negative_atoms_do_not_bind(self):
+        with pytest.raises(SafetyError):
+            check_range_restricted(
+                [atom("p", FVar("X"))], [NegAtom(atom("q", FVar("X")))]
+            )

@@ -1,0 +1,270 @@
+"""Stratified negation — the extension Section 4 defers.
+
+Covers stratification, the stratified fixpoint, the Lloyd–Topor
+translation of negated complex descriptions, the direct engine's
+C-level stratified saturation, and cross-engine agreement.
+"""
+
+import pytest
+
+from repro.core.errors import EngineError, SafetyError, UnsupportedFeatureError
+from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+from repro.engine.direct import DirectEngine
+from repro.engine.negation import (
+    NegClause,
+    StratificationError,
+    stratified_fixpoint,
+    stratify,
+)
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.fol.atoms import FAtom, HornClause, NegAtom
+from repro.fol.terms import FConst, FVar
+from repro.lang.parser import parse_program, parse_query
+from repro.transform.clauses import program_to_fol, program_to_generalized, query_to_fol
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+SINK_SOURCE = """
+node: a[linkto => b].
+node: b[linkto => c].
+node: c.
+haslink(X) :- node: X[linkto => Y].
+sink(X) :- node: X, \\+ haslink(X).
+"""
+
+LONELY_SOURCE = """
+node: a[linkto => b].
+node: b.
+lonely(X) :- node: X, \\+ node: X[linkto => Y].
+"""
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self):
+        clauses = [
+            HornClause(atom("p", FConst("a"))),
+            HornClause(atom("q", FVar("X")), (atom("p", FVar("X")),)),
+        ]
+        assert len(stratify(clauses)) == 1
+
+    def test_negation_creates_second_stratum(self):
+        clauses = [
+            HornClause(atom("p", FConst("a"))),
+            NegClause(
+                (atom("q", FVar("X")),),
+                (atom("p", FVar("X")), NegAtom(atom("r", FVar("X")))),
+            ),
+            HornClause(atom("r", FConst("b"))),
+        ]
+        strata = stratify(clauses)
+        assert len(strata) == 2
+        level1_heads = {c.heads[0].pred for c in strata[1]}
+        assert level1_heads == {"q"}
+
+    def test_cycle_through_negation_rejected(self):
+        clauses = [
+            NegClause((atom("p", FVar("X")),), (atom("q", FVar("X")), NegAtom(atom("r", FVar("X"))))),
+            NegClause((atom("r", FVar("X")),), (atom("q", FVar("X")), NegAtom(atom("p", FVar("X"))))),
+            HornClause(atom("q", FConst("a"))),
+        ]
+        with pytest.raises(StratificationError):
+            stratify(clauses)
+
+    def test_positive_recursion_allowed(self):
+        clauses = [
+            HornClause(atom("e", FConst("a"), FConst("b"))),
+            HornClause(atom("t", FVar("X"), FVar("Y")), (atom("e", FVar("X"), FVar("Y")),)),
+            HornClause(
+                atom("t", FVar("X"), FVar("Z")),
+                (atom("e", FVar("X"), FVar("Y")), atom("t", FVar("Y"), FVar("Z"))),
+            ),
+        ]
+        assert len(stratify(clauses)) == 1
+
+    def test_negating_active_domain_rejected(self):
+        clauses = [
+            HornClause(atom("p", FConst("a"))),
+            NegClause(
+                (atom("q", FVar("X")),),
+                (atom("p", FVar("X")), NegAtom(atom("object", FVar("X")))),
+            ),
+        ]
+        with pytest.raises(StratificationError):
+            stratify(clauses)
+
+
+class TestStratifiedFixpoint:
+    def test_sink_example(self):
+        fol = program_to_fol(parse_program(SINK_SOURCE).program)
+        facts = stratified_fixpoint(fol)
+        sinks = {
+            s["X"]
+            for s in answer_query_bottomup(
+                query_to_fol(parse_query(":- sink(X).")), facts
+            )
+        }
+        assert sinks == {FConst("c")}
+
+    def test_unsafe_negative_variable_rejected(self):
+        with pytest.raises(SafetyError):
+            NegClause(
+                (atom("p", FVar("X")),),
+                (NegAtom(atom("q", FVar("X"))),),
+            )
+
+    def test_positive_engines_refuse_negation(self):
+        fol = program_to_fol(parse_program(SINK_SOURCE).program)
+        with pytest.raises(EngineError):
+            naive_fixpoint(fol)
+        with pytest.raises(EngineError):
+            seminaive_fixpoint(fol)
+
+    def test_agrees_with_naive_on_positive_programs(self, noun_phrase_program):
+        fol = program_to_fol(noun_phrase_program)
+        assert stratified_fixpoint(fol).snapshot() == naive_fixpoint(fol).snapshot()
+
+
+class TestLloydTopor:
+    def test_negated_description_gets_aux(self):
+        generalized = program_to_generalized(parse_program(LONELY_SOURCE).program)
+        aux_heads = [
+            clause.heads[0].pred
+            for clause in generalized.clauses
+            if clause.heads[0].pred.startswith("naf_aux")
+        ]
+        assert aux_heads == ["naf_aux1"]
+        # The aux head projects out the local variable Y.
+        aux = [c for c in generalized.clauses if c.heads[0].pred == "naf_aux1"][0]
+        assert len(aux.heads[0].args) == 1
+
+    def test_lonely_answers(self):
+        generalized = program_to_generalized(parse_program(LONELY_SOURCE).program)
+        facts = stratified_fixpoint(generalized.split())
+        lonely = {
+            s["X"]
+            for s in answer_query_bottomup(
+                query_to_fol(parse_query(":- lonely(X).")), facts
+            )
+        }
+        assert lonely == {FConst("b")}
+
+    def test_single_conjunct_negation_needs_no_aux(self):
+        # A negated plain typed term translates to one conjunct: no aux.
+        # (A negated *predicate* atom still carries its arguments'
+        # object(...) conjuncts, so it does get one.)
+        source = "person: a.\nemployee: b.\nfree(X) :- person: X, \\+ employee: X.\n"
+        generalized = program_to_generalized(parse_program(source).program)
+        assert not any(
+            clause.heads[0].pred.startswith("naf_aux")
+            for clause in generalized.clauses
+        )
+
+    def test_query_with_complex_negation_rejected(self):
+        from repro.core.errors import TransformError
+
+        with pytest.raises(TransformError):
+            query_to_fol(parse_query(":- node: X, \\+ node: X[linkto => Y, cost => C]."))
+
+
+class TestDirectEngine:
+    def test_sink_example(self):
+        engine = DirectEngine(parse_program(SINK_SOURCE).program)
+        sinks = engine.solve(parse_query(":- sink(X)."))
+        assert [repr(a["X"]) for a in sinks] == ["Const('c')"]
+
+    def test_negated_description_with_local_variable(self):
+        engine = DirectEngine(parse_program(LONELY_SOURCE).program)
+        lonely = engine.solve(parse_query(":- lonely(X)."))
+        assert [repr(a["X"]) for a in lonely] == ["Const('b')"]
+
+    def test_query_level_negation(self):
+        program = parse_program(
+            "person: john[children => bob].\nperson: sue.\n"
+        ).program
+        engine = DirectEngine(program)
+        answers = engine.solve(
+            parse_query(":- person: P, \\+ person: P[children => C].")
+        )
+        assert {repr(a["P"]) for a in answers} == {"Const('sue')"}
+
+    def test_negation_order_in_body_is_irrelevant(self):
+        """Negated atoms are solved after positive ones regardless of
+        where they are written."""
+        program = parse_program(
+            "p(a). p(b). q(b).\nr(X) :- \\+ q(X), p(X).\n"
+        ).program
+        engine = DirectEngine(program)
+        answers = engine.solve(parse_query(":- r(X)."))
+        assert {repr(a["X"]) for a in answers} == {"Const('a')"}
+
+    def test_cycle_through_negation_rejected(self):
+        program = parse_program(
+            "q(a).\np(X) :- q(X), \\+ r(X).\nr(X) :- q(X), \\+ p(X).\n"
+        ).program
+        with pytest.raises(EngineError):
+            DirectEngine(program).saturate()
+
+    def test_negating_active_domain_rejected(self):
+        program = parse_program("p(a).\nq(X) :- p(X), \\+ object: X.\n").program
+        with pytest.raises(UnsupportedFeatureError):
+            DirectEngine(program).saturate()
+
+    def test_unsafe_shared_variable_rejected(self):
+        # Z is shared with the head but never positively bound.
+        program = parse_program("p(a).\nq(Z) :- p(X), \\+ r(X, Z).\n").program
+        with pytest.raises(SafetyError):
+            DirectEngine(program).saturate()
+
+    def test_two_strata_through_types(self):
+        source = """
+        raw: a.
+        raw: b.
+        marked(a).
+        clean: X[ok => yes] :- raw: X, \\+ marked(X).
+        """
+        engine = DirectEngine(parse_program(source).program)
+        answers = engine.solve(parse_query(":- clean: X."))
+        assert {repr(a["X"]) for a in answers} == {"Const('b')"}
+
+
+class TestEngineAgreementWithNegation:
+    QUERIES = [":- sink(X).", ":- haslink(X)."]
+
+    @pytest.mark.parametrize("query_source", QUERIES)
+    def test_direct_vs_stratified_fol(self, query_source):
+        program = parse_program(SINK_SOURCE).program
+        query = parse_query(query_source)
+        direct = {
+            frozenset((k, repr(v)) for k, v in a.items())
+            for a in DirectEngine(program).solve(query)
+        }
+        facts = stratified_fixpoint(program_to_fol(program))
+        from repro.transform.terms import fol_to_identity
+
+        translated = {
+            frozenset((k, repr(fol_to_identity(v))) for k, v in s.items())
+            for s in answer_query_bottomup(query_to_fol(query), facts)
+        }
+        assert direct == translated
+
+
+class TestKnowledgeBaseIntegration:
+    def test_kb_with_negation(self):
+        from repro import KnowledgeBase
+
+        kb = KnowledgeBase.from_source(SINK_SOURCE)
+        for engine in ("direct", "bottomup", "seminaive"):
+            answers = kb.ask("sink(X)", engine=engine)
+            assert [a.pretty()["X"] for a in answers] == ["c"]
+
+    def test_kb_sld_refuses_negation(self):
+        from repro import KnowledgeBase
+
+        kb = KnowledgeBase.from_source(SINK_SOURCE)
+        with pytest.raises(UnsupportedFeatureError):
+            kb.ask("sink(X)", engine="sld")
+        with pytest.raises(UnsupportedFeatureError):
+            kb.ask("sink(X)", engine="tabled")

@@ -1,0 +1,104 @@
+"""Experiment E7 as tests: multi-valued labels need the residual rule.
+
+Section 4: given
+
+    path: p[src => a, dest => b].
+    path: p[src => c, dest => d].
+
+the query ``:- path: p[src => a, dest => d]`` *should succeed* (labels
+of a term are independent), but "naive evaluation using unification
+will fail" — the whole-term strategy demands one fact supporting both
+constraints.  Residual solving, the FOL translation, and subsumption
+over the merged fact all succeed.
+"""
+
+from repro.core.terms import Const
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program, parse_query
+
+QUERY = parse_query(":- path: p[src => a, dest => d].")
+SAME_FACT_QUERY = parse_query(":- path: p[src => a, dest => b].")
+
+
+class TestResidualSolving:
+    def test_cross_fact_query_succeeds(self, residual_program):
+        engine = DirectEngine(residual_program)
+        assert engine.holds(QUERY)
+
+    def test_same_fact_query_succeeds(self, residual_program):
+        engine = DirectEngine(residual_program)
+        assert engine.holds(SAME_FACT_QUERY)
+
+    def test_agrees_with_fol_translation(self, residual_program):
+        from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+        from repro.transform.clauses import program_to_fol, query_to_fol
+
+        facts = naive_fixpoint(program_to_fol(residual_program))
+        goals = query_to_fol(QUERY)
+        assert any(True for _ in answer_query_bottomup(goals, facts))
+
+
+class TestWholeTermUnification:
+    def test_cross_fact_query_fails(self, residual_program):
+        """The paper's naive strategy misses the cross-fact answer."""
+        engine = DirectEngine(residual_program)
+        assert engine.solve_whole_term(QUERY) == []
+
+    def test_same_fact_query_still_works(self, residual_program):
+        engine = DirectEngine(residual_program)
+        assert engine.solve_whole_term(SAME_FACT_QUERY) == [{}]
+
+    def test_complete_when_labels_functional(self):
+        """With one fact per object and functional labels, whole-term
+        unification agrees with residual solving (the case where the
+        paper recommends it: 'especially when most labels are
+        functional or single-valued')."""
+        program = parse_program(
+            """
+            path: p1[src => a, dest => b].
+            path: p2[src => c, dest => d].
+            """
+        ).program
+        engine = DirectEngine(program)
+        query = parse_query(":- path: X[src => S, dest => D].")
+        whole = {tuple(sorted(a.items())) for a in engine.solve_whole_term(query)}
+        residual = {tuple(sorted(a.items())) for a in engine.solve(query)}
+        assert whole == residual
+        assert len(whole) == 2
+
+
+class TestSubsumptionSolving:
+    def test_merged_fact_answers_query(self, residual_program):
+        """Section 4: merge all information about p into
+        path: p[src => {a, c}, dest => {b, d}] and solve by checking the
+        partial ordering over descriptions."""
+        engine = DirectEngine(residual_program)
+        assert engine.solve_subsumption(QUERY) == [{}]
+
+    def test_variables_bound_from_merged_values(self, residual_program):
+        engine = DirectEngine(residual_program)
+        answers = engine.solve_subsumption(parse_query(":- path: p[src => S]."))
+        assert {a["S"] for a in answers} == {Const("a"), Const("c")}
+
+    def test_agrees_with_residual_on_extensional_db(self, residual_program):
+        engine = DirectEngine(residual_program)
+        for source in (
+            ":- path: X[src => S].",
+            ":- path: X[src => a, dest => D].",
+            ":- path: p[src => {a, c}].",
+        ):
+            query = parse_query(source)
+            residual = {tuple(sorted(a.items())) for a in engine.solve(query)}
+            subsumed = {tuple(sorted(a.items())) for a in engine.solve_subsumption(query)}
+            assert residual == subsumed, source
+
+
+class TestCollectionQueries:
+    def test_subset_query_on_merged_values(self, residual_program):
+        """{a, c} is a subset of p's src values."""
+        engine = DirectEngine(residual_program)
+        assert engine.holds(parse_query(":- path: p[src => {a, c}]."))
+
+    def test_subset_query_failure(self, residual_program):
+        engine = DirectEngine(residual_program)
+        assert not engine.holds(parse_query(":- path: p[src => {a, b}]."))

@@ -1,0 +1,110 @@
+"""Tabled evaluation tests: termination on recursion, agreement."""
+
+import pytest
+
+from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+from repro.engine.tabling import TabledEngine, canonical_atom
+from repro.fol.atoms import FAtom, HornClause
+from repro.fol.terms import FApp, FConst, FVar
+from repro.lang.parser import parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+class TestCanonicalAtom:
+    def test_variants_share_key(self):
+        one = canonical_atom(atom("p", FVar("X"), FVar("Y"), FVar("X")))
+        two = canonical_atom(atom("p", FVar("A"), FVar("B"), FVar("A")))
+        assert one == two
+
+    def test_distinct_patterns_differ(self):
+        one = canonical_atom(atom("p", FVar("X"), FVar("X")))
+        two = canonical_atom(atom("p", FVar("X"), FVar("Y")))
+        assert one != two
+
+    def test_ground_atoms_unchanged(self):
+        ground = atom("p", FConst("a"))
+        assert canonical_atom(ground) == ground
+
+
+class TestLeftRecursion:
+    """Plain SLD loops on left-recursive tc; tabling terminates."""
+
+    @pytest.fixture
+    def left_recursive(self):
+        return [
+            HornClause(atom("edge", FConst("a"), FConst("b"))),
+            HornClause(atom("edge", FConst("b"), FConst("c"))),
+            HornClause(atom("edge", FConst("c"), FConst("a"))),  # a cycle!
+            HornClause(
+                atom("tc", FVar("X"), FVar("Z")),
+                (atom("tc", FVar("X"), FVar("Y")), atom("edge", FVar("Y"), FVar("Z"))),
+            ),
+            HornClause(
+                atom("tc", FVar("X"), FVar("Y")), (atom("edge", FVar("X"), FVar("Y")),)
+            ),
+        ]
+
+    def test_terminates_and_complete(self, left_recursive):
+        engine = TabledEngine(left_recursive)
+        answers = engine.solve([atom("tc", FConst("a"), FVar("Y"))])
+        values = {a["Y"] for a in answers}
+        assert values == {FConst("a"), FConst("b"), FConst("c")}
+
+    def test_agrees_with_bottomup(self, left_recursive):
+        reference = set(
+            answer_query_bottomup(
+                [atom("tc", FVar("X"), FVar("Y"))], naive_fixpoint(left_recursive)
+            )
+        )
+        tabled = set(TabledEngine(left_recursive).solve([atom("tc", FVar("X"), FVar("Y"))]))
+        assert tabled == reference
+
+
+class TestTranslatedPrograms:
+    def test_example3(self, noun_phrase_program):
+        fol = program_to_fol(noun_phrase_program)
+        goals = query_to_fol(parse_query(":- noun_phrase: X[num => plural]."))
+        tabled = set(TabledEngine(fol).solve(goals))
+        reference = set(answer_query_bottomup(goals, naive_fixpoint(fol)))
+        assert tabled == reference
+
+    def test_path_program(self, path_program):
+        fol = program_to_fol(path_program)
+        goals = query_to_fol(
+            parse_query(":- path: P[src => a, dest => D, length => L].")
+        )
+        tabled = set(TabledEngine(fol).solve(goals))
+        reference = set(answer_query_bottomup(goals, naive_fixpoint(fol)))
+        assert tabled == reference
+        assert len(tabled) == 3
+
+    def test_stats(self, path_program):
+        fol = program_to_fol(path_program)
+        engine = TabledEngine(fol)
+        engine.solve(query_to_fol(parse_query(":- path: P[src => a, dest => b].")))
+        assert engine.stats.tables > 0
+        assert engine.stats.iterations >= 1
+
+
+class TestMisc:
+    def test_builtin_goal(self):
+        program = [HornClause(atom("n", FConst(2)))]
+        from repro.fol.atoms import FBuiltin
+
+        engine = TabledEngine(program)
+        answers = engine.solve(
+            [
+                atom("n", FVar("X")),
+                FBuiltin("is", (FVar("Y"), FApp("*", (FVar("X"), FConst(5))))),
+            ]
+        )
+        assert answers[0]["Y"] == FConst(10)
+
+    def test_no_answers(self):
+        engine = TabledEngine([HornClause(atom("p", FConst("a")))])
+        assert engine.solve([atom("q", FVar("X"))]) == []
+        assert not engine.has_answer([atom("q", FVar("X"))])

@@ -1,0 +1,88 @@
+"""Section 3.2's semantic contrast, as executable tests.
+
+"From the following two facts in which p is a constant denoting an
+object:
+
+    p[src => a, dest => b].
+    p[src => c, dest => d].
+
+we can infer p[src => a, dest => d] or p[src => c, dest => b].
+However, given
+
+    p(a, b).  p(c, d).
+
+in which p is a binary predicate, we cannot infer either p(a, d) or
+p(c, b).  The difference is that labels of a term are independent,
+while arguments in a tuple of a predicate are associated together."
+"""
+
+import pytest
+
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program, parse_query
+
+TERM_FACTS = """
+p[src => a, dest => b].
+p[src => c, dest => d].
+"""
+
+PREDICATE_FACTS = """
+p(a, b).
+p(c, d).
+"""
+
+
+@pytest.fixture
+def term_engine():
+    return DirectEngine(parse_program(TERM_FACTS).program)
+
+
+@pytest.fixture
+def predicate_engine():
+    return DirectEngine(parse_program(PREDICATE_FACTS).program)
+
+
+class TestLabelsAreIndependent:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            ":- p[src => a, dest => b].",   # as asserted
+            ":- p[src => c, dest => d].",   # as asserted
+            ":- p[src => a, dest => d].",   # the recombination the paper infers
+            ":- p[src => c, dest => b].",   # the other recombination
+        ],
+    )
+    def test_all_recombinations_hold(self, term_engine, query):
+        assert term_engine.holds(parse_query(query))
+
+    def test_under_fol_translation_too(self):
+        from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+        from repro.transform.clauses import program_to_fol, query_to_fol
+
+        facts = naive_fixpoint(program_to_fol(parse_program(TERM_FACTS).program))
+        goals = query_to_fol(parse_query(":- p[src => a, dest => d]."))
+        assert any(True for _ in answer_query_bottomup(goals, facts))
+
+
+class TestPredicateArgumentsAreAssociated:
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            (":- p(a, b).", True),
+            (":- p(c, d).", True),
+            (":- p(a, d).", False),  # NOT inferable
+            (":- p(c, b).", False),  # NOT inferable
+        ],
+    )
+    def test_no_cross_tuple_inference(self, predicate_engine, query, expected):
+        assert predicate_engine.holds(parse_query(query)) is expected
+
+    def test_open_queries_differ_in_count(self, term_engine, predicate_engine):
+        """The term version has 2x2 (src, dest) combinations; the
+        predicate version only its 2 tuples."""
+        term_answers = term_engine.solve(
+            parse_query(":- p[src => S, dest => D].")
+        )
+        predicate_answers = predicate_engine.solve(parse_query(":- p(S, D)."))
+        assert len(term_answers) == 4
+        assert len(predicate_answers) == 2

@@ -1,0 +1,139 @@
+"""SLD resolution tests (both selection rules)."""
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+from repro.engine.topdown import SLDEngine, SLDStats, solve_iterative_deepening
+from repro.fol.atoms import FAtom, FBuiltin, HornClause
+from repro.fol.terms import FApp, FConst, FVar
+from repro.lang.parser import parse_query
+from repro.transform.clauses import program_to_fol, query_to_fol
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+@pytest.fixture
+def edge_program():
+    return [
+        HornClause(atom("edge", FConst("a"), FConst("b"))),
+        HornClause(atom("edge", FConst("b"), FConst("c"))),
+        HornClause(
+            atom("tc", FVar("X"), FVar("Y")), (atom("edge", FVar("X"), FVar("Y")),)
+        ),
+        HornClause(
+            atom("tc", FVar("X"), FVar("Z")),
+            (atom("edge", FVar("X"), FVar("Y")), atom("tc", FVar("Y"), FVar("Z"))),
+        ),
+    ]
+
+
+class TestBasics:
+    def test_fact_lookup(self, edge_program):
+        engine = SLDEngine(edge_program)
+        answers = list(engine.solve([atom("edge", FConst("a"), FVar("Y"))]))
+        assert len(answers) == 1 and answers[0]["Y"] == FConst("b")
+
+    def test_recursion_with_depth_bound(self, edge_program):
+        engine = SLDEngine(edge_program)
+        answers = list(engine.solve([atom("tc", FConst("a"), FVar("Y"))], max_depth=10))
+        values = {a["Y"] for a in answers}
+        assert values == {FConst("b"), FConst("c")}
+
+    def test_has_answer(self, edge_program):
+        engine = SLDEngine(edge_program)
+        assert engine.has_answer([atom("tc", FConst("a"), FConst("c"))], max_depth=10)
+        assert not engine.has_answer([atom("tc", FConst("c"), FConst("a"))], max_depth=10)
+
+    def test_depth_cutoff_counted(self, edge_program):
+        stats = SLDStats()
+        SLDEngine(edge_program).solve(
+            [atom("tc", FVar("X"), FVar("Y"))], max_depth=2, stats=stats
+        )
+        list(
+            SLDEngine(edge_program).solve(
+                [atom("tc", FVar("X"), FVar("Y"))], max_depth=2, stats=stats
+            )
+        )
+        assert stats.depth_cutoffs > 0
+
+    def test_builtin_goals(self):
+        program = [HornClause(atom("n", FConst(3)))]
+        engine = SLDEngine(program)
+        goals = [
+            atom("n", FVar("X")),
+            FBuiltin("is", (FVar("Y"), FApp("+", (FVar("X"), FConst(1))))),
+        ]
+        answers = list(engine.solve(goals))
+        assert answers[0]["Y"] == FConst(4)
+
+    def test_unknown_selection_rule(self, edge_program):
+        with pytest.raises(EngineError):
+            list(SLDEngine(edge_program).solve([atom("edge", FVar("X"), FVar("Y"))], select="zigzag"))
+
+    def test_step_budget(self, edge_program):
+        with pytest.raises(EngineError):
+            list(
+                SLDEngine(edge_program).solve(
+                    [atom("tc", FVar("X"), FVar("Y"))], max_depth=50, max_steps=3
+                )
+            )
+
+
+class TestSelectionRules:
+    def test_smallest_agrees_with_leftmost(self, edge_program):
+        engine = SLDEngine(edge_program)
+        goals = [atom("tc", FVar("X"), FVar("Y"))]
+        left = set(engine.solve(goals, max_depth=12, select="leftmost"))
+        small = set(engine.solve(goals, max_depth=12, select="smallest"))
+        assert left == small
+
+    def test_smallest_postpones_unready_builtin(self):
+        program = [HornClause(atom("n", FConst(3)))]
+        engine = SLDEngine(program)
+        # Builtin first: leftmost raises, smallest postpones it.
+        goals = [
+            FBuiltin("is", (FVar("Y"), FApp("+", (FVar("X"), FConst(1))))),
+            atom("n", FVar("X")),
+        ]
+        answers = list(engine.solve(goals, select="smallest"))
+        assert answers[0]["Y"] == FConst(4)
+
+    def test_translated_example3_with_smallest(self, noun_phrase_program):
+        fol = program_to_fol(noun_phrase_program)
+        goals = query_to_fol(parse_query(":- noun_phrase: X[num => plural]."))
+        engine = SLDEngine(fol)
+        answers = set(engine.solve(goals, max_depth=20, select="smallest"))
+        reference = set(answer_query_bottomup(goals, naive_fixpoint(fol)))
+        assert answers == reference
+
+
+class TestIterativeDeepening:
+    def test_finds_all_answers(self, edge_program):
+        engine = SLDEngine(edge_program)
+        answers = solve_iterative_deepening(
+            engine, [atom("edge", FVar("X"), FVar("Y"))], start_depth=2, max_depth=16
+        )
+        assert len(answers) == 2
+
+    def test_raises_on_cap_with_cutoffs(self):
+        # A cyclic graph makes the SLD tree for tc infinite: every
+        # deepening level is cut off, so the cap raises.
+        cyclic = [
+            HornClause(atom("edge", FConst("a"), FConst("b"))),
+            HornClause(atom("edge", FConst("b"), FConst("a"))),
+            HornClause(
+                atom("tc", FVar("X"), FVar("Y")), (atom("edge", FVar("X"), FVar("Y")),)
+            ),
+            HornClause(
+                atom("tc", FVar("X"), FVar("Z")),
+                (atom("edge", FVar("X"), FVar("Y")), atom("tc", FVar("Y"), FVar("Z"))),
+            ),
+        ]
+        engine = SLDEngine(cyclic)
+        with pytest.raises(EngineError):
+            solve_iterative_deepening(
+                engine, [atom("tc", FVar("X"), FVar("Y"))], start_depth=2, max_depth=8
+            )

@@ -1,0 +1,122 @@
+"""FOL atom / clause unit tests, including generalized-clause splitting."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.fol.atoms import (
+    FAtom,
+    FBuiltin,
+    FOLProgram,
+    GeneralizedClause,
+    HornClause,
+    atom_is_ground,
+    atom_variables,
+    rename_clause,
+    rename_generalized,
+    substitute_fatom,
+)
+from repro.fol.pretty import pretty_fatom, pretty_generalized, pretty_horn
+from repro.fol.terms import FApp, FConst, FVar
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+class TestAtoms:
+    def test_signature(self):
+        assert atom("src", FVar("X"), FConst("a")).signature == ("src", 2)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            FAtom("p", ())
+
+    def test_variables_and_groundness(self):
+        a = atom("p", FVar("X"), FConst("a"))
+        assert atom_variables(a) == {"X"}
+        assert not atom_is_ground(a)
+        assert atom_is_ground(atom("p", FConst("a")))
+
+    def test_substitute(self):
+        a = atom("p", FVar("X"))
+        assert substitute_fatom(a, {"X": FConst("a")}) == atom("p", FConst("a"))
+
+    def test_builtin_arity(self):
+        with pytest.raises(SyntaxKindError):
+            FBuiltin("is", (FVar("X"),))
+
+
+class TestClauses:
+    def test_horn_fact(self):
+        clause = HornClause(atom("name", FConst("john")))
+        assert clause.is_fact
+
+    def test_generalized_requires_heads(self):
+        with pytest.raises(SyntaxKindError):
+            GeneralizedClause((), (atom("p", FVar("X")),))
+
+    def test_split_shares_body(self):
+        gen = GeneralizedClause(
+            (atom("a", FVar("X")), atom("b", FVar("X"))),
+            (atom("c", FVar("X")),),
+        )
+        horns = gen.split()
+        assert len(horns) == 2
+        assert all(h.body == gen.body for h in horns)
+        assert [h.head.pred for h in horns] == ["a", "b"]
+
+    def test_split_of_fact(self):
+        gen = GeneralizedClause((atom("a", FConst("x")), atom("b", FConst("x"))))
+        assert all(h.is_fact for h in gen.split())
+
+    def test_variables(self):
+        gen = GeneralizedClause((atom("a", FVar("X")),), (atom("b", FVar("Y")),))
+        assert gen.variables() == {"X", "Y"}
+
+    def test_rename_clause_standardizes_apart(self):
+        clause = HornClause(atom("p", FVar("X")), (atom("q", FVar("X")),))
+        renamed = rename_clause(clause, "_7")
+        assert renamed.head.args[0] == FVar("X_7")
+        assert renamed.body[0].args[0] == FVar("X_7")
+
+    def test_rename_generalized(self):
+        gen = GeneralizedClause((atom("a", FVar("X")),), (atom("b", FVar("X")),))
+        renamed = rename_generalized(gen, "_z")
+        assert renamed.heads[0].args[0] == FVar("X_z")
+
+
+class TestProgram:
+    def test_partitions(self):
+        program = FOLProgram(
+            (
+                HornClause(atom("p", FConst("a"))),
+                HornClause(atom("q", FVar("X")), (atom("p", FVar("X")),)),
+            )
+        )
+        assert len(list(program.facts())) == 1
+        assert len(list(program.rules())) == 1
+        assert program.predicates() == {("p", 1), ("q", 1)}
+
+
+class TestPretty:
+    def test_atom(self):
+        assert pretty_fatom(atom("num", FConst("the"), FConst("plural"))) == (
+            "num(the, plural)"
+        )
+
+    def test_builtin(self):
+        b = FBuiltin("is", (FVar("L"), FApp("+", (FVar("L0"), FConst(1)))))
+        assert pretty_fatom(b) == "L is (L0 + 1)"
+
+    def test_horn(self):
+        clause = HornClause(atom("object", FVar("X")), (atom("path", FVar("X")),))
+        assert pretty_horn(clause) == "object(X) :- path(X)."
+
+    def test_generalized(self):
+        gen = GeneralizedClause(
+            (atom("a", FVar("X")), atom("b", FVar("X"))), (atom("c", FVar("X")),)
+        )
+        assert pretty_generalized(gen) == "a(X), b(X) :- c(X)."
+
+    def test_quoted_constant(self):
+        assert pretty_fatom(atom("name", FConst("John Smith"))) == 'name("John Smith")'

@@ -1,0 +1,94 @@
+"""Substitution algebra unit tests."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FVar
+
+
+class TestBasics:
+    def test_empty(self):
+        empty = Substitution.empty()
+        assert len(empty) == 0
+        assert empty.apply(FVar("X")) == FVar("X")
+
+    def test_identity_bindings_dropped(self):
+        subst = Substitution({"X": FVar("X"), "Y": FConst("a")})
+        assert set(subst) == {"Y"}
+
+    def test_apply(self):
+        subst = Substitution({"X": FConst("a")})
+        assert subst.apply(FApp("f", (FVar("X"), FVar("Y")))) == FApp(
+            "f", (FConst("a"), FVar("Y"))
+        )
+
+    def test_mapping_protocol(self):
+        subst = Substitution({"X": FConst("a")})
+        assert subst["X"] == FConst("a")
+        assert "X" in subst
+        assert dict(subst) == {"X": FConst("a")}
+
+    def test_equality_and_hash(self):
+        assert Substitution({"X": FConst("a")}) == Substitution({"X": FConst("a")})
+        assert hash(Substitution()) == hash(Substitution.empty())
+
+
+class TestCompose:
+    def test_composition_order(self):
+        first = Substitution({"X": FVar("Y")})
+        second = Substitution({"Y": FConst("a")})
+        composed = first.compose(second)
+        term = FApp("f", (FVar("X"), FVar("Y")))
+        assert composed.apply(term) == second.apply(first.apply(term))
+
+    def test_second_bindings_added(self):
+        first = Substitution({"X": FConst("a")})
+        second = Substitution({"Y": FConst("b")})
+        composed = first.compose(second)
+        assert composed["X"] == FConst("a") and composed["Y"] == FConst("b")
+
+    def test_first_wins_on_same_variable(self):
+        first = Substitution({"X": FConst("a")})
+        second = Substitution({"X": FConst("b")})
+        assert first.compose(second)["X"] == FConst("a")
+
+    def test_bind(self):
+        subst = Substitution({"X": FVar("Y")}).bind("Y", FConst("a"))
+        assert subst.apply(FVar("X")) == FConst("a")
+
+    def test_bind_existing_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            Substitution({"X": FConst("a")}).bind("X", FConst("b"))
+
+
+class TestPredicates:
+    def test_restrict(self):
+        subst = Substitution({"X": FConst("a"), "Y": FConst("b")})
+        assert set(subst.restrict({"X"})) == {"X"}
+
+    def test_is_idempotent(self):
+        assert Substitution({"X": FConst("a")}).is_idempotent()
+        assert not Substitution({"X": FApp("f", (FVar("X"),))}).is_idempotent()
+
+    def test_is_renaming(self):
+        assert Substitution({"X": FVar("Y")}).is_renaming()
+        assert not Substitution({"X": FVar("Z"), "Y": FVar("Z")}).is_renaming()
+        assert not Substitution({"X": FConst("a")}).is_renaming()
+
+
+class TestFastPaths:
+    def test_raw_view(self):
+        subst = Substitution({"X": FConst("a")})
+        assert dict(subst.raw) == {"X": FConst("a")}
+
+    def test_extended_disjoint(self):
+        subst = Substitution({"X": FConst("a")})
+        extended = subst.extended({"Y": FConst("b")})
+        assert extended["X"] == FConst("a") and extended["Y"] == FConst("b")
+        # the original is untouched
+        assert "Y" not in subst
+
+    def test_extended_empty_returns_self(self):
+        subst = Substitution({"X": FConst("a")})
+        assert subst.extended({}) is subst

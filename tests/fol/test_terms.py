@@ -1,0 +1,73 @@
+"""FOL term unit tests."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.fol.terms import (
+    FApp,
+    FConst,
+    FVar,
+    fterm_is_ground,
+    fterm_size,
+    fterm_variables,
+    rename_fterm,
+    substitute_fterm,
+    walk_fterm,
+)
+
+
+class TestConstruction:
+    def test_var(self):
+        assert FVar("X").name == "X"
+
+    def test_const_kinds(self):
+        assert FConst("a").value == "a"
+        assert FConst(3).value == 3
+        with pytest.raises(SyntaxKindError):
+            FConst(True)
+
+    def test_app_requires_args(self):
+        with pytest.raises(SyntaxKindError):
+            FApp("f", ())
+
+    def test_app_args_must_be_terms(self):
+        with pytest.raises(SyntaxKindError):
+            FApp("f", ("x",))
+
+    def test_equality_and_hash(self):
+        assert FApp("f", (FVar("X"),)) == FApp("f", (FVar("X"),))
+        assert hash(FConst(1)) == hash(FConst(1))
+        assert FConst(1) != FConst("1")
+
+
+class TestOperations:
+    def test_variables(self):
+        t = FApp("f", (FVar("X"), FApp("g", (FVar("Y"), FConst("a")))))
+        assert fterm_variables(t) == {"X", "Y"}
+
+    def test_is_ground(self):
+        assert fterm_is_ground(FApp("f", (FConst("a"),)))
+        assert not fterm_is_ground(FApp("f", (FVar("X"),)))
+
+    def test_substitute(self):
+        t = FApp("f", (FVar("X"), FVar("Y")))
+        out = substitute_fterm(t, {"X": FConst("a")})
+        assert out == FApp("f", (FConst("a"), FVar("Y")))
+
+    def test_substitute_identity_fast_path(self):
+        t = FApp("f", (FConst("a"),))
+        assert substitute_fterm(t, {"Z": FConst("q")}) is t
+
+    def test_rename(self):
+        t = FApp("f", (FVar("X"), FConst("a")))
+        assert rename_fterm(t, "_1") == FApp("f", (FVar("X_1"), FConst("a")))
+
+    def test_size(self):
+        assert fterm_size(FConst("a")) == 1
+        assert fterm_size(FApp("f", (FConst("a"), FVar("X")))) == 3
+
+    def test_walk_preorder(self):
+        t = FApp("f", (FConst("a"), FVar("X")))
+        nodes = list(walk_fterm(t))
+        assert nodes[0] == t
+        assert FConst("a") in nodes and FVar("X") in nodes

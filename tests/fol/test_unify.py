@@ -1,0 +1,121 @@
+"""Unification and matching unit tests."""
+
+from repro.fol.atoms import FAtom
+from repro.fol.subst import Substitution
+from repro.fol.terms import FApp, FConst, FVar
+from repro.fol.unify import match, match_atom, unify, unify_atoms, unify_terms
+
+
+class TestUnify:
+    def test_identical_constants(self):
+        assert unify(FConst("a"), FConst("a")) == Substitution.empty()
+
+    def test_clashing_constants(self):
+        assert unify(FConst("a"), FConst("b")) is None
+
+    def test_int_vs_str_constant_clash(self):
+        assert unify(FConst(1), FConst("1")) is None
+
+    def test_variable_binds(self):
+        subst = unify(FVar("X"), FConst("a"))
+        assert subst["X"] == FConst("a")
+
+    def test_symmetric(self):
+        assert unify(FConst("a"), FVar("X"))["X"] == FConst("a")
+
+    def test_variable_variable(self):
+        subst = unify(FVar("X"), FVar("Y"))
+        assert subst.apply(FVar("X")) == subst.apply(FVar("Y"))
+
+    def test_same_variable_both_sides(self):
+        assert unify(FVar("X"), FVar("X")) == Substitution.empty()
+
+    def test_nested_structures(self):
+        left = FApp("f", (FVar("X"), FApp("g", (FVar("X"),))))
+        right = FApp("f", (FConst("a"), FVar("Y")))
+        subst = unify(left, right)
+        assert subst["X"] == FConst("a")
+        assert subst["Y"] == FApp("g", (FConst("a"),))
+
+    def test_functor_clash(self):
+        assert unify(FApp("f", (FVar("X"),)), FApp("g", (FVar("X"),))) is None
+
+    def test_arity_clash(self):
+        assert unify(
+            FApp("f", (FVar("X"),)), FApp("f", (FVar("X"), FVar("Y")))
+        ) is None
+
+    def test_occurs_check(self):
+        assert unify(FVar("X"), FApp("f", (FVar("X"),))) is None
+
+    def test_occurs_check_indirect(self):
+        # X = f(Y), then Y = X would be cyclic: X resolves to f(Y) and
+        # unifying Y with f(Y) must fail the occurs check.
+        subst = unify(FVar("X"), FApp("f", (FVar("Y"),)))
+        assert subst is not None
+        assert unify(FVar("Y"), FVar("X"), subst) is None
+
+    def test_result_is_idempotent(self):
+        left = FApp("f", (FVar("X"), FVar("Y"), FVar("X")))
+        right = FApp("f", (FVar("Y"), FApp("g", (FVar("Z"),)), FVar("X")))
+        subst = unify(left, right)
+        assert subst is not None and subst.is_idempotent()
+
+    def test_mgu_applies_equal(self):
+        left = FApp("f", (FVar("X"), FApp("g", (FVar("X"),))))
+        right = FApp("f", (FVar("Y"), FVar("Z")))
+        subst = unify(left, right)
+        assert subst.apply(left) == subst.apply(right)
+
+    def test_under_initial_substitution(self):
+        initial = Substitution({"X": FConst("a")})
+        assert unify(FVar("X"), FConst("b"), initial) is None
+        assert unify(FVar("X"), FConst("a"), initial) is not None
+
+    def test_unify_terms_sequences(self):
+        subst = unify_terms([FVar("X"), FConst("b")], [FConst("a"), FConst("b")])
+        assert subst["X"] == FConst("a")
+        assert unify_terms([FVar("X")], [FConst("a"), FConst("b")]) is None
+
+
+class TestUnifyAtoms:
+    def test_same_predicate(self):
+        left = FAtom("src", (FVar("X"), FConst("a")))
+        right = FAtom("src", (FConst("p1"), FConst("a")))
+        subst = unify_atoms(left, right)
+        assert subst["X"] == FConst("p1")
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(FAtom("p", (FVar("X"),)), FAtom("q", (FVar("X"),))) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(
+            FAtom("p", (FVar("X"),)), FAtom("p", (FVar("X"), FVar("Y")))
+        ) is None
+
+
+class TestMatch:
+    def test_one_way_only(self):
+        """Instance variables are treated as constants."""
+        assert match(FConst("a"), FVar("X")) is None
+
+    def test_pattern_variable_binds(self):
+        subst = match(FVar("X"), FApp("f", (FConst("a"),)))
+        assert subst["X"] == FApp("f", (FConst("a"),))
+
+    def test_repeated_variable_consistency(self):
+        pattern = FApp("f", (FVar("X"), FVar("X")))
+        assert match(pattern, FApp("f", (FConst("a"), FConst("a")))) is not None
+        assert match(pattern, FApp("f", (FConst("a"), FConst("b")))) is None
+
+    def test_match_atom(self):
+        pattern = FAtom("num", (FVar("D"), FConst("plural")))
+        instance = FAtom("num", (FConst("all"), FConst("plural")))
+        subst = match_atom(pattern, instance)
+        assert subst["D"] == FConst("all")
+
+    def test_match_atom_respects_initial(self):
+        initial = Substitution({"D": FConst("the")})
+        pattern = FAtom("num", (FVar("D"),))
+        instance = FAtom("num", (FConst("all"),))
+        assert match_atom(pattern, instance, initial) is None

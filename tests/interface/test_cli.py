@@ -1,0 +1,125 @@
+"""REPL tests (driven through the stream interface, no subprocess)."""
+
+import io
+
+import pytest
+
+from repro.cli import Repl
+
+
+def run_lines(*lines: str) -> str:
+    out = io.StringIO()
+    repl = Repl(out=out)
+    for line in lines:
+        repl.handle(line)
+    return out.getvalue()
+
+
+class TestAssertAndQuery:
+    def test_assert_fact_then_query(self):
+        output = run_lines("name: john.", ":- name: X.")
+        assert "asserted 1 clause(s)" in output
+        assert "X = john" in output
+        assert "(1 answer(s))" in output
+
+    def test_ground_query_yes_no(self):
+        output = run_lines("name: john.", ":- name: john.", ":- name: bob.")
+        assert "yes" in output
+        assert "no" in output
+
+    def test_query_without_prefix(self):
+        output = run_lines("name: john.", "name: X")
+        assert "X = john" in output
+
+    def test_rule_and_subtype(self):
+        output = run_lines(
+            "name: john.",
+            "proper_np: X[pers => 3] :- name: X.",
+            "proper_np < noun_phrase.",
+            ":- noun_phrase: X.",
+        )
+        assert "subtype declaration" in output
+        assert "X = john" in output
+
+    def test_parse_error_reported(self):
+        output = run_lines("broken [")
+        assert "error:" in output
+
+    def test_comment_and_blank_ignored(self):
+        assert run_lines("", "% a comment") == ""
+
+    def test_existential_warning(self):
+        output = run_lines("path: C[src => X] :- node: X[linkto => Y].")
+        assert "existential object variable" in output
+        assert "'C'" in output
+
+
+class TestCommands:
+    def test_help(self):
+        output = run_lines(":help")
+        assert ":load FILE" in output
+
+    def test_unknown_command(self):
+        output = run_lines(":zap")
+        assert "unknown command" in output
+
+    def test_engine_switch(self):
+        output = run_lines(":engine tabled", ":engine warp")
+        assert "engine set to tabled" in output
+        assert "usage: :engine" in output
+
+    def test_objects(self):
+        output = run_lines("person: john[age => 3].", ":objects")
+        assert "person: john[age => 3]" in output
+
+    def test_program_listing(self):
+        output = run_lines("name: john.", ":program")
+        assert "name: john." in output
+
+    def test_fol_translation(self):
+        output = run_lines("determiner: the[num => singular].", ":fol")
+        assert "determiner(the), object(singular), num(the, singular)." in output
+
+    def test_identity_declaration(self):
+        output = run_lines(
+            "node: a[linkto => b].",
+            "path: C[src => X, dest => Y] :- node: X[linkto => Y].",
+            ":existential",
+            ":identity C X,Y",
+            ":- path: P.",
+        )
+        assert "clause 1: ['C']" in output
+        assert "skolemized 1 clause(s)" in output
+        assert "P = id(a, b)" in output
+
+    def test_identity_usage(self):
+        assert "usage: :identity" in run_lines(":identity C")
+
+    def test_load_missing_file(self):
+        assert "cannot read" in run_lines(":load /nonexistent/zzz.cl")
+
+    def test_load_real_file(self, tmp_path):
+        source_file = tmp_path / "program.cl"
+        source_file.write_text("name: john.\n")
+        output = run_lines(f":load {source_file}", ":- name: X.")
+        assert "X = john" in output
+
+    def test_quit_stops(self):
+        repl = Repl(out=io.StringIO())
+        repl.handle(":quit")
+        assert not repl.running
+
+
+class TestRunLoop:
+    def test_run_over_stream(self):
+        out = io.StringIO()
+        repl = Repl(out=out)
+        repl.run(io.StringIO("name: john.\n:- name: X.\n:quit\n"))
+        text = out.getvalue()
+        assert "C-logic shell" in text
+        assert "X = john" in text
+
+    def test_eof_terminates(self):
+        out = io.StringIO()
+        Repl(out=out).run(io.StringIO(""))
+        assert "C-logic shell" in out.getvalue()

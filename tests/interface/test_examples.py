@@ -1,0 +1,73 @@
+"""Integration tests: every shipped example runs and prints what its
+docstring promises."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    output = run_example("quickstart")
+    assert "id(john, mary)" in output
+    assert "'C': 'bob'" in output or "C" in output
+    assert "person: john[age => 40" in output
+
+
+def test_noun_phrase_grammar():
+    output = run_example("noun_phrase_grammar")
+    assert output.count("['np(all, students)', 'np(the, students)']") == 5
+    assert "common_np(np(Det, Noun)), object(3)" in output
+
+
+def test_path_database():
+    output = run_example("path_database")
+    assert "id(a, d)  lengths => ['2', '3']" in output
+    assert "id(a, d, 2)" in output and "id(a, d, 3)" in output
+    assert "id(a, id(b, d))" in output
+
+
+def test_family_sets():
+    output = run_example("family_sets")
+    assert "9 (X, Y) bindings" in output
+    assert "['alice', 'bob', 'carol']" in output
+    assert "-> True" in output and "-> False" in output
+
+
+def test_olog_vs_clogic():
+    output = run_example("olog_vs_clogic")
+    assert "multiply defined on john" in output
+    assert "john[name => T]" in output
+    assert "multiply defined on e1" in output
+
+
+def test_schema_and_negation():
+    output = run_example("schema_and_negation")
+    assert "['ann', 'bob', 'sam']" in output
+    assert "all 4 constraints hold" in output
+    assert "VIOLATION [functional(salary)]" in output
+
+
+def test_university_db():
+    output = run_example("university_db")
+    assert "enr(ann, cse303)" in output
+    assert "cse303 at depth 2" in output
+    assert "['dan']" in output
+    assert "['kifer', 'warren']" in output
+    assert "0 violation(s)" in output
+    assert "by rule 15" in output

@@ -1,0 +1,156 @@
+"""KnowledgeBase API tests."""
+
+import pytest
+
+from repro.core.errors import EngineError, SafetyError, TransformError
+from repro.core.terms import Const, Func
+from repro.interface import ENGINES, Answer, KnowledgeBase
+from tests.conftest import NOUN_PHRASE_SOURCE, PATH_SOURCE_EXISTENTIAL
+
+
+class TestConstruction:
+    def test_from_source(self):
+        kb = KnowledgeBase.from_source("name: john.")
+        assert len(kb.program) == 1
+
+    def test_add_source_appends(self):
+        kb = KnowledgeBase.from_source("name: john.")
+        kb.add_source("name: bob.\nproper_np < noun_phrase.")
+        assert len(kb.program) == 2
+        assert len(kb.program.subtypes) == 1
+
+    def test_add_clause_and_subtype(self):
+        from repro.core.builder import fact, obj
+
+        kb = KnowledgeBase()
+        kb.add_clause(fact(obj("a", type="t1")))
+        kb.add_subtype("t1", "t2")
+        assert kb.holds("t2: a")
+
+    def test_unknown_default_engine(self):
+        with pytest.raises(EngineError):
+            KnowledgeBase(default_engine="magic")
+
+
+class TestAsking:
+    @pytest.fixture
+    def kb(self):
+        return KnowledgeBase.from_source(NOUN_PHRASE_SOURCE)
+
+    def test_ask_returns_sorted_answers(self, kb):
+        answers = kb.ask("noun_phrase: X[num => plural]")
+        assert [a.pretty()["X"] for a in answers] == [
+            "np(all, students)",
+            "np(the, students)",
+        ]
+
+    def test_answer_accessors(self, kb):
+        answer = kb.ask("noun_phrase: X[num => plural]")[0]
+        assert "X" in answer
+        assert answer["X"] == Func("np", (Const("all"), Const("students")))
+        assert answer.keys() == ["X"]
+        with pytest.raises(KeyError):
+            answer["Z"]
+
+    def test_holds(self, kb):
+        assert kb.holds("determiner: the")
+        assert not kb.holds("determiner: zz")
+
+    def test_every_engine_agrees(self, kb):
+        reference = kb.ask("noun_phrase: X[num => plural]", engine="direct")
+        for engine in ENGINES:
+            if engine == "sld":
+                kb.sld_depth = 20
+            assert kb.ask("noun_phrase: X[num => plural]", engine=engine) == reference
+
+    def test_unknown_engine(self, kb):
+        with pytest.raises(EngineError):
+            kb.ask("determiner: the", engine="oracle")
+
+    def test_query_object_accepted(self, kb):
+        from repro.lang.parser import parse_query
+
+        assert kb.ask(parse_query(":- determiner: the.")) == [Answer(())]
+
+
+class TestIdentityDeclarations:
+    @pytest.fixture
+    def kb(self):
+        return KnowledgeBase.from_source(PATH_SOURCE_EXISTENTIAL)
+
+    def test_existential_variables_reported(self, kb):
+        pending = kb.existential_variables()
+        assert [vars for _, vars in pending] == [{"C"}, {"C"}]
+
+    def test_saturation_requires_declaration(self, kb):
+        with pytest.raises(SafetyError):
+            kb.ask("path: P[src => a]")
+
+    def test_declare_identity_fixes_all_clauses(self, kb):
+        rewritten = kb.declare_identity("C", depends_on=("X", "Y"))
+        assert rewritten == 2
+        assert kb.existential_variables() == []
+        answers = kb.ask("path: P[src => a, dest => d]")
+        assert answers[0]["P"] == Func("id", (Const("a"), Const("d")))
+
+    def test_declare_identity_single_clause(self, kb):
+        kb.declare_identity("C", depends_on=("X", "Y"), clause_index=3)
+        assert len(kb.existential_variables()) == 1
+
+    def test_declare_unknown_variable(self, kb):
+        with pytest.raises(TransformError):
+            kb.declare_identity("NOPE", depends_on=("X",))
+
+    def test_declare_non_existential_on_specific_clause(self, kb):
+        with pytest.raises(TransformError):
+            kb.declare_identity("X", depends_on=("Y",), clause_index=3)
+
+
+class TestStoreAndExports:
+    def test_objects_merged(self):
+        kb = KnowledgeBase.from_source(
+            "path: p[src => a, dest => b].\npath: p[src => c, dest => d]."
+        )
+        objects = {repr(o) for o in kb.objects()}
+        assert len(kb.objects()) == len(kb.store.all_ids())
+
+    def test_to_fol_source(self):
+        kb = KnowledgeBase.from_source(NOUN_PHRASE_SOURCE)
+        text = kb.to_fol_source()
+        assert "noun_phrase(X) :- proper_np(X)." in text
+        assert "determiner(the), object(singular), num(the, singular)" in text
+
+    def test_to_fol_source_optimized(self):
+        kb = KnowledgeBase.from_source(NOUN_PHRASE_SOURCE)
+        raw = kb.to_fol_source()
+        optimized = kb.to_fol_source(optimize=True)
+        assert len(optimized) < len(raw)
+
+    def test_cache_invalidation_on_add(self):
+        kb = KnowledgeBase.from_source("name: john.")
+        assert kb.holds("name: john")
+        kb.add_source("name: bob.")
+        assert kb.holds("name: bob")
+        assert kb.holds("name: bob", engine="bottomup")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        kb = KnowledgeBase.from_source(NOUN_PHRASE_SOURCE)
+        path = tmp_path / "grammar.cl"
+        kb.save(str(path))
+        restored = KnowledgeBase.load(str(path))
+        assert restored.program == kb.program
+        assert restored.ask("noun_phrase: X[num => plural]") == kb.ask(
+            "noun_phrase: X[num => plural]"
+        )
+
+    def test_save_after_identity_declaration(self, tmp_path):
+        kb = KnowledgeBase.from_source(PATH_SOURCE_EXISTENTIAL)
+        kb.declare_identity("C", depends_on=("X", "Y"))
+        path = tmp_path / "paths.cl"
+        kb.save(str(path))
+        restored = KnowledgeBase.load(str(path))
+        # Skolemized identities persist through the round trip.
+        assert restored.existential_variables() == []
+        assert restored.ask("path: P[src => a]") == kb.ask("path: P[src => a]")

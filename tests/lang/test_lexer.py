@@ -1,0 +1,113 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "EOF"
+
+    def test_identifiers_vs_variables(self):
+        assert kinds("john X _tmp Path") == ["IDENT", "VARIABLE", "VARIABLE", "VARIABLE"]
+
+    def test_keywords(self):
+        assert kinds("is mod island") == ["IS", "MOD", "IDENT"]
+
+    def test_numbers(self):
+        tokens = tokenize("123 0")
+        assert tokens[0].kind == "NUMBER" and tokens[0].text == "123"
+
+    def test_punctuation(self):
+        assert kinds("a: b[c => d].") == [
+            "IDENT",
+            "COLON",
+            "IDENT",
+            "LBRACKET",
+            "IDENT",
+            "ARROW",
+            "IDENT",
+            "RBRACKET",
+            "DOT",
+        ]
+
+    def test_rule_arrow(self):
+        assert kinds(":- ?-") == ["IMPLIED_BY", "QUERY"]
+
+    def test_comparison_operators(self):
+        assert kinds("=< >= =:= =\\= < > =") == [
+            "LE",
+            "GE",
+            "ARITH_EQ",
+            "ARITH_NE",
+            "LT",
+            "GT",
+            "EQ",
+        ]
+
+    def test_arithmetic_operators(self):
+        assert kinds("+ - * //") == ["PLUS", "MINUS", "STAR", "INTDIV"]
+
+    def test_braces(self):
+        assert kinds("{a, b}") == ["LBRACE", "IDENT", "COMMA", "IDENT", "RBRACE"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize('"John Smith"')[0]
+        assert token.kind == "STRING" and token.text == "John Smith"
+
+    def test_escaped_quote(self):
+        token = tokenize(r'"say \"hi\""')[0]
+        assert token.text == 'say "hi"'
+
+    def test_escaped_backslash(self):
+        token = tokenize(r'"a\\b"')[0]
+        assert token.text == "a\\b"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\n"')
+
+
+class TestCommentsAndPositions:
+    def test_comment_to_end_of_line(self):
+        assert kinds("a. % comment here\nb.") == ["IDENT", "DOT", "IDENT", "DOT"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a.\nb.")
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a @ b")
+        assert info.value.line == 1
+
+
+def test_token_repr():
+    assert "IDENT" in repr(Token("IDENT", "john", 1, 1))

@@ -1,0 +1,224 @@
+"""Parser unit tests, including Example 1's terms and non-terms."""
+
+import pytest
+
+from repro.core.clauses import BuiltinAtom
+from repro.core.errors import ParseError
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LabelSpec, LTerm, OBJECT, Var
+from repro.lang.parser import (
+    parse_atom,
+    parse_clause,
+    parse_program,
+    parse_query,
+    parse_term,
+)
+
+
+class TestExample1:
+    """Section 3.1, Example 1: four terms and three non-terms."""
+
+    def test_term_bare_variable(self):
+        assert parse_term("X") == Var("X")
+
+    def test_term_path_function_with_label(self):
+        t = parse_term("path: g(X, Y)[length => 10]")
+        assert t == LTerm(
+            Func("g", (Var("X"), Var("Y")), "path"),
+            (LabelSpec("length", Const(10)),),
+        )
+
+    def test_term_person_collection(self):
+        t = parse_term("person: john[children => {person: bob, person: bill}]")
+        assert t == LTerm(
+            Const("john", "person"),
+            (
+                LabelSpec(
+                    "children",
+                    Collection((Const("bob", "person"), Const("bill", "person"))),
+                ),
+            ),
+        )
+
+    def test_term_repeated_label(self):
+        t = parse_term(
+            "instructor: david[course => courseid: cse538, course => courseid: cse505]"
+        )
+        assert [s.label for s in t.specs] == ["course", "course"]
+
+    def test_nonterm_double_label_block(self):
+        with pytest.raises(ParseError):
+            parse_term("student: id[name => joe][age => 20]")
+
+    def test_nonterm_label_spec_as_function_argument(self):
+        with pytest.raises(ParseError):
+            parse_term("part: f(part_id => 123)")
+
+    def test_nonterm_mismatched_brackets(self):
+        with pytest.raises(ParseError):
+            parse_term("student: id(name => joe][age => 20]")
+
+
+class TestTerms:
+    def test_default_type_is_object(self):
+        assert parse_term("john").type == OBJECT
+
+    def test_typed_constant(self):
+        assert parse_term("name: john") == Const("john", "name")
+
+    def test_number(self):
+        assert parse_term("28") == Const(28)
+
+    def test_negative_number(self):
+        assert parse_term("-3") == Const(-3)
+
+    def test_string_constant(self):
+        assert parse_term('"John Smith"') == Const("John Smith")
+
+    def test_nested_function(self):
+        t = parse_term("np(Det, noun: student)")
+        assert t == Func("np", (Var("Det"), Const("student", "noun")))
+
+    def test_labelled_value_term(self):
+        t = parse_term("p[child => q[age => 3]]")
+        inner = t.specs[0].value
+        assert isinstance(inner, LTerm)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("a b")
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("p[l => {}]")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("p[l : a]")
+
+
+class TestAtoms:
+    def test_bare_function_is_predicate(self):
+        """The documented convention: name(args) at atom position is a
+        predicate atom unless labelled or type-prefixed."""
+        atom = parse_atom("num(the, singular)")
+        assert atom == PredAtom("num", (Const("the"), Const("singular")))
+
+    def test_type_prefix_forces_term_reading(self):
+        atom = parse_atom("object: num(the, singular)")
+        assert isinstance(atom, TermAtom)
+        assert atom.term == Func("num", (Const("the"), Const("singular")))
+
+    def test_labels_force_term_reading(self):
+        atom = parse_atom("np(Det, Noun)[pers => 3]")
+        assert isinstance(atom, TermAtom)
+
+    def test_is_builtin(self):
+        atom = parse_atom("L is L0 + 1")
+        assert atom == BuiltinAtom("is", (Var("L"), Func("+", (Var("L0"), Const(1)))))
+
+    def test_comparison_builtin(self):
+        atom = parse_atom("X < Y + 2")
+        assert atom == BuiltinAtom("<", (Var("X"), Func("+", (Var("Y"), Const(2)))))
+
+    def test_arith_continuation_on_lhs(self):
+        atom = parse_atom("L0 + 1 < N")
+        assert atom.op == "<"
+        assert atom.args[0] == Func("+", (Var("L0"), Const(1)))
+
+    def test_unify_builtin(self):
+        atom = parse_atom("X = f(Y)")
+        assert atom == BuiltinAtom("=", (Var("X"), Func("f", (Var("Y"),))))
+
+    def test_arith_precedence(self):
+        atom = parse_atom("X is 1 + 2 * 3")
+        assert atom.args[1] == Func("+", (Const(1), Func("*", (Const(2), Const(3)))))
+
+    def test_arith_parentheses(self):
+        atom = parse_atom("X is (1 + 2) * 3")
+        assert atom.args[1] == Func("*", (Func("+", (Const(1), Const(2))), Const(3)))
+
+    def test_mod_and_intdiv(self):
+        atom = parse_atom("X is 7 mod 2 + 9 // 4")
+        assert atom.args[1] == Func(
+            "+", (Func("mod", (Const(7), Const(2))), Func("//", (Const(9), Const(4))))
+        )
+
+    def test_unary_minus_factor(self):
+        atom = parse_atom("X is -Y + 1")
+        assert atom.args[1] == Func("+", (Func("-", (Const(0), Var("Y"))), Const(1)))
+
+
+class TestClausesAndPrograms:
+    def test_fact(self):
+        clause = parse_clause("name: john.")
+        assert clause.is_fact
+
+    def test_rule(self):
+        clause = parse_clause("proper_np: X[pers => 3] :- name: X.")
+        assert len(clause.body) == 1
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_clause("name: john")
+
+    def test_builtin_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("X is 1 :- p(X).")
+
+    def test_query_with_both_prefixes(self):
+        assert parse_query(":- p(X).") == parse_query("?- p(X).")
+
+    def test_query_prefix_and_dot_optional(self):
+        assert parse_query("p(X)") == parse_query(":- p(X).")
+
+    def test_subtype_declarations(self):
+        unit = parse_program("proper_np < noun_phrase.\ncommon_np < noun_phrase.")
+        assert len(unit.program.subtypes) == 2
+
+    def test_comparison_in_body_not_confused_with_subtype(self):
+        unit = parse_program("small(X) :- size(X, S), S < 10.")
+        assert not unit.program.subtypes
+        clause = unit.program.clauses[0]
+        assert isinstance(clause.body[1], BuiltinAtom)
+
+    def test_inline_queries_collected(self):
+        unit = parse_program("name: john.\n:- name: X.\n")
+        assert len(unit.queries) == 1
+        assert len(unit.program.clauses) == 1
+
+    def test_noun_phrase_program_shape(self, noun_phrase_program):
+        assert len(noun_phrase_program.clauses) == 9
+        assert len(noun_phrase_program.subtypes) == 2
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("name: john.\nbroken [")
+        assert info.value.line == 2
+
+
+class TestNegation:
+    def test_naf_predicate(self):
+        from repro.core.clauses import NegatedAtom
+
+        clause = parse_clause("q(X) :- p(X), \\+ r(X).")
+        assert isinstance(clause.body[1], NegatedAtom)
+        assert clause.body[1].atom == PredAtom("r", (Var("X"),))
+
+    def test_naf_description(self):
+        from repro.core.clauses import NegatedAtom
+
+        clause = parse_clause("lonely(X) :- node: X, \\+ node: X[linkto => Y].")
+        negated = clause.body[1]
+        assert isinstance(negated, NegatedAtom)
+        assert isinstance(negated.atom, TermAtom)
+
+    def test_naf_cannot_head(self):
+        with pytest.raises(ParseError):
+            parse_clause("\\+ p(X) :- q(X).")
+
+    def test_naf_in_query(self):
+        from repro.core.clauses import NegatedAtom
+
+        q = parse_query(":- p(X), \\+ q(X).")
+        assert isinstance(q.body[1], NegatedAtom)

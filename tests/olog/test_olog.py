@@ -1,0 +1,100 @@
+"""O-logic baseline tests (Section 2.2) — experiment E8's assertions."""
+
+import pytest
+
+from repro.core.errors import ConsistencyError
+from repro.core.terms import Const
+from repro.lang.parser import parse_program
+from repro.olog import (
+    TOP,
+    ValueLattice,
+    check_consistency,
+    lattice_label_value,
+    require_consistent,
+)
+
+
+class TestGlobalInconsistency:
+    def test_john_names_is_inconsistent(self, john_names_program):
+        """The paper's example: two names for john => no models."""
+        violations = check_consistency(john_names_program)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.label == "name"
+        assert violation.host == Const("john")
+        assert set(violation.values) == {Const("John"), Const("John Smith")}
+
+    def test_require_consistent_raises(self, john_names_program):
+        with pytest.raises(ConsistencyError):
+            require_consistent(john_names_program)
+
+    def test_functional_program_is_consistent(self):
+        program = parse_program(
+            """
+            path: p1[src => a, dest => b].
+            path: p2[src => c, dest => d].
+            """
+        ).program
+        assert check_consistency(program) == []
+        require_consistent(program)  # does not raise
+
+    def test_same_value_twice_is_fine(self):
+        program = parse_program(
+            """
+            john[age => 28].
+            john[age => 28].
+            """
+        ).program
+        assert check_consistency(program) == []
+
+    def test_multivalued_c_logic_program_fails_as_olog(self, children_program):
+        """A perfectly good C-logic program (several children) has no
+        O-logic models — the paper's argument for multi-valued labels."""
+        violations = check_consistency(children_program)
+        assert violations and violations[0].label == "children"
+
+    def test_inconsistency_via_rules_requires_evaluation(self):
+        """Consistency checking 'essentially requires evaluating the
+        whole program': the violation only appears after the rule fires."""
+        program = parse_program(
+            """
+            emp: e1[boss => b1].
+            promoted(e1).
+            emp: X[boss => b2] :- promoted(X).
+            """
+        ).program
+        violations = check_consistency(program)
+        assert violations and violations[0].label == "boss"
+
+    def test_violation_str_is_readable(self, john_names_program):
+        text = str(check_consistency(john_names_program)[0])
+        assert "name" in text and "john" in text
+
+
+class TestLatticeAlternative:
+    def test_unrelated_values_join_to_top(self):
+        """john[name => T] under the lattice semantics: 'John' and
+        'John Smith' have no common super-object except T."""
+        assert lattice_label_value(["John", "John Smith"]) == TOP
+
+    def test_single_value_unchanged(self):
+        assert lattice_label_value(["John"]) == "John"
+
+    def test_join_with_declared_superobject(self):
+        lattice = ValueLattice([("John", "a_john"), ("John Smith", "a_john")])
+        assert lattice_label_value(["John", "John Smith"], lattice) == "a_john"
+
+    def test_join_is_least(self):
+        lattice = ValueLattice(
+            [("x", "mid"), ("y", "mid"), ("mid", "high")]
+        )
+        assert lattice.join("x", "y") == "mid"
+
+    def test_ambiguous_bounds_go_to_top(self):
+        lattice = ValueLattice([("x", "m1"), ("y", "m1"), ("x", "m2"), ("y", "m2")])
+        # m1 and m2 are incomparable common bounds: no least one.
+        assert lattice.join("x", "y") == TOP
+
+    def test_requires_a_value(self):
+        with pytest.raises(ConsistencyError):
+            lattice_label_value([])

@@ -1,0 +1,45 @@
+"""The O-logic baseline and the schema layer agree on functionality.
+
+O-logic hard-wires what the schema layer declares per label: a program
+is O-logic consistent iff a schema demanding functionality of *every*
+label holds of its minimal model.  This cross-module test keeps the two
+implementations honest against each other.
+"""
+
+import pytest
+
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program
+from repro.olog import check_consistency
+from repro.schema import FunctionalLabel, Schema
+
+PROGRAMS = [
+    # consistent under both
+    "path: p1[src => a, dest => b].\npath: p2[src => c, dest => d].",
+    # one violation
+    'john[name => "A"].\njohn[name => "B"].',
+    # violation via a rule
+    "emp: e1[boss => b1].\npromoted(e1).\nemp: X[boss => b2] :- promoted(X).",
+    # multi-valued by collection
+    "person: john[children => {a, b, c}].",
+    # two labels, one violated
+    "p[src => a].\np[src => b].\np[dest => c].",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_olog_equals_all_labels_functional_schema(source):
+    program = parse_program(source).program
+    olog_violations = check_consistency(program)
+
+    engine = DirectEngine(program)
+    store = engine.saturate()
+    schema = Schema([FunctionalLabel(label) for label in sorted(store.labels())])
+    schema_violations = schema.check(store)
+
+    assert len(olog_violations) == len(schema_violations)
+    olog_keys = {(v.label, v.host) for v in olog_violations}
+    schema_keys = {
+        (v.constraint.split("(")[1].rstrip(")"), v.subject) for v in schema_violations
+    }
+    assert olog_keys == schema_keys

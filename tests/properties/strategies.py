@@ -1,0 +1,96 @@
+"""Hypothesis strategies for C-logic and FOL syntax."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.clauses import BuiltinAtom
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LabelSpec, LTerm, OBJECT, Var
+from repro.fol.terms import FApp, FConst, FVar
+
+IDENTS = st.sampled_from(["a", "b", "c", "john", "bob", "p1", "node", "x"])
+LABELS = st.sampled_from(["src", "dest", "children", "num", "linkto"])
+TYPES = st.sampled_from([OBJECT, "person", "path", "node", "student"])
+VARNAMES = st.sampled_from(["X", "Y", "Z", "C0", "Det"])
+FUNCTORS = st.sampled_from(["f", "g", "id", "np"])
+PREDICATES = st.sampled_from(["p", "q", "edge"])
+
+constants = st.one_of(
+    st.builds(Const, IDENTS, TYPES),
+    st.builds(Const, st.integers(min_value=-20, max_value=20), TYPES),
+    st.builds(Const, st.sampled_from(["John Smith", "a b", "Quoted"]), TYPES),
+)
+
+variables = st.builds(Var, VARNAMES, TYPES)
+
+
+def _base_terms(term_strategy):
+    return st.one_of(
+        variables,
+        constants,
+        st.builds(
+            lambda functor, args, type_name: Func(functor, tuple(args), type_name),
+            FUNCTORS,
+            st.lists(term_strategy, min_size=1, max_size=3),
+            TYPES,
+        ),
+    )
+
+
+def _label_values(term_strategy):
+    return st.one_of(
+        term_strategy,
+        st.builds(
+            lambda items: Collection(tuple(items)),
+            st.lists(term_strategy, min_size=1, max_size=3),
+        ),
+    )
+
+
+def _extend_terms(term_strategy):
+    bases = _base_terms(term_strategy)
+    labelled = st.builds(
+        lambda base, specs: LTerm(base, tuple(specs)),
+        bases,
+        st.lists(
+            st.builds(LabelSpec, LABELS, _label_values(term_strategy)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    return st.one_of(bases, labelled)
+
+
+#: Arbitrary terms of the language of objects (depth-bounded by recursion).
+terms = st.recursive(st.one_of(variables, constants), _extend_terms, max_leaves=12)
+
+#: Arbitrary atomic formulas.
+atoms = st.one_of(
+    st.builds(TermAtom, terms),
+    st.builds(
+        lambda pred, args: PredAtom(pred, tuple(args)),
+        PREDICATES,
+        st.lists(terms, min_size=1, max_size=2),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# FOL strategies
+# ---------------------------------------------------------------------------
+
+fol_constants = st.one_of(
+    st.builds(FConst, IDENTS),
+    st.builds(FConst, st.integers(min_value=-9, max_value=9)),
+)
+fol_variables = st.builds(FVar, VARNAMES)
+
+fol_terms = st.recursive(
+    st.one_of(fol_variables, fol_constants),
+    lambda inner: st.builds(
+        lambda functor, args: FApp(functor, tuple(args)),
+        FUNCTORS,
+        st.lists(inner, min_size=1, max_size=3),
+    ),
+    max_leaves=10,
+)

@@ -1,0 +1,119 @@
+"""Order-theoretic properties: the description subsumption ordering and
+the type hierarchy are genuine partial orders."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import normalize_term
+from repro.core.types import TypeHierarchy, TypeOrderError
+from repro.db.subsume import description_leq
+
+# ---------------------------------------------------------------------------
+# Ground description strategy (small vocabulary so comparisons happen)
+# ---------------------------------------------------------------------------
+
+from repro.core.terms import Collection, Const, LabelSpec, LTerm
+
+IDS = ["p", "q"]
+LABELS = ["src", "dest"]
+VALUES = ["a", "b", "c"]
+
+
+@st.composite
+def ground_descriptions(draw):
+    identity = Const(draw(st.sampled_from(IDS)), draw(st.sampled_from(["object", "path"])))
+    spec_count = draw(st.integers(min_value=0, max_value=2))
+    specs = []
+    for __ in range(spec_count):
+        label = draw(st.sampled_from(LABELS))
+        values = draw(st.lists(st.sampled_from(VALUES), min_size=1, max_size=2, unique=True))
+        if len(values) == 1:
+            specs.append(LabelSpec(label, Const(values[0])))
+        else:
+            specs.append(LabelSpec(label, Collection(tuple(Const(v) for v in values))))
+    if not specs:
+        return identity
+    return LTerm(identity, tuple(specs))
+
+
+@given(ground_descriptions())
+@settings(max_examples=200, deadline=None)
+def test_subsumption_reflexive(d):
+    assert description_leq(d, d)
+
+
+@given(ground_descriptions(), ground_descriptions(), ground_descriptions())
+@settings(max_examples=300, deadline=None)
+def test_subsumption_transitive(a, b, c):
+    if description_leq(a, b) and description_leq(b, c):
+        assert description_leq(a, c)
+
+
+@given(ground_descriptions(), ground_descriptions())
+@settings(max_examples=300, deadline=None)
+def test_subsumption_antisymmetric_up_to_normalization(a, b):
+    if description_leq(a, b) and description_leq(b, a):
+        assert normalize_term(a) == normalize_term(b)
+
+
+@given(ground_descriptions(), ground_descriptions())
+@settings(max_examples=300, deadline=None)
+def test_bare_identity_is_minimal(a, b):
+    """Stripping all labels yields a description below the original."""
+    from repro.core.terms import LTerm as _LTerm
+
+    bare = a.base if isinstance(a, _LTerm) else a
+    assert description_leq(bare, a)
+
+
+# ---------------------------------------------------------------------------
+# Type hierarchy partial-order properties
+# ---------------------------------------------------------------------------
+
+SYMBOLS = ["t1", "t2", "t3", "t4"]
+
+
+@st.composite
+def hierarchies(draw):
+    hierarchy = TypeHierarchy()
+    for symbol in SYMBOLS:
+        hierarchy.add_symbol(symbol)
+    edges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(SYMBOLS), st.sampled_from(SYMBOLS)),
+            max_size=5,
+        )
+    )
+    for sub, sup in edges:
+        try:
+            hierarchy.declare(sub, sup)
+        except TypeOrderError:
+            pass  # reflexive or cycle-creating edges are skipped
+    return hierarchy
+
+
+@given(hierarchies(), st.sampled_from(SYMBOLS))
+@settings(max_examples=200, deadline=None)
+def test_hierarchy_reflexive_and_bounded(h, a):
+    assert h.is_subtype(a, a)
+    assert h.is_subtype(a, "object")
+
+
+@given(hierarchies(), st.sampled_from(SYMBOLS), st.sampled_from(SYMBOLS), st.sampled_from(SYMBOLS))
+@settings(max_examples=300, deadline=None)
+def test_hierarchy_transitive(h, a, b, c):
+    if h.is_subtype(a, b) and h.is_subtype(b, c):
+        assert h.is_subtype(a, c)
+
+
+@given(hierarchies(), st.sampled_from(SYMBOLS), st.sampled_from(SYMBOLS))
+@settings(max_examples=300, deadline=None)
+def test_hierarchy_antisymmetric(h, a, b):
+    if a != b:
+        assert not (h.is_subtype(a, b) and h.is_subtype(b, a))
+
+
+@given(hierarchies(), st.sampled_from(SYMBOLS), st.sampled_from(SYMBOLS))
+@settings(max_examples=200, deadline=None)
+def test_downset_upset_duality(h, a, b):
+    assert (a in h.subtypes(b)) == (b in h.supertypes(a))

@@ -1,0 +1,62 @@
+"""Parser robustness properties: total over arbitrary input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import LexError, ParseError
+from repro.core.pretty import pretty_clause, pretty_program
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_clause, parse_program, parse_term
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=400, deadline=None)
+def test_lexer_total(source):
+    """The lexer either tokenizes or raises LexError — nothing else."""
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "EOF"
+    except LexError:
+        pass
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=400, deadline=None)
+def test_parser_total(source):
+    """parse_program either succeeds or raises a syntax error family
+    exception — it never crashes with anything else."""
+    try:
+        parse_program(source)
+    except (LexError, ParseError):
+        pass
+
+
+# Constrain to the token alphabet so a useful fraction actually parses.
+_TOKENS = st.sampled_from(
+    ["john", "X", "path", ":", "[", "]", "=>", "{", "}", ",", ".", ":-",
+     "(", ")", "a", "b", "linkto", "42", "is", "+", "<", "\\+"]
+)
+
+
+@given(st.lists(_TOKENS, max_size=25))
+@settings(max_examples=400, deadline=None)
+def test_parser_total_on_token_soup(pieces):
+    source = " ".join(pieces)
+    try:
+        unit = parse_program(source)
+    except (LexError, ParseError):
+        return
+    # Whatever parsed must pretty-print and re-parse to itself.
+    assert parse_program(pretty_program(unit.program)).program == unit.program
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_parse_term_total(source):
+    try:
+        term = parse_term(source)
+    except (LexError, ParseError):
+        return
+    from repro.core.pretty import pretty_term
+
+    assert parse_term(pretty_term(term)) == term

@@ -1,0 +1,62 @@
+"""Property tests over terms: round-trips, decomposition, normalization."""
+
+from hypothesis import given, settings
+
+from repro.core.decompose import decompose_term, normalize_term, recombine
+from repro.core.pretty import pretty_term
+from repro.core.terms import identity_of, is_ground, substitute_term, variables_of
+from repro.lang.parser import parse_term
+
+from tests.properties.strategies import terms
+
+
+@given(terms)
+@settings(max_examples=300, deadline=None)
+def test_parser_pretty_roundtrip(term):
+    """parse(pretty(t)) == t for every term."""
+    assert parse_term(pretty_term(term)) == term
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_decompose_recombine_preserves_meaning(term):
+    """recombine(decompose(t)) is semantically the same description."""
+    merged = recombine(decompose_term(term))
+    assert len(merged) == 1
+    assert normalize_term(merged[0]) == normalize_term(term)
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_normalize_idempotent(term):
+    normalized = normalize_term(term)
+    assert normalize_term(normalized) == normalized
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_decomposed_pieces_share_identity(term):
+    base = identity_of(term)
+    for piece in decompose_term(term):
+        assert identity_of(piece) == base
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_groundness_equals_no_variables(term):
+    assert is_ground(term) == (not variables_of(term))
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_empty_substitution_is_identity(term):
+    assert substitute_term(term, {}) == term
+
+
+@given(terms)
+@settings(max_examples=200, deadline=None)
+def test_substitution_grounds_all_variables(term):
+    from repro.core.terms import Const
+
+    binding = {name: Const("k") for name in variables_of(term)}
+    assert is_ground(substitute_term(term, binding))

@@ -1,0 +1,85 @@
+"""Property tests for the Theorem-1 transformation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas import TermAtom, free_variables
+from repro.core.terms import variables_of
+from repro.semantics.random_gen import Signature, random_assignment, random_structure
+from repro.semantics.satisfaction import (
+    denote_fterm,
+    denote_term,
+    satisfies_atom,
+    satisfies_fol_conjunction,
+)
+from repro.transform.atoms import atom_to_fol
+from repro.transform.terms import fol_to_identity, term_to_fol
+from repro.fol.terms import fterm_variables
+
+from tests.properties.strategies import atoms, fol_terms, terms
+
+_SIGNATURE = Signature(
+    constants=("a", "b", "c", "john", "bob", "p1", "node", "x", "John Smith", "a b", "Quoted"),
+    functors=(("f", 1), ("g", 2), ("id", 2), ("np", 2), ("f", 2), ("g", 1), ("id", 1), ("np", 1), ("f", 3), ("g", 3), ("id", 3), ("np", 3)),
+    predicates=(("p", 1), ("q", 1), ("edge", 1), ("p", 2), ("q", 2), ("edge", 2)),
+    labels=("src", "dest", "children", "num", "linkto"),
+    types=("object", "person", "path", "node", "student"),
+    variables=("X", "Y", "Z", "C0", "Det"),
+    subtype_pairs=(("student", "person"),),
+)
+
+
+def _interpret_all_ints(structure):
+    """Extend the structure's constant interpretation to the integer
+    constants the strategies can generate."""
+    elements = sorted(structure.domain)
+    for value in range(-20, 21):
+        structure.constants.setdefault(value, elements[abs(value) % len(elements)])
+    return structure
+
+
+@given(atoms, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=250, deadline=None)
+def test_theorem1_on_random_structures(atom, seed):
+    """M |= alpha[s] iff M* |= alpha*[s] (Theorem 1)."""
+    rng = random.Random(seed)
+    structure = _interpret_all_ints(random_structure(rng, _SIGNATURE))
+    assignment = random_assignment(rng, structure, free_variables(atom))
+    lhs = satisfies_atom(atom, structure, assignment)
+    rhs = satisfies_fol_conjunction(atom_to_fol(atom), structure, assignment)
+    assert lhs == rhs
+
+
+@given(terms, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=250, deadline=None)
+def test_denotation_preserved(term, seed):
+    """s_M(t) = s_M*(t')."""
+    rng = random.Random(seed)
+    structure = _interpret_all_ints(random_structure(rng, _SIGNATURE))
+    assignment = random_assignment(rng, structure, variables_of(term))
+    assert denote_term(term, structure, assignment) == denote_fterm(
+        term_to_fol(term), structure, assignment
+    )
+
+
+@given(terms)
+@settings(max_examples=250, deadline=None)
+def test_translation_preserves_variables(term):
+    """t' has exactly the variables of t's identity tree: labels add
+    conjuncts, not term structure, but the *atom* translation mentions
+    every variable of the description."""
+    conjuncts = atom_to_fol(TermAtom(term))
+    mentioned = set()
+    for conjunct in conjuncts:
+        for arg in conjunct.args:
+            mentioned |= fterm_variables(arg)
+    assert mentioned == variables_of(term)
+
+
+@given(fol_terms)
+@settings(max_examples=250, deadline=None)
+def test_backmap_inverts_translation(fterm):
+    """term_to_fol(fol_to_identity(t)) == t for every FOL term."""
+    assert term_to_fol(fol_to_identity(fterm)) == fterm

@@ -1,0 +1,67 @@
+"""Property tests for unification: soundness, idempotence, symmetry."""
+
+from hypothesis import given, settings
+
+from repro.fol.subst import Substitution
+from repro.fol.unify import match, unify
+
+from tests.properties.strategies import fol_terms
+
+
+@given(fol_terms, fol_terms)
+@settings(max_examples=300, deadline=None)
+def test_unifier_is_sound(left, right):
+    """If a unifier exists, applying it makes the terms equal."""
+    subst = unify(left, right)
+    if subst is not None:
+        assert subst.apply(left) == subst.apply(right)
+
+
+@given(fol_terms, fol_terms)
+@settings(max_examples=300, deadline=None)
+def test_unifier_is_idempotent(left, right):
+    subst = unify(left, right)
+    if subst is not None:
+        assert subst.is_idempotent()
+        for term in (left, right):
+            once = subst.apply(term)
+            assert subst.apply(once) == once
+
+
+@given(fol_terms, fol_terms)
+@settings(max_examples=300, deadline=None)
+def test_unifiability_is_symmetric(left, right):
+    assert (unify(left, right) is None) == (unify(right, left) is None)
+
+
+@given(fol_terms)
+@settings(max_examples=200, deadline=None)
+def test_self_unification_is_empty(term):
+    assert unify(term, term) == Substitution.empty()
+
+
+@given(fol_terms, fol_terms)
+@settings(max_examples=300, deadline=None)
+def test_match_implies_unify(pattern, instance):
+    """One-way matching success implies two-way unifiability — for
+    standardized-apart terms (matching treats instance variables as
+    constants, so shared names must be renamed first, exactly as the
+    engines do)."""
+    from repro.fol.terms import rename_fterm
+
+    instance = rename_fterm(instance, "_apart")
+    subst = match(pattern, instance)
+    if subst is not None:
+        assert subst.apply(pattern) == instance
+        assert unify(pattern, instance) is not None
+
+
+@given(fol_terms, fol_terms)
+@settings(max_examples=300, deadline=None)
+def test_mgu_is_most_general_via_match(left, right):
+    """The mgu factors through: both inputs match the unified term."""
+    subst = unify(left, right)
+    if subst is not None:
+        unified = subst.apply(left)
+        assert match(left, unified) is not None
+        assert match(right, unified) is not None

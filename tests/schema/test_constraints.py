@@ -1,0 +1,130 @@
+"""Schema constraint tests (the layer above the logic, §2.2/§6)."""
+
+import pytest
+
+from repro.core.errors import ConsistencyError
+from repro.core.terms import Const
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program
+from repro.schema import (
+    Cardinality,
+    DomainConstraint,
+    FunctionalLabel,
+    RequiredLabel,
+    Schema,
+)
+
+
+def saturated(source: str):
+    engine = DirectEngine(parse_program(source).program)
+    return engine.saturate()
+
+
+class TestFunctionalLabel:
+    def test_violation_reported_not_fatal(self):
+        """Unlike O-logic, a functionality violation is a *schema*
+        finding — the program itself stays consistent."""
+        store = saturated('john[name => "John"].\njohn[name => "John Smith"].')
+        violations = FunctionalLabel("name").check(store)
+        assert len(violations) == 1
+        assert violations[0].subject == Const("john")
+        assert "2 values" in violations[0].detail
+
+    def test_clean_store(self):
+        store = saturated("john[name => x].")
+        assert FunctionalLabel("name").check(store) == []
+
+    def test_other_labels_ignored(self):
+        store = saturated("p[src => a].\np[src => b].")
+        assert FunctionalLabel("dest").check(store) == []
+
+
+class TestDomainConstraint:
+    def test_host_and_value_typing(self):
+        store = saturated(
+            """
+            node: a.
+            node: b.
+            path: p[src => a, dest => b].
+            path: q[src => rogue].
+            """
+        )
+        constraint = DomainConstraint("src", host_type="path", value_type="node")
+        violations = constraint.check(store)
+        assert len(violations) == 1
+        assert violations[0].subject == Const("rogue")
+
+    def test_hierarchy_respected(self):
+        store = saturated(
+            """
+            special_node < node.
+            special_node: a.
+            path: p[src => a].
+            """
+        )
+        constraint = DomainConstraint("src", host_type="path", value_type="node")
+        assert constraint.check(store) == []
+
+    def test_host_violation(self):
+        store = saturated("notapath[src => a].")
+        constraint = DomainConstraint("src", host_type="path")
+        violations = constraint.check(store)
+        assert any("host" in v.detail for v in violations)
+
+
+class TestRequiredLabel:
+    def test_missing_label_reported(self):
+        store = saturated("person: john[age => 3].\nperson: sue.")
+        violations = RequiredLabel("person", "age").check(store)
+        assert [v.subject for v in violations] == [Const("sue")]
+
+    def test_inherited_members_checked(self):
+        store = saturated("student < person.\nstudent: amy.")
+        violations = RequiredLabel("person", "age").check(store)
+        assert [v.subject for v in violations] == [Const("amy")]
+
+
+class TestCardinality:
+    def test_at_most(self):
+        store = saturated("person: p[children => {a, b, c}].")
+        violations = Cardinality("children", "person", at_most=2).check(store)
+        assert len(violations) == 1
+        assert "at most 2" in violations[0].detail
+
+    def test_at_least(self):
+        store = saturated("person: p.\nperson: q[children => a].")
+        violations = Cardinality("children", "person", at_least=1).check(store)
+        assert [v.subject for v in violations] == [Const("p")]
+
+    def test_within_bounds(self):
+        store = saturated("person: p[children => {a, b}].")
+        assert Cardinality("children", "person", 1, 3).check(store) == []
+
+
+class TestSchema:
+    def test_aggregates_violations(self):
+        store = saturated(
+            'john[name => "A"].\njohn[name => "B"].\nperson: sue.'
+        )
+        schema = Schema([FunctionalLabel("name"), RequiredLabel("person", "age")])
+        assert len(schema.check(store)) == 2
+
+    def test_require_raises_with_details(self):
+        store = saturated('john[name => "A"].\njohn[name => "B"].')
+        schema = Schema([FunctionalLabel("name")])
+        with pytest.raises(ConsistencyError) as info:
+            schema.require(store)
+        assert "functional(name)" in str(info.value)
+
+    def test_empty_schema_passes(self):
+        store = saturated("a.")
+        Schema().require(store)
+
+    def test_add_chains(self):
+        schema = Schema().add(FunctionalLabel("a")).add(FunctionalLabel("b"))
+        assert len(schema) == 2
+
+    def test_violation_str(self):
+        store = saturated('j[name => "A"].\nj[name => "B"].')
+        text = str(FunctionalLabel("name").check(store)[0])
+        assert "functional(name)" in text and "j" in text

@@ -1,0 +1,102 @@
+"""Static-notion-of-types tests (§2.3)."""
+
+import pytest
+
+from repro.core.errors import SyntaxKindError
+from repro.core.pretty import pretty_clause
+from repro.core.terms import Const
+from repro.engine.direct import DirectEngine
+from repro.lang.parser import parse_program, parse_query
+from repro.schema import StaticType, implied_hierarchy, membership_rule
+
+
+class TestMembershipRule:
+    def test_matches_paper_shape(self):
+        """T(X) :- X[l1 => X1, ..., ln => Xn]."""
+        rule = membership_rule(StaticType("employee", ("salary", "boss")))
+        assert pretty_clause(rule) == (
+            "employee: X :- X[salary => X1, boss => X2]."
+        )
+
+    def test_automatic_membership(self):
+        """Every object with all the properties automatically belongs."""
+        program = parse_program(
+            """
+            john[salary => 100, boss => mary].
+            sue[salary => 50].
+            """
+        ).program
+        program = program.extended(
+            membership_rule(StaticType("employee", ("salary", "boss")))
+        )
+        engine = DirectEngine(program)
+        members = engine.solve(parse_query(":- employee: X."))
+        assert {a["X"] for a in members} == {Const("john")}
+
+    def test_membership_tracks_updates(self):
+        """Static membership is derived, so re-running the program after
+        an update recomputes it — the dynamic substrate at work."""
+        base = parse_program("sue[salary => 50].").program
+        typed = base.extended(membership_rule(StaticType("earner", ("salary",))))
+        engine = DirectEngine(typed)
+        assert engine.holds(parse_query(":- earner: sue."))
+        richer = typed.extended(
+            parse_program("bob[salary => 10].").program.clauses[0]
+        )
+        engine2 = DirectEngine(richer)
+        assert engine2.holds(parse_query(":- earner: bob."))
+
+    def test_requires_a_property(self):
+        with pytest.raises(SyntaxKindError):
+            StaticType("anything", ())
+
+    def test_duplicate_property_rejected(self):
+        with pytest.raises(SyntaxKindError):
+            StaticType("t", ("a", "a"))
+
+
+class TestImpliedHierarchy:
+    def test_more_properties_is_more_specific(self):
+        """The hierarchy is implicitly determined by the property sets."""
+        person = StaticType("person", ("name",))
+        employee = StaticType("employee", ("name", "salary"))
+        manager = StaticType("manager", ("name", "salary", "reports"))
+        hierarchy = implied_hierarchy([person, employee, manager])
+        assert hierarchy.is_subtype("employee", "person")
+        assert hierarchy.is_subtype("manager", "employee")
+        assert hierarchy.is_subtype("manager", "person")
+        assert not hierarchy.is_subtype("person", "employee")
+
+    def test_incomparable_property_sets(self):
+        a = StaticType("a", ("x",))
+        b = StaticType("b", ("y",))
+        hierarchy = implied_hierarchy([a, b])
+        assert not hierarchy.comparable("a", "b")
+
+    def test_equal_property_sets_no_edge(self):
+        a = StaticType("a", ("x",))
+        b = StaticType("b", ("x",))
+        hierarchy = implied_hierarchy([a, b])
+        assert not hierarchy.is_subtype("a", "b")
+        assert not hierarchy.is_subtype("b", "a")
+
+    def test_hierarchy_consistent_with_derived_membership(self):
+        """If T1 <= T2 in the implied hierarchy, every derived T1 member
+        is also a derived T2 member."""
+        person = StaticType("person", ("name",))
+        employee = StaticType("employee", ("name", "salary"))
+        program = parse_program(
+            """
+            john[name => j, salary => 100].
+            sue[name => s].
+            """
+        ).program
+        program = program.extended(
+            membership_rule(person), membership_rule(employee)
+        )
+        engine = DirectEngine(program)
+        people = {a["X"] for a in engine.solve(parse_query(":- person: X."))}
+        employees = {a["X"] for a in engine.solve(parse_query(":- employee: X."))}
+        assert employees <= people
+        assert people == {Const("john"), Const("sue")}
+        assert employees == {Const("john")}

@@ -1,0 +1,77 @@
+"""Herbrand machinery unit tests."""
+
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FApp, FConst
+from repro.semantics.herbrand import herbrand_base, herbrand_universe, structure_from_atoms
+from repro.semantics.satisfaction import satisfies_fatom
+
+
+class TestUniverse:
+    def test_depth_one_is_constants(self):
+        universe = herbrand_universe(["a", "b"], [("f", 1)], depth=1)
+        assert universe == [FConst("a"), FConst("b")]
+
+    def test_depth_two_closes_once(self):
+        universe = herbrand_universe(["a"], [("f", 1)], depth=2)
+        assert FApp("f", (FConst("a"),)) in universe
+        assert FApp("f", (FApp("f", (FConst("a"),)),)) not in universe
+
+    def test_depth_three(self):
+        universe = herbrand_universe(["a"], [("f", 1)], depth=3)
+        assert FApp("f", (FApp("f", (FConst("a"),)),)) in universe
+
+    def test_binary_functor_growth(self):
+        universe = herbrand_universe(["a", "b"], [("g", 2)], depth=2)
+        # 2 constants + 4 pairs
+        assert len(universe) == 6
+
+    def test_no_functors_stops(self):
+        universe = herbrand_universe(["a"], [], depth=10)
+        assert universe == [FConst("a")]
+
+    def test_deterministic(self):
+        one = herbrand_universe(["b", "a"], [("f", 1)], depth=2)
+        two = herbrand_universe(["a", "b"], [("f", 1)], depth=2)
+        assert one == two
+
+
+class TestBase:
+    def test_base_enumerates_atoms(self):
+        universe = herbrand_universe(["a", "b"], [], depth=1)
+        base = list(herbrand_base(universe, [("p", 1), ("src", 2)]))
+        assert FAtom("p", (FConst("a"),)) in base
+        assert FAtom("src", (FConst("a"), FConst("b"))) in base
+        assert len(base) == 2 + 4
+
+
+class TestStructureFromAtoms:
+    def test_atoms_hold(self):
+        atoms = [
+            FAtom("node", (FConst("a"),)),
+            FAtom("src", (FConst("p"), FConst("a"))),
+            FAtom("edge", (FConst("a"), FConst("b"))),
+        ]
+        structure = structure_from_atoms(atoms, type_symbols={"node"}, labels={"src"})
+        for atom in atoms:
+            assert satisfies_fatom(atom, structure, {})
+
+    def test_absent_atoms_fail(self):
+        atoms = [FAtom("node", (FConst("a"),))]
+        structure = structure_from_atoms(
+            atoms, type_symbols={"node"}, labels=set(), extra_domain=[FConst("b")]
+        )
+        assert not satisfies_fatom(FAtom("node", (FConst("b"),)), structure, {})
+
+    def test_function_terms_enter_domain(self):
+        atoms = [FAtom("path", (FApp("id", (FConst("a"), FConst("b"))),))]
+        structure = structure_from_atoms(atoms, type_symbols={"path"}, labels=set())
+        assert FConst("a") in structure.domain
+        assert FApp("id", (FConst("a"), FConst("b"))) in structure.domain
+        # Free interpretation: id(a, b) denotes itself.
+        assert structure.apply_function(
+            "id", (FConst("a"), FConst("b"))
+        ) == FApp("id", (FConst("a"), FConst("b")))
+
+    def test_empty_atom_set_has_nonempty_domain(self):
+        structure = structure_from_atoms([], set(), set())
+        assert len(structure.domain) == 1

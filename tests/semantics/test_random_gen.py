@@ -1,0 +1,73 @@
+"""The seeded random generator itself is load-bearing (E10 rests on it):
+check that it produces well-formed structures and in-signature syntax."""
+
+import random
+
+import pytest
+
+from repro.core.formulas import PredAtom, TermAtom
+from repro.core.terms import labels_of, types_of, variables_of
+from repro.semantics.random_gen import (
+    Signature,
+    random_assignment,
+    random_atom,
+    random_structure,
+    random_term,
+)
+
+
+@pytest.fixture(scope="module")
+def signature():
+    return Signature()
+
+
+class TestRandomStructure:
+    def test_wellformed(self, signature):
+        rng = random.Random(3)
+        for __ in range(10):
+            structure = random_structure(rng, signature)
+            structure.validate()
+
+    def test_respects_hierarchy(self, signature):
+        rng = random.Random(4)
+        hierarchy = signature.hierarchy()
+        for __ in range(10):
+            structure = random_structure(rng, signature)
+            assert structure.respects_hierarchy(hierarchy)
+
+    def test_deterministic_under_seed(self, signature):
+        one = random_structure(random.Random(11), signature)
+        two = random_structure(random.Random(11), signature)
+        assert one.constants == two.constants
+        assert one.labels == two.labels
+        assert one.types == two.types
+
+    def test_domain_size(self, signature):
+        structure = random_structure(random.Random(1), signature, domain_size=6)
+        assert len(structure.domain) == 6
+
+
+class TestRandomSyntax:
+    def test_terms_stay_in_signature(self, signature):
+        rng = random.Random(5)
+        for __ in range(50):
+            term = random_term(rng, signature)
+            assert types_of(term) <= set(signature.types)
+            assert labels_of(term) <= set(signature.labels)
+            assert variables_of(term) <= set(signature.variables)
+
+    def test_atoms_are_atoms(self, signature):
+        rng = random.Random(6)
+        kinds = set()
+        for __ in range(60):
+            atom = random_atom(rng, signature)
+            assert isinstance(atom, (TermAtom, PredAtom))
+            kinds.add(type(atom).__name__)
+        assert kinds == {"TermAtom", "PredAtom"}  # both shapes exercised
+
+    def test_assignment_covers_requested_variables(self, signature):
+        rng = random.Random(7)
+        structure = random_structure(rng, signature)
+        assignment = random_assignment(rng, structure, {"X", "Y"})
+        assert set(assignment) == {"X", "Y"}
+        assert all(value in structure.domain for value in assignment.values())

@@ -1,0 +1,142 @@
+"""Satisfaction-relation unit tests (the defining clauses of Section 3.2)."""
+
+import pytest
+
+from repro.core.errors import SemanticsError
+from repro.core.formulas import And, Exists, ForAll, Implies, Not, Or, PredAtom, TermAtom
+from repro.core.terms import Collection, Const, Func, LabelSpec, LTerm, Var
+from repro.lang.parser import parse_term
+from repro.semantics.satisfaction import (
+    denote_fterm,
+    denote_term,
+    satisfies,
+    satisfies_atom,
+    satisfies_fatom,
+    satisfies_term,
+)
+from repro.semantics.structure import Structure
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FConst, FVar
+
+
+@pytest.fixture
+def structure():
+    return Structure(
+        domain=frozenset({0, 1, 2}),
+        constants={"a": 0, "b": 1, "c": 2},
+        functions={("f", 1): {(0,): 1, (1,): 2, (2,): 0}},
+        predicates={("edge", 2): {(0, 1)}},
+        labels={"src": {(0, 1), (0, 2)}, "dest": {(1, 2)}},
+        types={"node": {0, 1}, "path": {0}},
+    )
+
+
+class TestDenotation:
+    def test_variable(self, structure):
+        assert denote_term(Var("X"), structure, {"X": 2}) == 2
+
+    def test_unassigned_variable(self, structure):
+        with pytest.raises(SemanticsError):
+            denote_term(Var("X"), structure, {})
+
+    def test_constant(self, structure):
+        assert denote_term(Const("b"), structure, {}) == 1
+
+    def test_function(self, structure):
+        assert denote_term(Func("f", (Const("a"),)), structure, {}) == 1
+
+    def test_labels_do_not_affect_denotation(self, structure):
+        """s_M(t[l1 => e1, ...]) = s_M(t)."""
+        labelled = parse_term("node: a[src => b]")
+        assert denote_term(labelled, structure, {}) == denote_term(
+            Const("a"), structure, {}
+        )
+
+    def test_fol_denotation_agrees(self, structure):
+        assert denote_fterm(FConst("a"), structure, {}) == 0
+        assert denote_fterm(FVar("X"), structure, {"X": 1}) == 1
+
+
+class TestTermSatisfaction:
+    def test_typed_variable(self, structure):
+        assert satisfies_term(Var("X", "node"), structure, {"X": 0})
+        assert not satisfies_term(Var("X", "node"), structure, {"X": 2})
+
+    def test_typed_constant(self, structure):
+        assert satisfies_term(Const("a", "path"), structure, {})
+        assert not satisfies_term(Const("c", "path"), structure, {})
+
+    def test_object_type_is_domain(self, structure):
+        assert satisfies_term(Var("X"), structure, {"X": 2})
+
+    def test_function_term_checks_type_and_args(self, structure):
+        # f(a) = 1, which is a node; argument a must satisfy its own type.
+        assert satisfies_term(Func("f", (Const("a"),), "node"), structure, {})
+        # f(b) = 2, not a node.
+        assert not satisfies_term(Func("f", (Const("b"),), "node"), structure, {})
+        # argument fails its own annotation: c is not a node.
+        assert not satisfies_term(
+            Func("f", (Const("c", "node"),), "node"), structure, {}
+        )
+
+    def test_labelled_term(self, structure):
+        assert satisfies_term(parse_term("path: a[src => b]"), structure, {})
+        assert not satisfies_term(parse_term("path: a[dest => b]"), structure, {})
+
+    def test_multi_valued_label(self, structure):
+        assert satisfies_term(parse_term("path: a[src => {b, c}]"), structure, {})
+
+    def test_collection_needs_every_member(self, structure):
+        # (a, 0) is not in src.
+        assert not satisfies_term(parse_term("path: a[src => {b, a}]"), structure, {})
+
+    def test_label_value_must_satisfy_own_assertion(self, structure):
+        # b denotes 1 which IS a node; c denotes 2 which is NOT.
+        assert satisfies_term(parse_term("path: a[src => node: b]"), structure, {})
+        assert not satisfies_term(parse_term("path: a[src => node: c]"), structure, {})
+
+
+class TestAtomSatisfaction:
+    def test_predicate_atom(self, structure):
+        assert satisfies_atom(
+            PredAtom("edge", (Const("a"), Const("b"))), structure, {}
+        )
+        assert not satisfies_atom(
+            PredAtom("edge", (Const("b"), Const("a"))), structure, {}
+        )
+
+    def test_predicate_args_must_satisfy_types(self, structure):
+        # edge(a, b) holds, but path: b fails (1 not in path).
+        assert not satisfies_atom(
+            PredAtom("edge", (Const("a"), Const("b", "path"))), structure, {}
+        )
+
+    def test_fol_atom_dispatch(self, structure):
+        assert satisfies_fatom(FAtom("node", (FConst("a"),)), structure, {})
+        assert satisfies_fatom(FAtom("src", (FConst("a"), FConst("b"))), structure, {})
+        assert satisfies_fatom(FAtom("edge", (FConst("a"), FConst("b"))), structure, {})
+        assert not satisfies_fatom(FAtom("ghost", (FConst("a"),)), structure, {})
+
+
+class TestFormulaSatisfaction:
+    def test_connectives(self, structure):
+        a = TermAtom(Const("a", "node"))
+        c = TermAtom(Const("c", "node"))
+        assert satisfies(And(a, Not(c)), structure, {})
+        assert satisfies(Or(c, a), structure, {})
+        assert satisfies(Implies(c, a), structure, {})
+        assert not satisfies(And(a, c), structure, {})
+
+    def test_exists(self, structure):
+        formula = Exists("X", TermAtom(Var("X", "path")))
+        assert satisfies(formula, structure, {})
+
+    def test_forall(self, structure):
+        everything_object = ForAll("X", TermAtom(Var("X")))
+        assert satisfies(everything_object, structure, {})
+        everything_node = ForAll("X", TermAtom(Var("X", "node")))
+        assert not satisfies(everything_node, structure, {})
+
+    def test_quantifier_shadows_assignment(self, structure):
+        formula = Exists("X", TermAtom(Var("X", "path")))
+        assert satisfies(formula, structure, {"X": 2})

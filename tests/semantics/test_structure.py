@@ -1,0 +1,109 @@
+"""Semantic-structure unit tests (Section 3.2)."""
+
+import pytest
+
+from repro.core.errors import SemanticsError
+from repro.core.terms import OBJECT
+from repro.core.types import TypeHierarchy
+
+
+from repro.semantics.structure import Structure
+
+
+def small_structure() -> Structure:
+    return Structure(
+        domain=frozenset({0, 1, 2}),
+        constants={"a": 0, "b": 1},
+        functions={("f", 1): {(0,): 1, (1,): 2, (2,): 0}},
+        predicates={("p", 1): {(0,)}},
+        labels={"src": {(0, 1)}},
+        types={"node": {0, 1}},
+    )
+
+
+class TestConstruction:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SemanticsError):
+            Structure(frozenset())
+
+    def test_object_defaults_to_domain(self):
+        s = Structure(frozenset({1, 2}))
+        assert s.in_type(OBJECT, 1) and s.in_type(OBJECT, 2)
+
+    def test_validate_accepts_wellformed(self):
+        small_structure().validate()
+
+    def test_validate_rejects_partial_function(self):
+        s = Structure(
+            frozenset({0, 1}), functions={("f", 1): {(0,): 1}}  # missing (1,)
+        )
+        with pytest.raises(SemanticsError):
+            s.validate()
+
+    def test_validate_rejects_out_of_domain_constant(self):
+        s = Structure(frozenset({0}), constants={"a": 7})
+        with pytest.raises(SemanticsError):
+            s.validate()
+
+    def test_validate_rejects_bad_label_pair(self):
+        s = Structure(frozenset({0}), labels={"l": {(0, 9)}})
+        with pytest.raises(SemanticsError):
+            s.validate()
+
+
+class TestLookups:
+    def test_constant(self):
+        assert small_structure().constant("a") == 0
+
+    def test_unknown_constant(self):
+        with pytest.raises(SemanticsError):
+            small_structure().constant("zzz")
+
+    def test_apply_function(self):
+        assert small_structure().apply_function("f", (0,)) == 1
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticsError):
+            small_structure().apply_function("g", (0,))
+
+    def test_holds(self):
+        s = small_structure()
+        assert s.holds_predicate("p", (0,))
+        assert not s.holds_predicate("p", (1,))
+        assert s.holds_label("src", 0, 1)
+        assert s.in_type("node", 0)
+        assert not s.in_type("node", 2)
+        assert not s.in_type("ghost_type", 0)
+
+
+class TestHierarchy:
+    def test_respects_hierarchy(self):
+        h = TypeHierarchy()
+        h.declare("student", "person")
+        good = Structure(
+            frozenset({0, 1}), types={"student": {0}, "person": {0, 1}}
+        )
+        bad = Structure(frozenset({0, 1}), types={"student": {0}, "person": {1}})
+        assert good.respects_hierarchy(h)
+        assert not bad.respects_hierarchy(h)
+
+    def test_enforce_hierarchy_closes_upward(self):
+        h = TypeHierarchy()
+        h.declare("student", "person")
+        s = Structure(frozenset({0, 1}), types={"student": {0}})
+        closed = s.enforce_hierarchy(h)
+        assert closed.in_type("person", 0)
+        assert closed.respects_hierarchy(h)
+
+    def test_object_always_respected(self):
+        h = TypeHierarchy()
+        h.add_symbol("t")
+        s = Structure(frozenset({0}), types={"t": {0}})
+        assert s.respects_hierarchy(h)
+
+
+def test_assignments_enumeration():
+    s = Structure(frozenset({0, 1}))
+    assignments = list(s.assignments({"X", "Y"}))
+    assert len(assignments) == 4
+    assert {"X": 0, "Y": 1} in assignments

@@ -1,0 +1,116 @@
+"""Atomic-formula translation tests — Example 2 is reproduced exactly."""
+
+from repro.core.builder import V, builtin, fn
+from repro.fol.atoms import FAtom, FBuiltin
+from repro.fol.pretty import pretty_fatom
+from repro.fol.terms import FApp, FConst, FVar
+from repro.lang.parser import parse_atom
+from repro.transform.atoms import atom_to_fol, body_atom_to_fol, dedupe_atoms
+
+
+def conjuncts(source: str) -> list[str]:
+    return [pretty_fatom(a) for a in atom_to_fol(parse_atom(source))]
+
+
+class TestExample2:
+    def test_determiner_the(self):
+        """Example 2, verbatim: the atomic formula
+
+            determiner: the[num => {singular, plural}, def => definite]
+
+        transforms into
+
+            determiner(the) & object(singular) & num(the, singular) &
+            object(plural) & num(the, plural) &
+            object(definite) & def(the, definite)
+        """
+        assert conjuncts(
+            "determiner: the[num => {singular, plural}, def => definite]"
+        ) == [
+            "determiner(the)",
+            "object(singular)",
+            "num(the, singular)",
+            "object(plural)",
+            "num(the, plural)",
+            "object(definite)",
+            "def(the, definite)",
+        ]
+
+
+class TestTermAtoms:
+    def test_typed_variable(self):
+        assert conjuncts("noun_phrase: X") == ["noun_phrase(X)"]
+
+    def test_typed_constant(self):
+        assert conjuncts("name: john") == ["name(john)"]
+
+    def test_function_term_asserts_args(self):
+        assert conjuncts("path: id(node: a, node: b)") == [
+            "path(id(a, b))",
+            "node(a)",
+            "node(b)",
+        ]
+
+    def test_untyped_argument_gets_object(self):
+        assert conjuncts("common_np: np(Det, Noun)") == [
+            "common_np(np(Det, Noun))",
+            "object(Det)",
+            "object(Noun)",
+        ]
+
+    def test_nested_labelled_value(self):
+        assert conjuncts("p[child => q[age => 3]]") == [
+            "object(p)",
+            "object(q)",
+            "object(3)",
+            "age(q, 3)",
+            "child(p, q)",
+        ]
+
+    def test_repeated_label(self):
+        assert conjuncts(
+            "instructor: david[course => courseid: cse538, course => courseid: cse505]"
+        ) == [
+            "instructor(david)",
+            "courseid(cse538)",
+            "course(david, cse538)",
+            "courseid(cse505)",
+            "course(david, cse505)",
+        ]
+
+
+class TestPredAtoms:
+    def test_argument_assertions_precede_predicate(self):
+        assert conjuncts("edge(node: a, node: b)") == [
+            "node(a)",
+            "node(b)",
+            "edge(a, b)",
+        ]
+
+    def test_labelled_argument(self):
+        assert conjuncts("edge(a[w => 3], b)") == [
+            "object(a)",
+            "object(3)",
+            "w(a, 3)",
+            "object(b)",
+            "edge(a, b)",
+        ]
+
+
+class TestBuiltins:
+    def test_builtin_passthrough(self):
+        out = body_atom_to_fol(builtin("is", V("L"), fn("+", V("L0"), 1)))
+        assert out == [
+            FBuiltin("is", (FVar("L"), FApp("+", (FVar("L0"), FConst(1)))))
+        ]
+
+
+class TestDedupe:
+    def test_keeps_first_occurrence(self):
+        a = FAtom("object", (FVar("N"),))
+        b = FAtom("num", (FVar("D"), FVar("N")))
+        assert dedupe_atoms([a, b, a]) == [a, b]
+
+    def test_builtins_never_deduped(self):
+        b = FBuiltin("is", (FVar("L"), FConst(1)))
+        assert dedupe_atoms([b, b]) == [b, b]

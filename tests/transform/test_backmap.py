@@ -1,0 +1,83 @@
+"""Back-translation tests: FOL facts -> merged object descriptions."""
+
+from repro.core.decompose import normalize_term
+from repro.core.terms import Const, Func
+from repro.fol.atoms import FAtom
+from repro.fol.terms import FApp, FConst
+from repro.lang.parser import parse_term
+from repro.transform.backmap import facts_to_descriptions, retype_identity
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+class TestFactsToDescriptions:
+    def test_single_object(self):
+        atoms = [
+            atom("path", (FConst("p1"))),
+            atom("src", FConst("p1"), FConst("a")),
+            atom("dest", FConst("p1"), FConst("b")),
+        ]
+        out = facts_to_descriptions(atoms, {"path"}, {"src", "dest"})
+        types, description = out[Const("p1")]
+        assert types == {"path"}
+        assert normalize_term(description) == normalize_term(
+            parse_term("path: p1[dest => b, src => a]")
+        )
+
+    def test_multivalued_label_becomes_collection(self):
+        atoms = [
+            atom("path", FConst("p")),
+            atom("src", FConst("p"), FConst("a")),
+            atom("src", FConst("p"), FConst("c")),
+        ]
+        out = facts_to_descriptions(atoms, {"path"}, {"src"})
+        _, description = out[Const("p")]
+        assert normalize_term(description) == normalize_term(
+            parse_term("path: p[src => {a, c}]")
+        )
+
+    def test_object_without_labels(self):
+        atoms = [atom("name", FConst("john"))]
+        out = facts_to_descriptions(atoms, {"name"}, set())
+        types, description = out[Const("john")]
+        assert description == Const("john", "name")
+
+    def test_function_identity(self):
+        identity = FApp("id", (FConst("a"), FConst("b")))
+        atoms = [atom("path", identity), atom("length", identity, FConst(1))]
+        out = facts_to_descriptions(atoms, {"path"}, {"length"})
+        key = Func("id", (Const("a"), Const("b")))
+        types, description = out[key]
+        assert "path" in types
+
+    def test_plain_predicates_ignored(self):
+        atoms = [atom("edge", FConst("a"), FConst("b"))]
+        out = facts_to_descriptions(atoms, set(), set())
+        assert out == {}
+
+    def test_label_creates_host_entry(self):
+        atoms = [atom("src", FConst("p"), FConst("a"))]
+        out = facts_to_descriptions(atoms, set(), {"src"})
+        assert Const("p") in out
+
+    def test_multiple_types_choose_informative_annotation(self):
+        atoms = [
+            atom("object", FConst("x")),
+            atom("noun", FConst("x")),
+        ]
+        out = facts_to_descriptions(atoms, {"object", "noun"}, set())
+        types, description = out[Const("x")]
+        assert types == {"object", "noun"}
+        assert description == Const("x", "noun")
+
+
+class TestRetype:
+    def test_object_only(self):
+        assert retype_identity(Const("x"), {"object"}) == Const("x")
+
+    def test_prefers_lexicographically_first_informative(self):
+        assert retype_identity(Const("x"), {"object", "b_type", "a_type"}) == Const(
+            "x", "a_type"
+        )

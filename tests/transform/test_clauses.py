@@ -1,0 +1,169 @@
+"""Clause/program translation tests — the Section 4 noun-phrase listing."""
+
+from repro.fol.atoms import FAtom, GeneralizedClause, HornClause
+from repro.fol.pretty import pretty_generalized, pretty_horn
+from repro.fol.terms import FVar
+from repro.lang.parser import parse_clause, parse_program, parse_query
+from repro.transform.clauses import (
+    clause_to_generalized,
+    object_axioms,
+    program_to_fol,
+    program_to_generalized,
+    query_to_fol,
+    subtype_axiom,
+    type_axioms,
+)
+from repro.core.types import SubtypeDecl
+
+
+class TestClauseTranslation:
+    def test_fact_becomes_multi_head_fact(self):
+        clause = parse_clause("determiner: a[num => singular, def => indef].")
+        gen = clause_to_generalized(clause)
+        assert gen.is_fact
+        assert pretty_generalized(gen) == (
+            "determiner(a), object(singular), num(a, singular), "
+            "object(indef), def(a, indef)."
+        )
+
+    def test_proper_np_rule_matches_paper(self):
+        clause = parse_clause(
+            "proper_np: X[pers => 3, num => singular, def => definite] :- name: X."
+        )
+        gen = clause_to_generalized(clause)
+        assert pretty_generalized(gen) == (
+            "proper_np(X), object(3), pers(X, 3), object(singular), "
+            "num(X, singular), object(definite), def(X, definite) :- name(X)."
+        )
+
+    def test_common_np_rule_matches_paper_raw_listing(self):
+        """The paper's un-optimized listing keeps object(N) twice in the
+        body (once from the determiner description, once from the noun);
+        dedupe=False reproduces it."""
+        clause = parse_clause(
+            "common_np: np(Det, Noun)[pers => 3, num => N, def => D] :- "
+            "determiner: Det[num => N, def => D], noun: Noun[num => N]."
+        )
+        gen = clause_to_generalized(clause, dedupe=False)
+        body = [pretty := a for a in gen.body]
+        from repro.fol.pretty import pretty_fatom
+
+        rendered = [pretty_fatom(a) for a in gen.body]
+        assert rendered == [
+            "determiner(Det)",
+            "object(N)",
+            "num(Det, N)",
+            "object(D)",
+            "def(Det, D)",
+            "noun(Noun)",
+            "object(N)",
+            "num(Noun, N)",
+        ]
+
+    def test_builtin_kept_in_body_order(self):
+        # Predicate arguments contribute their own (object) typing
+        # conjuncts; the builtin stays in place.
+        clause = parse_clause(
+            "p(L) :- q(L0), L is L0 + 1."
+        )
+        gen = clause_to_generalized(clause)
+        assert pretty_generalized(gen) == (
+            "object(L), p(L) :- object(L0), q(L0), L is (L0 + 1)."
+        )
+
+    def test_path_rule_translation(self):
+        clause = parse_clause(
+            "path: id(X, Y)[src => X, dest => Y, length => L] :- "
+            "node: X[linkto => Z], path: C0[src => Z, dest => Y, length => L0], "
+            "L is L0 + 1."
+        )
+        gen = clause_to_generalized(clause)
+        # Note object(Z) appears once (deduped from the node description)
+        # so src(C0, Z) follows path(C0) directly.
+        assert pretty_generalized(gen) == (
+            "path(id(X, Y)), object(X), object(Y), src(id(X, Y), X), "
+            "dest(id(X, Y), Y), object(L), length(id(X, Y), L) :- "
+            "node(X), object(Z), linkto(X, Z), path(C0), "
+            "src(C0, Z), object(Y), dest(C0, Y), object(L0), length(C0, L0), "
+            "L is (L0 + 1)."
+        )
+
+
+class TestAxioms:
+    def test_subtype_axiom(self):
+        axiom = subtype_axiom(SubtypeDecl("proper_np", "noun_phrase"))
+        assert pretty_horn(axiom) == "noun_phrase(X) :- proper_np(X)."
+
+    def test_object_axioms_sorted_and_skip_object(self):
+        axioms = object_axioms({"noun", "object", "name"})
+        assert [pretty_horn(a) for a in axioms] == [
+            "object(X) :- name(X).",
+            "object(X) :- noun(X).",
+        ]
+
+    def test_program_axioms(self, noun_phrase_program):
+        axioms = type_axioms(noun_phrase_program)
+        rendered = {pretty_horn(a) for a in axioms}
+        assert "noun_phrase(X) :- proper_np(X)." in rendered
+        assert "noun_phrase(X) :- common_np(X)." in rendered
+        assert "object(X) :- noun_phrase(X)." in rendered
+        # one axiom per subtype decl + one object axiom per non-object type
+        assert len(axioms) == 2 + 6
+
+
+class TestProgramTranslation:
+    def test_generalized_program_shape(self, noun_phrase_program):
+        gen = program_to_generalized(noun_phrase_program)
+        assert len(gen.clauses) == len(noun_phrase_program.clauses)
+        assert len(gen.axioms) == 8
+
+    def test_split_counts(self, noun_phrase_program):
+        gen = program_to_generalized(noun_phrase_program)
+        fol = gen.split()
+        expected = sum(len(c.heads) for c in gen.clauses) + len(gen.axioms)
+        assert len(fol) == expected
+
+    def test_split_clauses_share_variables_per_clause(self):
+        """Multiple occurrences of the same head variable are independent
+        across the split clauses (the paper's proper_np remark)."""
+        clause = parse_clause("proper_np: X[pers => 3, num => singular] :- name: X.")
+        horns = clause_to_generalized(clause).split()
+        rendered = {pretty_horn(h) for h in horns}
+        assert "proper_np(X) :- name(X)." in rendered
+        assert "pers(X, 3) :- name(X)." in rendered
+        assert "num(X, singular) :- name(X)." in rendered
+
+    def test_program_to_fol(self, noun_phrase_program):
+        fol = program_to_fol(noun_phrase_program)
+        assert all(isinstance(c, HornClause) for c in fol.clauses)
+
+    def test_atom_count(self, noun_phrase_program):
+        gen = program_to_generalized(noun_phrase_program)
+        assert gen.atom_count() > 40
+
+
+class TestQueryTranslation:
+    def test_noun_phrase_query(self):
+        """The query of Example 3 translates as the paper shows."""
+        goals = query_to_fol(parse_query(":- noun_phrase: X[num => plural]."))
+        from repro.fol.pretty import pretty_fatom
+
+        assert [pretty_fatom(g) for g in goals] == [
+            "noun_phrase(X)",
+            "object(plural)",
+            "num(X, plural)",
+        ]
+
+    def test_path_query_enumerates_active_domain(self):
+        """Section 4: the translated path query starts with object(S),
+        object(D) goals — the source of SLD's inefficiency."""
+        goals = query_to_fol(parse_query(":- path: X[src => S, dest => D]."))
+        from repro.fol.pretty import pretty_fatom
+
+        assert [pretty_fatom(g) for g in goals] == [
+            "path(X)",
+            "object(S)",
+            "src(X, S)",
+            "object(D)",
+            "dest(X, D)",
+        ]

@@ -1,0 +1,103 @@
+"""General-formula translation tests: Theorem 1's compositional closure."""
+
+import random
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    PredAtom,
+    TermAtom,
+    free_variables,
+)
+from repro.lang.parser import parse_atom
+from repro.semantics.random_gen import (
+    Signature,
+    random_assignment,
+    random_atom,
+    random_structure,
+)
+from repro.semantics.satisfaction import satisfies
+from repro.transform.formulas import (
+    FolAnd,
+    FolAtomF,
+    FolExists,
+    formula_to_fol,
+    satisfies_fol_formula,
+)
+
+
+def random_formula(rng: random.Random, signature: Signature, depth: int) -> Formula:
+    if depth == 0 or rng.random() < 0.35:
+        return random_atom(rng, signature, depth=2)
+    choice = rng.randrange(6)
+    if choice == 0:
+        return Not(random_formula(rng, signature, depth - 1))
+    if choice == 1:
+        return And(
+            random_formula(rng, signature, depth - 1),
+            random_formula(rng, signature, depth - 1),
+        )
+    if choice == 2:
+        return Or(
+            random_formula(rng, signature, depth - 1),
+            random_formula(rng, signature, depth - 1),
+        )
+    if choice == 3:
+        return Implies(
+            random_formula(rng, signature, depth - 1),
+            random_formula(rng, signature, depth - 1),
+        )
+    variable = rng.choice(signature.variables)
+    body = random_formula(rng, signature, depth - 1)
+    return ForAll(variable, body) if choice == 4 else Exists(variable, body)
+
+
+class TestStructure:
+    def test_atomic_becomes_conjunction(self):
+        formula = formula_to_fol(parse_atom("path: p[src => a]"))
+        assert isinstance(formula, FolAnd)
+
+    def test_single_conjunct_stays_atomic(self):
+        formula = formula_to_fol(parse_atom("name: john"))
+        assert isinstance(formula, FolAtomF)
+
+    def test_quantifier_preserved(self):
+        from repro.core.terms import Var
+
+        source = Exists("X", TermAtom(Var("X", "path")))
+        translated = formula_to_fol(source)
+        assert isinstance(translated, FolExists)
+        assert translated.variable == "X"
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_general_formulas(self, seed):
+        """M |= phi[s] iff M* |= phi*[s] for arbitrary formulas."""
+        signature = Signature()
+        rng = random.Random(500 + seed)
+        for _ in range(25):
+            structure = random_structure(rng, signature, domain_size=3)
+            formula = random_formula(rng, signature, depth=3)
+            assignment = random_assignment(rng, structure, free_variables(formula))
+            lhs = satisfies(formula, structure, assignment)
+            rhs = satisfies_fol_formula(formula_to_fol(formula), structure, assignment)
+            assert lhs == rhs, formula
+
+    def test_negated_description(self):
+        """~(t[l => v]) negates the whole conjunction, not one conjunct."""
+        signature = Signature()
+        rng = random.Random(1)
+        structure = random_structure(rng, signature, domain_size=3)
+        inner = parse_atom("path: a[src => b]")
+        formula = Not(inner)
+        lhs = satisfies(formula, structure, {})
+        rhs = satisfies_fol_formula(formula_to_fol(formula), structure, {})
+        assert lhs == rhs

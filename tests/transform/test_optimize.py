@@ -1,0 +1,157 @@
+"""Redundancy elimination tests — the paper's optimized common_np clause."""
+
+from repro.core.types import TypeHierarchy
+from repro.fol.atoms import FAtom, GeneralizedClause
+from repro.fol.pretty import pretty_generalized
+from repro.fol.terms import FConst, FVar
+from repro.lang.parser import parse_clause, parse_program
+from repro.transform.clauses import clause_to_generalized, program_to_generalized
+from repro.transform.optimize import OptimizationReport, optimize_clause, optimize_program
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+def hierarchy(*pairs):
+    h = TypeHierarchy()
+    for sub, sup in pairs:
+        h.declare(sub, sup)
+    return h
+
+
+class TestCase1:
+    def test_body_duplicate_removed(self):
+        h = hierarchy()
+        clause = GeneralizedClause(
+            (atom("p", FVar("X")),),
+            (atom("object", FVar("N")), atom("q", FVar("X")), atom("object", FVar("N"))),
+        )
+        out = optimize_clause(clause, h)
+        assert [a.pred for a in out.body] == ["object", "q"]
+
+    def test_supertype_removed_when_subtype_present(self):
+        h = hierarchy(("student", "person"))
+        clause = GeneralizedClause(
+            (atom("p", FVar("X")),),
+            (atom("person", FVar("X")), atom("student", FVar("X"))),
+        )
+        out = optimize_clause(clause, h)
+        assert [a.pred for a in out.body] == ["student"]
+
+    def test_different_arguments_untouched(self):
+        h = hierarchy()
+        clause = GeneralizedClause(
+            (atom("p", FVar("X")),),
+            (atom("object", FVar("N")), atom("object", FVar("D"))),
+        )
+        out = optimize_clause(clause, h)
+        assert len(out.body) == 2
+
+    def test_head_zone_case1(self):
+        h = hierarchy(("noun", "object"))
+        clause = GeneralizedClause(
+            (atom("noun", FConst("a")), atom("object", FConst("a"))),
+            (atom("q", FVar("X")),),
+        )
+        out = optimize_clause(clause, h)
+        assert [a.pred for a in out.heads] == ["noun"]
+
+    def test_non_type_predicates_untouched(self):
+        h = hierarchy()
+        clause = GeneralizedClause(
+            (atom("p", FVar("X")),),
+            (atom("edge", FVar("X"), FVar("Y")), atom("edge", FVar("X"), FVar("Y"))),
+        )
+        out = optimize_clause(clause, h)
+        assert len(out.body) == 2  # not unary type atoms; left alone
+
+
+class TestCase2:
+    def test_head_type_implied_by_body(self):
+        h = hierarchy(("determiner", "object"))
+        clause = GeneralizedClause(
+            (atom("object", FVar("Det")), atom("p", FVar("Det"))),
+            (atom("determiner", FVar("Det")),),
+        )
+        out = optimize_clause(clause, h)
+        assert [a.pred for a in out.heads] == ["p"]
+
+    def test_equal_types_count(self):
+        h = hierarchy()
+        h.add_symbol("noun")
+        clause = GeneralizedClause(
+            (atom("noun", FVar("X")),),
+            (atom("noun", FVar("X")),),
+        )
+        # tau <= tau, so the head atom is implied and the clause drops.
+        assert optimize_clause(clause, h) is None
+
+    def test_unrelated_type_stays(self):
+        h = hierarchy()
+        h.add_symbol("noun")
+        h.add_symbol("verb")
+        clause = GeneralizedClause(
+            (atom("noun", FVar("X")),),
+            (atom("verb", FVar("X")),),
+        )
+        out = optimize_clause(clause, h)
+        assert out is not None and [a.pred for a in out.heads] == ["noun"]
+
+
+class TestPaperExample:
+    COMMON_NP = (
+        "common_np: np(Det, Noun)[pers => 3, num => N, def => D] :- "
+        "determiner: Det[num => N, def => D], noun: Noun[num => N]."
+    )
+
+    def test_optimized_common_np_matches_paper(self, noun_phrase_program):
+        """Applying cases 1 and 2 yields exactly the clause printed at
+        the top of page 376."""
+        gen = program_to_generalized(noun_phrase_program, dedupe=False)
+        optimized, report = optimize_program(gen)
+        rendered = [pretty_generalized(c) for c in optimized.clauses]
+        expected = (
+            "common_np(np(Det, Noun)), object(3), pers(np(Det, Noun), 3), "
+            "num(np(Det, Noun), N), def(np(Det, Noun), D) :- "
+            "determiner(Det), object(N), num(Det, N), object(D), def(Det, D), "
+            "noun(Noun), num(Noun, N)."
+        )
+        assert expected in rendered
+        assert report.atoms_deleted > 0
+
+    def test_optimization_preserves_answers(self, noun_phrase_program):
+        from repro.engine.bottomup import answer_query_bottomup, naive_fixpoint
+        from repro.lang.parser import parse_query
+        from repro.transform.clauses import query_to_fol
+
+        raw = program_to_generalized(noun_phrase_program)
+        optimized, _ = optimize_program(raw)
+        goals = query_to_fol(parse_query(":- noun_phrase: X[num => plural]."))
+        raw_answers = set(answer_query_bottomup(goals, naive_fixpoint(raw.split())))
+        opt_answers = set(
+            answer_query_bottomup(goals, naive_fixpoint(optimized.split()))
+        )
+        assert raw_answers == opt_answers
+
+    def test_optimization_shrinks_program(self, noun_phrase_program):
+        raw = program_to_generalized(noun_phrase_program, dedupe=False)
+        optimized, report = optimize_program(raw)
+        assert optimized.atom_count() < raw.atom_count()
+        # common_np loses object(Det), object(Noun), object(N), object(D)
+        # from its head (case 2) and one duplicate object(N) from its body
+        # (case 1), matching the paper's rewritten clause.
+        assert report.head_atoms_deleted >= 4
+        assert report.body_atoms_deleted >= 1
+
+    def test_axioms_preserved(self, noun_phrase_program):
+        raw = program_to_generalized(noun_phrase_program)
+        optimized, _ = optimize_program(raw)
+        assert optimized.axioms == raw.axioms
+
+    def test_duplicate_clause_elimination(self):
+        program = parse_program("name: john.\nname: john.").program
+        gen = program_to_generalized(program)
+        optimized, report = optimize_program(gen)
+        assert len(optimized.clauses) == 1
+        assert report.duplicate_clauses_dropped == 1

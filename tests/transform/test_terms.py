@@ -1,0 +1,43 @@
+"""Term translation t -> t' unit tests (Section 3.3)."""
+
+from repro.core.terms import Const, Func, Var
+from repro.fol.terms import FApp, FConst, FVar
+from repro.lang.parser import parse_term
+from repro.transform.terms import fol_to_identity, term_to_fol
+
+
+class TestTermToFol:
+    def test_variable_drops_type(self):
+        assert term_to_fol(Var("X", "path")) == FVar("X")
+
+    def test_constant_drops_type(self):
+        assert term_to_fol(Const("john", "person")) == FConst("john")
+
+    def test_int_constant(self):
+        assert term_to_fol(Const(28)) == FConst(28)
+
+    def test_function(self):
+        t = parse_term("path: id(X, name: Y)")
+        assert term_to_fol(t) == FApp("id", (FVar("X"), FVar("Y")))
+
+    def test_labels_dropped(self):
+        """(t[l1 => e1, ..., ln => en])' = t'."""
+        t = parse_term("path: p1[src => a, dest => b]")
+        assert term_to_fol(t) == FConst("p1")
+
+    def test_labels_dropped_in_function_args(self):
+        t = parse_term("id(a[w => 1], b)")
+        assert term_to_fol(t) == FApp("id", (FConst("a"), FConst("b")))
+
+
+class TestFolToIdentity:
+    def test_roundtrip_on_label_free_untyped_terms(self):
+        for source in ("X", "john", "28", "id(X, Y)", "f(g(a), b)"):
+            term = parse_term(source)
+            assert fol_to_identity(term_to_fol(term)) == term
+
+    def test_variable(self):
+        assert fol_to_identity(FVar("X")) == Var("X")
+
+    def test_application(self):
+        assert fol_to_identity(FApp("f", (FConst("a"),))) == Func("f", (Const("a"),))
