@@ -18,6 +18,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 sys.path.insert(0, str(Path(__file__).parent.parent))
 
 from repro.core.errors import ParseError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import publish_dataclass
 from repro.core.pretty import pretty_term
 from repro.engine.bottomup import EvaluationStats, answer_query_bottomup, naive_fixpoint
 from repro.engine.direct import DirectEngine
@@ -53,9 +55,21 @@ from tests.conftest import (
 
 OUT: list[str] = []
 
+#: (experiment label, flat metric snapshot) records collected as the
+#: experiments run; rendered as the appendix at the end of the report.
+METRICS: list[tuple[str, dict[str, float]]] = []
+
 
 def emit(text: str = "") -> None:
     OUT.append(text)
+
+
+def record_metrics(label: str, stats, prefix: str) -> None:
+    """Publish a stats dataclass into a fresh registry and keep the
+    snapshot attached to the experiment's result record."""
+    registry = MetricsRegistry()
+    publish_dataclass(registry, stats, prefix)
+    METRICS.append((label, registry.snapshot()))
 
 
 def timed(fn):
@@ -201,6 +215,7 @@ def e5() -> None:
     program = parse_program(NOUN_PHRASE_SOURCE).program
     raw = program_to_generalized(program, dedupe=False)
     (optimized, report), elapsed = timed(lambda: optimize_program(raw))
+    record_metrics("E5 noun-phrase optimization", report, "optimize")
     paper_clause = (
         "common_np(np(Det, Noun)), object(3), pers(np(Det, Noun), 3), "
         "num(np(Det, Noun), N), def(np(Det, Noun), D) :- "
@@ -425,6 +440,8 @@ def e11() -> None:
         semi_stats = EvaluationStats()
         __, naive_time = timed(lambda: naive_fixpoint(clauses, stats=naive_stats))
         __, semi_time = timed(lambda: seminaive_fixpoint(clauses, stats=semi_stats))
+        record_metrics(f"E11 naive, chain n={n}", naive_stats, "fixpoint")
+        record_metrics(f"E11 semi-naive, chain n={n}", semi_stats, "fixpoint")
         emit(
             f"| {n} | {naive_stats.facts_derived} | {semi_stats.facts_derived} "
             f"| {naive_time * 1e3:.0f} | {semi_time * 1e3:.0f} |"
@@ -473,6 +490,8 @@ def e13() -> None:
         delta_engine = DirectEngine(program, saturation_mode="delta")
         __, delta_time = timed(delta_engine.saturate)
         assert naive_engine.store.fact_count() == delta_engine.store.fact_count()
+        record_metrics(f"E13 naive, {nodes}-node chain", naive_engine.stats, "direct")
+        record_metrics(f"E13 delta, {nodes}-node chain", delta_engine.stats, "direct")
         emit(
             f"| {nodes}-node chain | {naive_time * 1e3:.0f} | {delta_time * 1e3:.0f} |"
         )
@@ -496,6 +515,16 @@ def main() -> None:
     emit()
     for step in (e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13):
         step()
+    emit("## Appendix — metric snapshots")
+    emit()
+    emit("Flat `repro.obs.MetricsRegistry` snapshots attached to the runs")
+    emit("above (counter name = value); the same counters are live under")
+    emit("`repro trace`/`--explain`.")
+    emit()
+    for label, snapshot in METRICS:
+        rendered = ", ".join(f"`{key}`={value:g}" for key, value in snapshot.items())
+        emit(f"- **{label}** — {rendered}")
+    emit()
     emit("---")
     emit()
     emit("Regenerate with `python benchmarks/run_experiments.py > EXPERIMENTS.md`.")

@@ -60,6 +60,18 @@ READINGS = {
 }
 
 
+# Workload hooks for ``repro trace examples/path_database.py`` — the
+# observability CLI builds a knowledge base from these instead of
+# running main().  The identity reading is the paper's third one (one
+# path object per node sequence).
+TRACE_SOURCE = GRAPH + RULES
+TRACE_IDENTITIES = [
+    {"variable": "C", "depends_on": ("X", "Y"), "clause_index": BASE_RULE},
+    {"variable": "C", "depends_on": ("X", "C0"), "clause_index": RECURSIVE_RULE},
+]
+TRACE_QUERIES = ["path: P[src => a, dest => d, length => L]"]
+
+
 def build(base_deps: tuple[str, ...], rec_deps: tuple[str, ...]) -> KnowledgeBase:
     kb = KnowledgeBase.from_source(GRAPH + RULES)
     # Only what determines the object is declared per rule; the skolem

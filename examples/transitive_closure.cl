@@ -1,0 +1,11 @@
+% Transitive closure over a small asymmetric diamond — the standard
+% Datalog workload the E11 experiment scales up.  The inline query at
+% the bottom is what `repro query examples/transitive_closure.cl` runs.
+
+edge(a, b).  edge(b, d).
+edge(a, c).  edge(c, c2).  edge(c2, d).  edge(d, e).
+
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+
+:- tc(a, X).

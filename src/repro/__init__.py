@@ -14,6 +14,8 @@ The package implements the full system the paper describes:
 * :mod:`repro.db` — the complex-object store with description merging
   and subsumption;
 * :mod:`repro.olog` — Maier's O-logic baseline (functional labels);
+* :mod:`repro.obs` — evaluation observability: tracing, metrics and
+  EXPLAIN reports across all five engines;
 * :mod:`repro.interface` — the high-level knowledge-base API, including
   declarative skolem-identity policies (Section 2.1).
 
@@ -29,7 +31,7 @@ Quickstart::
 
 from repro.version import __version__
 
-__all__ = ["__version__", "KnowledgeBase"]
+__all__ = ["__version__", "KnowledgeBase", "ExplainReport", "MetricsRegistry", "Tracer"]
 
 
 def __getattr__(name: str):
@@ -39,4 +41,8 @@ def __getattr__(name: str):
         from repro.interface import KnowledgeBase
 
         return KnowledgeBase
+    if name in ("ExplainReport", "MetricsRegistry", "Tracer"):
+        import repro.obs as obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,8 +1,24 @@
-"""An interactive C-logic shell: ``python -m repro [file.cl ...]``.
+"""The ``repro`` command line: an interactive C-logic shell plus
+observability subcommands (``python -m repro [SUBCOMMAND] ...``).
 
-A small Prolog-style REPL over :class:`~repro.interface.KnowledgeBase`:
-type clauses or subtype declarations to assert them, queries to
-evaluate them, and ``:commands`` to inspect the knowledge base.
+Subcommands::
+
+    repl [FILE ...]     the interactive shell (default; bare file
+                        arguments also land here, pre-loaded)
+    query FILE          evaluate queries against a program file; add
+                        --explain for the per-rule/per-round report,
+                        --trace for the span tree, --trace-out for JSONL
+    trace FILE          like query, with --explain and --trace implied
+
+``query``/``trace`` accept either a ``.cl`` program in the paper's
+concrete syntax (inline ``:- body.`` queries are run unless ``--query``
+overrides them) or a ``.py`` example module exposing ``TRACE_SOURCE``
+(program text), optional ``TRACE_IDENTITIES`` (keyword dicts for
+:meth:`~repro.interface.KnowledgeBase.declare_identity`) and
+``TRACE_QUERIES``.
+
+The REPL reads clauses or subtype declarations to assert them, queries
+to evaluate them, and ``:commands`` to inspect the knowledge base.
 
 Commands::
 
@@ -18,6 +34,8 @@ Commands::
     :identity VAR DEPS  declare VAR existentially dependent on DEPS
                         (comma-separated), e.g. :identity C X,Y
     :why QUERY          derivation trees for every answer
+    :explain QUERY      EXPLAIN report for one evaluation (per rule,
+                        per round, with index and join statistics)
     :quit               leave
 
 Input lines are classified by shape: ``a < b.`` is a subtype
@@ -27,14 +45,16 @@ declaration, ``head :- body.`` or ``fact.`` asserts, ``:- body.`` or
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Optional, TextIO
 
 from repro.core.errors import CLogicError
-from repro.core.pretty import pretty_program, pretty_term
+from repro.core.pretty import pretty_program, pretty_query, pretty_term
 from repro.interface.kb import ENGINES, KnowledgeBase
+from repro.obs import ExplainReport, Tracer
 
-__all__ = ["Repl", "main"]
+__all__ = ["Repl", "SUBCOMMANDS", "main"]
 
 PROMPT = "c-logic> "
 BANNER = (
@@ -136,6 +156,7 @@ class Repl:
             "existential": self._cmd_existential,
             "identity": self._cmd_identity,
             "why": self._cmd_why,
+            "explain": self._cmd_explain,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
         }.get(name)
@@ -208,6 +229,15 @@ class Repl:
             self.write(tree)
             self.write()
 
+    def _cmd_explain(self, args: list[str]) -> None:
+        if not args:
+            self.write("usage: :explain QUERY")
+            return
+        report = ExplainReport()
+        answers = self.kb.ask(" ".join(args), report=report)
+        self.write(f"({len(answers)} answer(s))")
+        self.write(report.render())
+
     def _cmd_quit(self, args: list[str]) -> None:
         self.running = False
 
@@ -229,14 +259,156 @@ class Repl:
             self.handle(line)
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point: load any files given on the command line, then REPL."""
-    argv = argv if argv is not None else sys.argv[1:]
-    repl = Repl()
+# ----------------------------------------------------------------------
+# Subcommands: query / trace / repl
+# ----------------------------------------------------------------------
+
+
+def load_workload(path: str) -> tuple[KnowledgeBase, list[str]]:
+    """Build a knowledge base plus default queries from a workload file.
+
+    ``.py`` files are executed (with ``__name__`` set so their own
+    ``main()`` guard does not fire) and must expose ``TRACE_SOURCE``;
+    ``TRACE_IDENTITIES`` and ``TRACE_QUERIES`` are optional.  Any other
+    file is parsed as concrete C-logic syntax, and its inline
+    ``:- body.`` queries become the defaults.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    if path.endswith(".py"):
+        namespace: dict = {"__name__": "__repro_workload__", "__file__": path}
+        exec(compile(source, path, "exec"), namespace)
+        if "TRACE_SOURCE" not in namespace:
+            raise CLogicError(f"{path} defines no TRACE_SOURCE program text")
+        kb = KnowledgeBase.from_source(namespace["TRACE_SOURCE"])
+        for declaration in namespace.get("TRACE_IDENTITIES", ()):
+            kb.declare_identity(**declaration)
+        return kb, list(namespace.get("TRACE_QUERIES", ()))
+    from repro.lang.parser import parse_program
+
+    unit = parse_program(source)
+    kb = KnowledgeBase(unit.program)
+    rendered = [pretty_query(query) for query in unit.queries]
+    return kb, [text.removeprefix(":- ").removesuffix(".") for text in rendered]
+
+
+def _observe_args(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("file", help="a .cl program or a .py TRACE_* module")
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None, help="evaluation strategy"
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="QUERY",
+        help="query to evaluate (repeatable; overrides the file's own)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-rule, per-round EXPLAIN report",
+    )
+    parser.add_argument(
+        "--trace", action="store_true", help="print the timed span tree"
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the spans as JSONL to PATH",
+    )
+    return parser
+
+
+def _run_observed(
+    args: argparse.Namespace, out: TextIO, explain: bool, trace: bool
+) -> int:
+    try:
+        kb, queries = load_workload(args.file)
+    except (OSError, CLogicError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.query:
+        queries = list(args.query)
+    if not queries:
+        print(
+            f"error: {args.file} has no queries; pass --query", file=sys.stderr
+        )
+        return 1
+    tracer = Tracer() if trace or args.trace_out else None
+    for query in queries:
+        report = ExplainReport() if explain else None
+        try:
+            answers = kb.ask(query, engine=args.engine, tracer=tracer, report=report)
+        except CLogicError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"?- {query}", file=out)
+        for answer in answers:
+            rendered = ", ".join(f"{k} = {v}" for k, v in answer.pretty().items())
+            print(f"  {rendered if rendered else 'yes'}", file=out)
+        print(f"  ({len(answers)} answer(s))", file=out)
+        if report is not None:
+            print(file=out)
+            print(report.render(), file=out)
+        print(file=out)
+    if tracer is not None and trace:
+        print("-- trace --", file=out)
+        print(tracer.format_tree(), file=out)
+    if tracer is not None and args.trace_out:
+        try:
+            tracer.write_jsonl(args.trace_out)
+        except OSError as error:
+            print(f"error: cannot write {args.trace_out}: {error}", file=sys.stderr)
+            return 1
+        count = sum(1 for _ in tracer.spans())
+        print(f"wrote {count} span(s) to {args.trace_out}", file=out)
+    return 0
+
+
+def cmd_query(argv: list[str], out: TextIO = sys.stdout) -> int:
+    """Evaluate queries from/against a program file."""
+    args = _observe_args("repro query", cmd_query.__doc__).parse_args(argv)
+    return _run_observed(args, out, explain=args.explain, trace=args.trace)
+
+
+def cmd_trace(argv: list[str], out: TextIO = sys.stdout) -> int:
+    """Like ``query``, with --explain and --trace implied."""
+    args = _observe_args("repro trace", cmd_trace.__doc__).parse_args(argv)
+    return _run_observed(args, out, explain=True, trace=True)
+
+
+def cmd_repl(argv: list[str], out: TextIO = sys.stdout) -> int:
+    """Load any files given, then run the interactive shell."""
+    repl = Repl(out=out)
     for path in argv:
         repl._cmd_load([path])
     repl.run(sys.stdin)
     return 0
+
+
+#: subcommand name -> implementation; the docs checker
+#: (tools/check_docs_cli.py) validates ``repro ...`` examples against
+#: this table, so keep it in sync with what main() dispatches.
+SUBCOMMANDS: dict[str, Callable[[list[str]], int]] = {
+    "repl": cmd_repl,
+    "query": cmd_query,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point.  ``repro SUBCOMMAND ...`` dispatches; no arguments,
+    or bare file arguments (back-compat), start the REPL."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__.split("The REPL reads")[0])
+        return 0
+    return cmd_repl(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

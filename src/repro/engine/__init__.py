@@ -12,7 +12,7 @@ from repro.engine.cunify import apply_binding, strip_identity, unify_identities
 from repro.engine.direct import Answer, DirectEngine, DirectStats
 from repro.engine.explain import Derivation, Explainer, format_derivation
 from repro.engine.factbase import FactBase, principal_functor
-from repro.engine.join import check_range_restricted, join_body
+from repro.engine.join import check_range_restricted, join_body, plan_order
 from repro.engine.negation import (
     NegClause,
     StratificationError,

@@ -28,21 +28,55 @@ from repro.fol.atoms import (
 )
 from repro.fol.subst import Substitution
 from repro.engine.factbase import FactBase
-from repro.engine.join import check_range_restricted, join_body
+from repro.engine.join import check_range_restricted, join_body, plan_order
 
-__all__ = ["EvaluationStats", "normalize_clauses", "naive_fixpoint", "answer_query_bottomup"]
+__all__ = [
+    "EvaluationStats",
+    "normalize_clauses",
+    "naive_fixpoint",
+    "answer_query_bottomup",
+    "prepare_report",
+    "finish_report",
+]
 
 ClauseLike = Union[HornClause, GeneralizedClause]
 
 
 @dataclass
 class EvaluationStats:
-    """Work counters for the fixpoint computation (used by E11)."""
+    """Work counters for the fixpoint computation (used by E11).
+
+    Kept as a plain dataclass so the hot loop pays attribute increments
+    only; it doubles as a thin facade over the observability layer's
+    :class:`~repro.obs.metrics.MetricsRegistry` via :meth:`publish` /
+    :meth:`from_registry` (the two are equivalent representations —
+    tested in ``tests/obs/test_metrics.py``).
+    """
 
     rounds: int = 0
     body_evaluations: int = 0
     facts_derived: int = 0
     facts_new: int = 0
+
+    #: Registry namespace the counters publish under.
+    PREFIX = "fixpoint"
+
+    def publish(self, registry, prefix: str = PREFIX) -> None:
+        """Add these counters to a registry as ``{prefix}.{field}``."""
+        from repro.obs.metrics import publish_dataclass
+
+        publish_dataclass(registry, self, prefix)
+
+    @classmethod
+    def from_registry(cls, registry, prefix: str = PREFIX) -> "EvaluationStats":
+        """The facade read back out of a registry snapshot."""
+        snapshot = registry.snapshot()
+        return cls(
+            **{
+                field: int(snapshot.get(f"{prefix}.{field}", 0))
+                for field in ("rounds", "body_evaluations", "facts_derived", "facts_new")
+            }
+        )
 
 
 def normalize_clauses(
@@ -77,16 +111,48 @@ def _reject_negation(clauses: list[GeneralizedClause]) -> None:
             )
 
 
+def prepare_report(report, engine: str, rules: Sequence[GeneralizedClause], facts: FactBase):
+    """Shared EXPLAIN-report setup for the FOL fixpoint engines: name
+    the run, register every rule, and attach the index observer.
+    Returns the per-rule slots (``None`` when no report is wanted)."""
+    if report is None:
+        return None
+    from repro.fol.pretty import pretty_generalized
+
+    report.engine = report.engine or engine
+    facts.observe(report.index)
+    return [
+        report.rule(index, pretty_generalized(clause))
+        for index, clause in enumerate(rules)
+    ]
+
+
+def finish_report(report, stats: EvaluationStats, facts: FactBase) -> None:
+    """Close out an EXPLAIN report: totals, and detach the observer."""
+    if report is None:
+        return
+    report.rounds = stats.rounds
+    report.facts_total = len(facts)
+    facts.observe(None)
+
+
 def naive_fixpoint(
     clauses: Union[FOLProgram, Iterable[ClauseLike]],
     max_rounds: int = 10_000,
     stats: EvaluationStats | None = None,
+    tracer=None,
+    report=None,
 ) -> FactBase:
     """The minimal model of ``clauses`` as a fact base.
 
     Raises :class:`EngineError` if the fixpoint is not reached within
     ``max_rounds`` (a non-terminating program, e.g. unbounded identity
     creation through function symbols).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one span per round;
+    ``report`` (a :class:`repro.obs.ExplainReport`) collects the
+    per-rule, per-round account.  Both default off and then cost only a
+    ``None`` check per round.
     """
     generalized = normalize_clauses(clauses)
     _reject_negation(generalized)
@@ -102,13 +168,29 @@ def naive_fixpoint(
                     stats.facts_new += 1
                 stats.facts_derived += 1
     rules = [clause for clause in generalized if not clause.is_fact]
+    rule_slots = prepare_report(report, "bottomup (naive)", rules, facts)
     for _ in range(max_rounds):
         stats.rounds += 1
         facts.next_round()
+        round_span = (
+            tracer.start("bottomup.round", round=stats.rounds)
+            if tracer is not None
+            else None
+        )
+        new_before_round = stats.facts_new
         changed = False
-        for clause in rules:
+        for rule_index, clause in enumerate(rules):
+            row = None
+            if rule_slots is not None:
+                slot = rule_slots[rule_index]
+                slot.join_order = plan_order(clause.body, facts)
+                row = slot.round(stats.rounds)
+                index_before = report.index.snapshot()
+            derived_before, new_before = stats.facts_derived, stats.facts_new
+            instantiations = 0
             for subst in join_body(clause.body, facts):
                 stats.body_evaluations += 1
+                instantiations += 1
                 for head in clause.heads:
                     derived = substitute_fatom(head, subst)
                     assert isinstance(derived, FAtom)
@@ -116,7 +198,17 @@ def naive_fixpoint(
                     if facts.add(derived):
                         stats.facts_new += 1
                         changed = True
+            if row is not None:
+                row.instantiations += instantiations
+                row.facts_derived += stats.facts_derived - derived_before
+                row.facts_new += stats.facts_new - new_before
+                report.index.add_since(index_before, rule_slots[rule_index].index)
+        if round_span is not None:
+            round_span.count("facts_new", stats.facts_new - new_before_round)
+            round_span.set("changed", changed)
+            tracer.finish(round_span)
         if not changed:
+            finish_report(report, stats, facts)
             return facts
     raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
 

@@ -123,6 +123,8 @@ class DirectEngine:
         program: Program,
         max_rounds: int = 10_000,
         saturation_mode: str = "delta",
+        tracer=None,
+        report=None,
     ) -> None:
         if saturation_mode not in ("naive", "delta"):
             raise EngineError(f"unknown saturation mode {saturation_mode!r}")
@@ -133,6 +135,20 @@ class DirectEngine:
         self._max_rounds = max_rounds
         self._saturation_mode = saturation_mode
         self._saturated = False
+        # Observability (repro.obs): spans per saturation round and a
+        # per-rule EXPLAIN account.  Both optional and off by default.
+        self._tracer = tracer
+        self._report = report
+        if report is not None:
+            report.engine = report.engine or f"direct ({saturation_mode})"
+
+    def _rule_row(self, clause: DefiniteClause, round_number: int):
+        """The EXPLAIN row for one rule in one round (None when off)."""
+        if self._report is None:
+            return None
+        from repro.core.pretty import pretty_clause
+
+        return self._report.rule(id(clause), pretty_clause(clause)).round(round_number)
 
     # ------------------------------------------------------------------
     # Saturation (minimal model at the C-logic level)
@@ -149,8 +165,22 @@ class DirectEngine:
             return self.store
         for clause in self.program.clauses:
             self._check_safety(clause)
+        span = (
+            self._tracer.start("direct.saturate", mode=self._saturation_mode)
+            if self._tracer is not None
+            else None
+        )
         for stratum in self._stratify():
             self._saturate_stratum(stratum)
+        if span is not None:
+            span.count("rounds", self.stats.rounds)
+            span.count("candidates", self.stats.candidates)
+            span.count("label_probes", self.stats.label_probes)
+            span.count("facts_new", self.stats.facts_new)
+            self._tracer.finish(span)
+        if self._report is not None:
+            self._report.rounds = self.stats.rounds
+            self._report.facts_total = self.store.fact_count()
         self._saturated = True
         return self.store
 
@@ -196,7 +226,16 @@ class DirectEngine:
         for _ in range(self._max_rounds):
             self.stats.rounds += 1
             self.store.next_round()
-            if not self._naive_round(rules):
+            round_span = (
+                self._tracer.start("direct.round", round=self.stats.rounds, mode="naive")
+                if self._tracer is not None
+                else None
+            )
+            changed = self._naive_round(rules)
+            if round_span is not None:
+                round_span.set("changed", changed)
+                self._tracer.finish(round_span)
+            if not changed:
                 return
         raise EngineError(
             f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
@@ -205,9 +244,15 @@ class DirectEngine:
     def _naive_round(self, rules: list[DefiniteClause]) -> bool:
         changed = False
         for clause in rules:
+            row = self._rule_row(clause, self.stats.rounds)
             for binding in self._solve_body(clause.body, {}):
-                if self._derive(clause, binding):
-                    changed = True
+                if row is not None:
+                    row.instantiations += 1
+                    row.facts_derived += 1
+                new = self._derive(clause, binding)
+                if new and row is not None:
+                    row.facts_new += 1
+                changed |= new
         return changed
 
     def _derive(self, clause: DefiniteClause, binding: dict[str, BaseTerm]) -> bool:
@@ -238,32 +283,63 @@ class DirectEngine:
         for _ in range(self._max_rounds):
             self.stats.rounds += 1
             current = self.store.next_round()
+            round_span = (
+                self._tracer.start("direct.round", round=self.stats.rounds, mode="delta")
+                if self._tracer is not None
+                else None
+            )
             delta = self._delta_index(delta_round)
             changed = False
             for clause in rules:
-                positions = [
-                    index
-                    for index, atom in enumerate(clause.body)
-                    if isinstance(atom, (TermAtom, PredAtom))
-                ]
-                if not positions:
-                    # Builtin/negation-only body: cheap to re-run naively.
-                    for binding in self._solve_body(clause.body, {}):
-                        changed |= self._derive(clause, binding)
-                    continue
-                for position in positions:
-                    for binding in self._solve_body_delta(clause.body, position, delta):
-                        changed |= self._derive(clause, binding)
+                row = self._rule_row(clause, self.stats.rounds)
+                for position_bindings in self._delta_bindings(clause, delta):
+                    for binding in position_bindings:
+                        new = self._derive(clause, binding)
+                        if row is not None:
+                            row.instantiations += 1
+                            row.facts_derived += 1
+                            if new:
+                                row.facts_new += 1
+                        changed |= new
+            if round_span is not None:
+                round_span.set("changed", changed)
+                self._tracer.finish(round_span)
             delta_round = current
             if not changed:
                 self.stats.rounds += 1
                 self.store.next_round()
-                if not self._naive_round(rules):
+                verify_span = (
+                    self._tracer.start(
+                        "direct.round", round=self.stats.rounds, mode="verify"
+                    )
+                    if self._tracer is not None
+                    else None
+                )
+                quiet = not self._naive_round(rules)
+                if verify_span is not None:
+                    verify_span.set("changed", not quiet)
+                    self._tracer.finish(verify_span)
+                if quiet:
                     return
                 delta_round = self.store.round
         raise EngineError(
             f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
         )
+
+    def _delta_bindings(self, clause: DefiniteClause, delta: "DeltaIndex"):
+        """Binding iterators for one clause in one delta round — one per
+        delta position; builtin/negation-only bodies get a single naive
+        pass (cheap to re-run)."""
+        positions = [
+            index
+            for index, atom in enumerate(clause.body)
+            if isinstance(atom, (TermAtom, PredAtom))
+        ]
+        if not positions:
+            yield self._solve_body(clause.body, {})
+            return
+        for position in positions:
+            yield self._solve_body_delta(clause.body, position, delta)
 
     def _delta_index(self, since_round: int) -> "DeltaIndex":
         ids_by_type: dict[str, set[BaseTerm]] = {}

@@ -10,6 +10,12 @@ stores them with two levels of indexing:
 
 Facts are also stamped with the *round* in which they were derived,
 which is what semi-naive evaluation's delta joins need.
+
+For observability, :meth:`FactBase.observe` attaches a
+:class:`repro.obs.report.IndexStats`; every :meth:`candidates` fetch
+then records whether the first-argument index was usable and how many
+candidates it returned — the EXPLAIN report's index-hit numbers.  With
+no observer attached the cost is one ``None`` check per fetch.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ def principal_functor(term: FTerm) -> Optional[tuple]:
 class FactBase:
     """A set of ground atoms with predicate and first-argument indexes."""
 
-    __slots__ = ("_atoms", "_by_pred", "_by_first", "_stamps", "_round")
+    __slots__ = ("_atoms", "_by_pred", "_by_first", "_stamps", "_round", "_obs")
 
     def __init__(self, atoms: Iterable[FAtom] = ()) -> None:
         self._atoms: set[FAtom] = set()
@@ -45,8 +51,15 @@ class FactBase:
         self._by_first: dict[tuple, list[FAtom]] = {}
         self._stamps: dict[FAtom, int] = {}
         self._round = 0
+        self._obs = None
         for atom in atoms:
             self.add(atom)
+
+    def observe(self, stats) -> None:
+        """Attach (or with ``None``, detach) an
+        :class:`~repro.obs.report.IndexStats` that every candidate fetch
+        updates."""
+        self._obs = stats
 
     # ------------------------------------------------------------------
     # Mutation
@@ -110,10 +123,20 @@ class FactBase:
         signature = pattern.signature
         key = principal_functor(pattern.args[0])
         if key is None:
-            return list(self._by_pred.get(signature, ()))
+            result = list(self._by_pred.get(signature, ()))
+            if self._obs is not None:
+                self._obs.lookups += 1
+                self._obs.scans += 1
+                self._obs.candidates_returned += len(result)
+            return result
         # Copied so callers may iterate while new facts are derived into
         # the base (the bottom-up engines do exactly that).
-        return list(self._by_first.get((signature, key), ()))
+        result = list(self._by_first.get((signature, key), ()))
+        if self._obs is not None:
+            self._obs.lookups += 1
+            self._obs.indexed += 1
+            self._obs.candidates_returned += len(result)
+        return result
 
     def candidate_count(self, pattern: FAtom) -> int:
         """Number of candidates for ``pattern`` without copying the

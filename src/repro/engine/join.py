@@ -42,7 +42,7 @@ from repro.engine.builtins import builtin_is_ready, solve_builtin
 from repro.engine.factbase import FactBase
 from repro.fol.unify import match_atom
 
-__all__ = ["join_body", "check_range_restricted"]
+__all__ = ["join_body", "check_range_restricted", "plan_order"]
 
 
 #: Candidate-source modes for one body atom in a partitioned join.
@@ -176,6 +176,41 @@ def _join(
         extended = match_atom(pattern, fact, subst)
         if extended is not None:
             yield from _join(rest, facts, extended, reorder, old_before)
+
+
+def plan_order(
+    body: Sequence[FBodyAtom], facts: FactBase
+) -> list[tuple[str, int]]:
+    """The greedy join order for ``body`` against the current facts, as
+    ``(pretty atom, estimated candidates)`` pairs — what the EXPLAIN
+    report prints.
+
+    This is the plan for the *first* instantiation attempt (empty
+    substitution), so the costs are the planner's initial selectivity
+    estimates; once bindings flow, later picks get cheaper than shown.
+    Builtins and ground negations cost 0; atoms the planner cannot
+    schedule from an empty substitution (unready builtins, non-ground
+    negations) are appended in textual order with cost -1.
+    """
+    from repro.fol.pretty import pretty_fatom
+
+    remaining: list[tuple[FBodyAtom, str]] = [(atom, _ALL) for atom in body]
+    subst = Substitution.empty()
+    plan: list[tuple[str, int]] = []
+    while remaining:
+        index = _pick(remaining, facts, subst, reorder=True)
+        if index < 0:
+            plan.extend((pretty_fatom(atom), -1) for atom, __ in remaining)
+            break
+        atom, __ = remaining.pop(index)
+        if isinstance(atom, (FBuiltin, NegAtom)):
+            cost = 0
+        else:
+            pattern = substitute_fatom(atom, subst)
+            assert isinstance(pattern, FAtom)
+            cost = facts.candidate_count(pattern)
+        plan.append((pretty_fatom(atom), cost))
+    return plan
 
 
 def check_range_restricted(head_atoms: Sequence[FAtom], body: Sequence[FBodyAtom]) -> None:

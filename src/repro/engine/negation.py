@@ -191,22 +191,48 @@ def stratified_fixpoint(
     clauses: Union[FOLProgram, Iterable[ClauseLike]],
     max_rounds: int = 10_000,
     stats: EvaluationStats | None = None,
+    tracer=None,
+    report=None,
 ) -> FactBase:
     """The perfect model of a stratified program.
 
     Strata are evaluated bottom-up in order; a negative atom is checked
     by absence from the facts derived so far, which is sound because the
     negated predicate's definition is complete in lower strata.
+
+    ``tracer``/``report`` are the :mod:`repro.obs` hooks: one span per
+    stratum (with round spans nested inside) and a per-rule EXPLAIN
+    account.  This engine joins in textual order, so the report carries
+    no join-order plans.
     """
     stats = stats if stats is not None else EvaluationStats()
     facts = FactBase()
-    for level_clauses in stratify(clauses):
-        _saturate_stratum(level_clauses, facts, max_rounds, stats)
+    if report is not None:
+        report.engine = report.engine or "stratified"
+        facts.observe(report.index)
+    for level, level_clauses in enumerate(stratify(clauses)):
+        stratum_span = (
+            tracer.start("stratified.stratum", stratum=level, clauses=len(level_clauses))
+            if tracer is not None
+            else None
+        )
+        _saturate_stratum(level_clauses, facts, max_rounds, stats, tracer, report)
+        if stratum_span is not None:
+            tracer.finish(stratum_span)
+    if report is not None:
+        report.rounds = stats.rounds
+        report.facts_total = len(facts)
+        facts.observe(None)
     return facts
 
 
 def _saturate_stratum(
-    clauses: list[NegClause], facts: FactBase, max_rounds: int, stats: EvaluationStats
+    clauses: list[NegClause],
+    facts: FactBase,
+    max_rounds: int,
+    stats: EvaluationStats,
+    tracer=None,
+    report=None,
 ) -> None:
     for clause in clauses:
         if not clause.body:
@@ -215,13 +241,44 @@ def _saturate_stratum(
                 if facts.add(head):
                     stats.facts_new += 1
     rules = [clause for clause in clauses if clause.body]
+    rule_slots = None
+    if report is not None:
+        from repro.fol.pretty import pretty_fatom
+
+        rule_slots = [
+            report.rule(
+                id(clause),
+                " & ".join(pretty_fatom(h) for h in clause.heads)
+                + " :- "
+                + ", ".join(
+                    ("\\+ " + pretty_fatom(a.atom))
+                    if isinstance(a, NegAtom)
+                    else pretty_fatom(a)
+                    for a in clause.body
+                )
+                + ".",
+            )
+            for clause in rules
+        ]
     for _ in range(max_rounds):
         stats.rounds += 1
         facts.next_round()
+        round_span = (
+            tracer.start("stratified.round", round=stats.rounds)
+            if tracer is not None
+            else None
+        )
         changed = False
-        for clause in rules:
+        for rule_index, clause in enumerate(rules):
+            row = None
+            if rule_slots is not None:
+                row = rule_slots[rule_index].round(stats.rounds)
+                index_before = report.index.snapshot()
+                derived_before, new_before = stats.facts_derived, stats.facts_new
             for subst in _join_neg(clause.body, 0, facts, Substitution.empty()):
                 stats.body_evaluations += 1
+                if row is not None:
+                    row.instantiations += 1
                 for head in clause.heads:
                     derived = substitute_fatom(head, subst)
                     assert isinstance(derived, FAtom)
@@ -229,6 +286,13 @@ def _saturate_stratum(
                     if facts.add(derived):
                         stats.facts_new += 1
                         changed = True
+            if row is not None:
+                row.facts_derived += stats.facts_derived - derived_before
+                row.facts_new += stats.facts_new - new_before
+                report.index.add_since(index_before, rule_slots[rule_index].index)
+        if round_span is not None:
+            round_span.set("changed", changed)
+            tracer.finish(round_span)
         if not changed:
             return
     raise EngineError(f"no fixpoint within {max_rounds} rounds")

@@ -21,9 +21,15 @@ from typing import Iterable, Union
 
 from repro.core.errors import EngineError
 from repro.fol.atoms import FAtom, FBuiltin, FOLProgram, substitute_fatom
-from repro.engine.bottomup import ClauseLike, EvaluationStats, normalize_clauses
+from repro.engine.bottomup import (
+    ClauseLike,
+    EvaluationStats,
+    finish_report,
+    normalize_clauses,
+    prepare_report,
+)
 from repro.engine.factbase import FactBase
-from repro.engine.join import check_range_restricted, join_body
+from repro.engine.join import check_range_restricted, join_body, plan_order
 
 __all__ = ["seminaive_fixpoint"]
 
@@ -32,8 +38,15 @@ def seminaive_fixpoint(
     clauses: Union[FOLProgram, Iterable[ClauseLike]],
     max_rounds: int = 10_000,
     stats: EvaluationStats | None = None,
+    tracer=None,
+    report=None,
 ) -> FactBase:
-    """The minimal model of ``clauses``, computed semi-naively."""
+    """The minimal model of ``clauses``, computed semi-naively.
+
+    ``tracer``/``report`` are the observability hooks of
+    :mod:`repro.obs` — one span per round, and the per-rule, per-round
+    EXPLAIN account; both default off.
+    """
     generalized = normalize_clauses(clauses)
     from repro.engine.bottomup import _reject_negation
 
@@ -49,6 +62,7 @@ def seminaive_fixpoint(
                     stats.facts_new += 1
                 stats.facts_derived += 1
     rules = [clause for clause in generalized if not clause.is_fact]
+    rule_slots = prepare_report(report, "seminaive", rules, facts)
     # Precompute the joinable (non-builtin) positions of each rule.
     positions = [
         [i for i, atom in enumerate(clause.body) if not isinstance(atom, FBuiltin)]
@@ -58,8 +72,22 @@ def seminaive_fixpoint(
     for _ in range(max_rounds):
         stats.rounds += 1
         current_round = facts.next_round()
+        round_span = (
+            tracer.start("seminaive.round", round=stats.rounds)
+            if tracer is not None
+            else None
+        )
+        new_before_round = stats.facts_new
         changed = False
-        for clause, delta_positions in zip(rules, positions):
+        for rule_index, (clause, delta_positions) in enumerate(zip(rules, positions)):
+            row = None
+            if rule_slots is not None:
+                slot = rule_slots[rule_index]
+                slot.join_order = plan_order(clause.body, facts)
+                row = slot.round(stats.rounds)
+                index_before = report.index.snapshot()
+                derived_before, new_before = stats.facts_derived, stats.facts_new
+            evals_before = stats.body_evaluations
             if not delta_positions:
                 # Pure-builtin body: evaluate once, in the first round.
                 if stats.rounds > 1:
@@ -68,17 +96,31 @@ def seminaive_fixpoint(
                 for subst in iterator:
                     stats.body_evaluations += 1
                     changed |= _derive(clause.heads, subst, facts, stats)
-                continue
-            # The old/delta/all partition in join_body yields each new
-            # instantiation from exactly one position: no dedup needed.
-            for position in delta_positions:
-                for subst in join_body(
-                    clause.body, facts, delta_position=position, delta_round=delta_round
-                ):
-                    stats.body_evaluations += 1
-                    changed |= _derive(clause.heads, subst, facts, stats)
+            else:
+                # The old/delta/all partition in join_body yields each
+                # new instantiation from exactly one position: no dedup
+                # needed.
+                for position in delta_positions:
+                    for subst in join_body(
+                        clause.body,
+                        facts,
+                        delta_position=position,
+                        delta_round=delta_round,
+                    ):
+                        stats.body_evaluations += 1
+                        changed |= _derive(clause.heads, subst, facts, stats)
+            if row is not None:
+                row.instantiations += stats.body_evaluations - evals_before
+                row.facts_derived += stats.facts_derived - derived_before
+                row.facts_new += stats.facts_new - new_before
+                report.index.add_since(index_before, rule_slots[rule_index].index)
         delta_round = current_round
+        if round_span is not None:
+            round_span.count("facts_new", stats.facts_new - new_before_round)
+            round_span.set("changed", changed)
+            tracer.finish(round_span)
         if not changed:
+            finish_report(report, stats, facts)
             return facts
     raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
 

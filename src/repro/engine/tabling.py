@@ -87,19 +87,37 @@ class TabledEngine:
         self.stats = TablingStats()
 
     def solve(
-        self, goals: Sequence[FBodyAtom], max_iterations: int = 10_000
+        self, goals: Sequence[FBodyAtom], max_iterations: int = 10_000, tracer=None
     ) -> list[Substitution]:
-        """All answers to the goal list, restricted to its variables."""
+        """All answers to the goal list, restricted to its variables.
+
+        With a ``tracer`` (:class:`repro.obs.Tracer`), each pass of the
+        answer-iteration fixpoint is one ``tabling.iteration`` span
+        carrying the table/answer counters."""
         variables: set[str] = set()
         for goal in goals:
             variables |= atom_variables(goal)
         for _ in range(max_iterations):
             self.stats.iterations += 1
+            iter_span = (
+                tracer.start("tabling.iteration", iteration=self.stats.iterations)
+                if tracer is not None
+                else None
+            )
+            consumed_before = self.stats.consumed
             self._changed = False
             self._produced.clear()
             answers: set[Substitution] = set()
             for subst in self._solve_goals(list(goals), Substitution.empty()):
                 answers.add(subst.restrict(variables))
+            if iter_span is not None:
+                iter_span.count("tables", len(self._table))
+                iter_span.count(
+                    "table_answers", sum(len(v) for v in self._table.values())
+                )
+                iter_span.count("consumed", self.stats.consumed - consumed_before)
+                iter_span.set("changed", self._changed)
+                tracer.finish(iter_span)
             if not self._changed:
                 self.stats.tables = len(self._table)
                 self.stats.answers = sum(len(v) for v in self._table.values())

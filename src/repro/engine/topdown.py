@@ -106,6 +106,7 @@ class SLDEngine:
         stats: SLDStats | None = None,
         select: str = "leftmost",
         max_steps: int | None = None,
+        tracer=None,
     ) -> Iterator[Substitution]:
         """Yield answer substitutions for the goal list, restricted to
         the goal variables.
@@ -114,10 +115,25 @@ class SLDEngine:
         (exceeding it prunes the branch and counts a cutoff);
         ``max_steps``, if given, bounds *total* resolution steps and
         raises :class:`EngineError` when exhausted.
+
+        With a ``tracer`` (:class:`repro.obs.Tracer`) the search runs
+        eagerly inside one ``sld.solve`` span carrying the search-effort
+        counters; without one, answers stream lazily as before.
         """
         if select not in ("leftmost", "smallest"):
             raise EngineError(f"unknown selection rule {select!r}")
         stats = stats if stats is not None else SLDStats()
+        if tracer is not None:
+            with tracer.span("sld.solve", select=select, max_depth=max_depth) as span:
+                answers = list(
+                    self.solve(goals, max_depth, stats, select, max_steps, tracer=None)
+                )
+                span.count("answers", len(answers))
+                span.count("resolutions", stats.resolutions)
+                span.count("unifications", stats.unifications)
+                span.count("depth_cutoffs", stats.depth_cutoffs)
+            yield from answers
+            return
         budget = [max_steps if max_steps is not None else -1]
         variables: set[str] = set()
         for goal in goals:

@@ -218,20 +218,33 @@ class KnowledgeBase:
     # ------------------------------------------------------------------
 
     def ask(
-        self, query: Union[str, Query], engine: Optional[str] = None
+        self,
+        query: Union[str, Query],
+        engine: Optional[str] = None,
+        tracer=None,
+        report=None,
     ) -> list[Answer]:
         """Answer a query with the chosen engine (default: the KB's).
 
         All engines return the same answer set on terminating programs
-        (tested); they differ in cost profile — see DESIGN.md.
+        (tested); they differ in cost profile — see DESIGN.md and
+        docs/EVALUATION.md.
+
+        ``tracer``/``report`` are the :mod:`repro.obs` hooks.  A tracer
+        records timed spans under every engine; an
+        :class:`~repro.obs.ExplainReport` gets the per-rule, per-round
+        account from the fixpoint engines (direct, bottomup, seminaive —
+        SLD and tabling have no rounds to report, only spans).  Passing
+        either forces a fresh evaluation instead of reusing the cached
+        model, so the run being described is the run you asked about.
         """
         engine = engine if engine is not None else self.default_engine
         if engine not in ENGINES:
             raise EngineError(f"unknown engine {engine!r}; choose from {ENGINES}")
         parsed = parse_query(query) if isinstance(query, str) else query
         if engine == "direct":
-            return self._ask_direct(parsed)
-        return self._ask_fol(parsed, engine)
+            return self._ask_direct(parsed, tracer, report)
+        return self._ask_fol(parsed, engine, tracer, report)
 
     def holds(self, query: Union[str, Query], engine: Optional[str] = None) -> bool:
         """True iff the query has at least one answer."""
@@ -259,17 +272,23 @@ class KnowledgeBase:
             rendered.append((header + "\n" if header else "") + body)
         return rendered
 
-    def _ask_direct(self, query: Query) -> list[Answer]:
-        answers = self.direct_engine().solve(query)
+    def _ask_direct(self, query: Query, tracer=None, report=None) -> list[Answer]:
+        if tracer is not None or report is not None:
+            engine = DirectEngine(self._program, tracer=tracer, report=report)
+        else:
+            engine = self.direct_engine()
+        answers = engine.solve(query)
         return sorted(
             (Answer(tuple(sorted(a.items()))) for a in answers), key=repr
         )
 
-    def _ask_fol(self, query: Query, engine: str) -> list[Answer]:
+    def _ask_fol(
+        self, query: Query, engine: str, tracer=None, report=None
+    ) -> list[Answer]:
         goals = query_to_fol(query)
         substitutions: Iterable[Substitution]
         if engine in ("bottomup", "seminaive"):
-            facts = self._fol_minimal_model(engine)
+            facts = self._fol_minimal_model(engine, tracer, report)
             from repro.engine.bottomup import answer_query_bottomup
 
             substitutions = answer_query_bottomup(goals, facts)
@@ -282,7 +301,7 @@ class KnowledgeBase:
                     "direct, bottomup or seminaive engine"
                 )
             substitutions = SLDEngine(self._fol_program()).solve(
-                goals, max_depth=self.sld_depth, select=self.sld_select
+                goals, max_depth=self.sld_depth, select=self.sld_select, tracer=tracer
             )
         else:  # tabled
             if self._uses_negation():
@@ -292,7 +311,7 @@ class KnowledgeBase:
                     "the tabled engine does not support negation; use the "
                     "direct, bottomup or seminaive engine"
                 )
-            substitutions = TabledEngine(self._fol_program()).solve(goals)
+            substitutions = TabledEngine(self._fol_program()).solve(goals, tracer=tracer)
         out = []
         for subst in substitutions:
             binding = tuple(
@@ -335,24 +354,33 @@ class KnowledgeBase:
             for atom in clause.body
         )
 
-    def _fol_minimal_model(self, engine: str):
+    def _fol_minimal_model(self, engine: str, tracer=None, report=None):
+        observed = tracer is not None or report is not None
         cached = self._fol_facts.get(engine)
-        if cached is None:
+        if cached is None or observed:
+            # An observed run recomputes even over a warm cache: the
+            # report must describe the evaluation actually performed.
             if self._uses_negation():
                 # Both bottom-up strategies route through the stratified
                 # engine when the program negates (the positive
                 # fixpoints refuse such rules).
                 from repro.engine.negation import stratified_fixpoint
 
-                cached = stratified_fixpoint(self._fol_program())
+                cached = stratified_fixpoint(
+                    self._fol_program(), tracer=tracer, report=report
+                )
             elif engine == "bottomup":
                 from repro.engine.bottomup import naive_fixpoint
 
-                cached = naive_fixpoint(self._fol_program())
+                cached = naive_fixpoint(
+                    self._fol_program(), tracer=tracer, report=report
+                )
             else:
                 from repro.engine.seminaive import seminaive_fixpoint
 
-                cached = seminaive_fixpoint(self._fol_program())
+                cached = seminaive_fixpoint(
+                    self._fol_program(), tracer=tracer, report=report
+                )
             self._fol_facts[engine] = cached
         return cached
 

@@ -1,0 +1,37 @@
+"""Evaluation observability: tracing, metrics, EXPLAIN reports.
+
+Section 4 of the paper is about *evaluation strategies* — where the
+work goes when complex-object programs are evaluated bottom-up,
+top-down, or directly over clustered terms.  This package is the
+instrumentation that makes those costs visible:
+
+* :class:`Tracer` — nested, timed spans with counters attached,
+  exportable as JSONL (one span per line) or a pretty text tree;
+* :class:`MetricsRegistry` — named counters, gauges and timers; the
+  engines' ad-hoc stat dataclasses publish into it;
+* :class:`ExplainReport` — a per-rule, per-round account of a fixpoint
+  run: instantiations tried, facts produced, the join orders chosen by
+  :mod:`repro.engine.join`, and the index hit rates of
+  :meth:`repro.engine.factbase.FactBase.candidates`.
+
+Everything here is dependency-free and optional: every engine accepts
+``tracer=None, report=None`` and pays only a ``None`` check when
+observability is off.
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.report import ExplainReport, IndexStats, RuleStats
+from repro.obs.tracer import Span, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "ExplainReport",
+    "Gauge",
+    "IndexStats",
+    "MetricsRegistry",
+    "RuleStats",
+    "Span",
+    "Timer",
+    "Tracer",
+    "read_jsonl",
+]

@@ -1,0 +1,164 @@
+"""Named counters, gauges and timers for the evaluation engines.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics created on
+first use (``registry.counter("seminaive.facts_new").add(3)``).  It
+subsumes the per-engine stat dataclasses (:class:`EvaluationStats`,
+``SLDStats``, ``TablingStats``, ``DirectStats``): those stay as cheap
+hot-loop facades and publish into a registry at run boundaries via
+:func:`publish_dataclass`.
+
+The clock is injectable so timer tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Iterator, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "publish_dataclass",
+]
+
+MetricValue = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (e.g. facts in the store after a round)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: MetricValue = 0
+
+    def set(self, value: MetricValue) -> None:
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall time and activation count for a code region."""
+
+    __slots__ = ("name", "total", "count", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self._clock = clock
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.total += self._timer._clock() - self._start
+        self._timer.count += 1
+
+
+class MetricsRegistry:
+    """A flat, create-on-first-use namespace of metrics."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name, self._clock)
+        return metric
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._timers
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def snapshot(self) -> dict[str, MetricValue]:
+        """A flat name -> value dict (timers contribute ``.total`` in
+        seconds and ``.count``), suitable for JSON or result records."""
+        out: dict[str, MetricValue] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, timer in self._timers.items():
+            out[f"{name}.total_s"] = timer.total
+            out[f"{name}.count"] = timer.count
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counts into this one."""
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, timer in other._timers.items():
+            mine = self.timer(name)
+            mine.total += timer.total
+            mine.count += timer.count
+
+
+def publish_dataclass(
+    registry: MetricsRegistry, stats: object, prefix: str, counters: Optional[set] = None
+) -> None:
+    """Publish every numeric field of a stats dataclass as
+    ``{prefix}.{field}`` counters — the bridge from the engines' cheap
+    hot-loop dataclasses into the shared registry."""
+    for field in dataclasses.fields(stats):
+        value = getattr(stats, field.name)
+        if not isinstance(value, (int, float)):
+            continue
+        if counters is not None and field.name not in counters:
+            continue
+        metric = registry.counter(f"{prefix}.{field.name}")
+        metric.add(int(value))

@@ -1,0 +1,166 @@
+"""EXPLAIN reports: a per-rule, per-round account of a fixpoint run.
+
+Databases answer "why is this query slow?" with EXPLAIN; the bottom-up
+engines here answer the same question for a saturation run:
+
+* per rule and per round — instantiations tried (body evaluations),
+  facts derived, facts actually new;
+* per rule — the join order chosen by the greedy planner in
+  :mod:`repro.engine.join`, with the candidate counts that justified
+  it;
+* per rule and globally — the hit rate of the first-argument index
+  behind :meth:`repro.engine.factbase.FactBase.candidates` (a lookup
+  *hits* when the pattern's first argument was ground enough to use
+  the index instead of scanning the whole predicate).
+
+An :class:`ExplainReport` is filled by an engine when passed as its
+``report=`` argument and rendered with :meth:`ExplainReport.render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["ExplainReport", "IndexStats", "RoundRow", "RuleStats"]
+
+
+@dataclass
+class IndexStats:
+    """Counters for fact-base candidate lookups (the index side)."""
+
+    lookups: int = 0
+    indexed: int = 0
+    scans: int = 0
+    candidates_returned: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served by the first-argument index."""
+        return self.indexed / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.lookups, self.indexed, self.scans, self.candidates_returned)
+
+    def add_since(self, snapshot: tuple[int, int, int, int], into: "IndexStats") -> None:
+        """Accumulate the change since ``snapshot`` into ``into``."""
+        into.lookups += self.lookups - snapshot[0]
+        into.indexed += self.indexed - snapshot[1]
+        into.scans += self.scans - snapshot[2]
+        into.candidates_returned += self.candidates_returned - snapshot[3]
+
+    def describe(self) -> str:
+        if not self.lookups:
+            return "no index lookups"
+        return (
+            f"{self.lookups} lookups, {self.hit_rate * 100:.1f}% first-arg "
+            f"indexed ({self.scans} full scans), "
+            f"{self.candidates_returned} candidates returned"
+        )
+
+
+@dataclass
+class RoundRow:
+    """One rule's work in one fixpoint round."""
+
+    instantiations: int = 0
+    facts_derived: int = 0
+    facts_new: int = 0
+
+
+@dataclass
+class RuleStats:
+    """Everything the report knows about one rule."""
+
+    rule: str
+    join_order: Optional[list[tuple[str, int]]] = None
+    rounds: dict[int, RoundRow] = field(default_factory=dict)
+    index: IndexStats = field(default_factory=IndexStats)
+
+    def round(self, number: int) -> RoundRow:
+        row = self.rounds.get(number)
+        if row is None:
+            row = self.rounds[number] = RoundRow()
+        return row
+
+    @property
+    def instantiations(self) -> int:
+        return sum(row.instantiations for row in self.rounds.values())
+
+    @property
+    def facts_derived(self) -> int:
+        return sum(row.facts_derived for row in self.rounds.values())
+
+    @property
+    def facts_new(self) -> int:
+        return sum(row.facts_new for row in self.rounds.values())
+
+
+class ExplainReport:
+    """A fixpoint run's per-rule, per-round account (see module doc)."""
+
+    def __init__(self, engine: str = "") -> None:
+        self.engine = engine
+        self.rounds = 0
+        self.index = IndexStats()
+        self.facts_total = 0
+        self._rules: dict[Hashable, RuleStats] = {}
+
+    # ------------------------------------------------------------------
+    # Filling (engine side)
+    # ------------------------------------------------------------------
+
+    def rule(self, key: Hashable, rendering: str) -> RuleStats:
+        """Get or create the stats slot for one rule; ``key`` is stable
+        per rule (the engines use the clause index), ``rendering`` its
+        pretty-printed source."""
+        stats = self._rules.get(key)
+        if stats is None:
+            stats = self._rules[key] = RuleStats(rule=rendering)
+        return stats
+
+    @property
+    def rules(self) -> list[RuleStats]:
+        return list(self._rules.values())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        lines: list[str] = []
+        title = f"EXPLAIN — {self.engine}" if self.engine else "EXPLAIN"
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append(
+            f"rounds: {self.rounds}   facts in model: {self.facts_total}   "
+            f"index: {self.index.describe()}"
+        )
+        for number, stats in enumerate(self._rules.values(), start=1):
+            lines.append("")
+            lines.append(f"rule {number}: {stats.rule}")
+            if stats.join_order is not None:
+                rendered = " -> ".join(
+                    f"{atom} (~{cost})" for atom, cost in stats.join_order
+                )
+                lines.append(f"  join order (greedy, final round): {rendered}")
+            if stats.index.lookups:
+                lines.append(f"  index: {stats.index.describe()}")
+            if not stats.rounds:
+                lines.append("  (never instantiated)")
+                continue
+            lines.append("  round  instantiations  derived  new")
+            for round_number in sorted(stats.rounds):
+                row = stats.rounds[round_number]
+                lines.append(
+                    f"  {round_number:>5}  {row.instantiations:>14}  "
+                    f"{row.facts_derived:>7}  {row.facts_new:>3}"
+                )
+            lines.append(
+                f"  total  {stats.instantiations:>14}  "
+                f"{stats.facts_derived:>7}  {stats.facts_new:>3}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

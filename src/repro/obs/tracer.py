@@ -1,0 +1,219 @@
+"""Nested, timed spans over an evaluation run.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("seminaive.fixpoint") as run:
+        with tracer.span("seminaive.round", round=3) as round_span:
+            round_span.count("facts_new", 17)
+    print(tracer.format_tree())
+    tracer.write_jsonl("trace.jsonl")
+
+Spans nest by dynamic scope (the context-manager stack), carry
+free-form attributes given at creation and integer counters accumulated
+while open, and are timed with an injectable clock so tests are
+deterministic.  The JSONL export writes one object per span with
+explicit ``id``/``parent`` links; :func:`read_jsonl` reconstructs the
+forest, and the round trip preserves everything but object identity.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterator, Optional
+
+__all__ = ["Span", "Tracer", "read_jsonl"]
+
+
+class Span:
+    """One timed region: name, attributes, counters, children."""
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "attributes",
+        "counters",
+        "children",
+        "parent_id",
+        "start",
+        "duration",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        attributes: dict,
+        parent_id: Optional[int],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.attributes = attributes
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.parent_id = parent_id
+        self.start = start
+        self.duration: float = 0.0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate an integer counter on this span."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set(self, name: str, value) -> None:
+        """Set (or overwrite) an attribute after creation."""
+        self.attributes[name] = value
+
+    def to_record(self) -> dict:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attributes,
+            "counters": self.counters,
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.attributes}, {self.counters})"
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.finish(self.span)
+
+
+class Tracer:
+    """A span collector with an injectable clock.
+
+    ``clock`` must be a monotonically non-decreasing zero-argument
+    callable returning seconds; tests inject a fake that steps by a
+    fixed amount per call, making durations deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------------
+
+    def start(self, name: str, **attributes) -> Span:
+        """Open a span imperatively (engine loops); pair with
+        :meth:`finish`.  The span becomes a child of the innermost open
+        span (or a root)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self._next_id,
+            name,
+            dict(attributes),
+            parent.span_id if parent is not None else None,
+            self._clock(),
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.duration = self._clock() - span.start
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a span as a context manager (``with tracer.span(...)``)."""
+        return _SpanContext(self, self.start(name, **attributes))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any (for attaching counters from
+        deep inside an engine without threading the span through)."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """All spans, depth-first in creation order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, parents before children."""
+        return "\n".join(json.dumps(span.to_record()) for span in self.spans())
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+    def format_tree(self, durations: bool = True) -> str:
+        """The span forest as an indented text tree."""
+        lines: list[str] = []
+        for root in self.roots:
+            _format_span(root, 0, lines, durations)
+        return "\n".join(lines)
+
+
+def _format_span(span: Span, depth: int, lines: list[str], durations: bool) -> None:
+    attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+    counters = " ".join(f"{k}={v}" for k, v in sorted(span.counters.items()))
+    parts = [span.name]
+    if attrs:
+        parts.append(f"[{attrs}]")
+    if counters:
+        parts.append(counters)
+    if durations:
+        parts.append(f"({span.duration * 1e3:.2f} ms)")
+    lines.append("  " * depth + " ".join(parts))
+    for child in span.children:
+        _format_span(child, depth + 1, lines, durations)
+
+
+def read_jsonl(text: str) -> list[Span]:
+    """Rebuild the span forest from :meth:`Tracer.to_jsonl` output (or a
+    trace file's contents); returns the roots."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span = Span(
+            record["id"],
+            record["name"],
+            dict(record["attrs"]),
+            record["parent"],
+            record["start"],
+        )
+        span.duration = record["duration"]
+        span.counters = {str(k): int(v) for k, v in record["counters"].items()}
+        by_id[span.span_id] = span
+        if span.parent_id is None:
+            roots.append(span)
+        else:
+            by_id[span.parent_id].children.append(span)
+    return roots

@@ -31,27 +31,77 @@ the simplified ``common_np`` clause printed in the paper (tested in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.types import TypeHierarchy
 from repro.fol.atoms import FAtom, FBodyAtom, GeneralizedClause
 from repro.transform.clauses import GeneralizedProgram
 
-__all__ = ["OptimizationReport", "optimize_clause", "optimize_program"]
+__all__ = ["Elimination", "OptimizationReport", "optimize_clause", "optimize_program"]
+
+
+@dataclass(frozen=True)
+class Elimination:
+    """One removed type atom: where it sat, what it was, and why."""
+
+    zone: str  # "head" or "body"
+    atom: str  # the deleted atom, pretty-printed
+    reason: str  # the implying atom (or "duplicate of ...")
+
+    def __str__(self) -> str:
+        return f"{self.zone}: {self.atom} deleted ({self.reason})"
 
 
 @dataclass
 class OptimizationReport:
-    """What the optimizer removed (for the E5 experiment)."""
+    """What the optimizer removed (for the E5 experiment and the
+    observability layer's EXPLAIN output).
+
+    Beyond the raw counts, ``eliminations`` records *which* type-
+    predicate redundancies were removed and why, and
+    :meth:`by_predicate` aggregates them — so a trace shows e.g. that
+    the translation's ``object/1`` atoms dominate the waste.
+    """
 
     head_atoms_deleted: int = 0
     body_atoms_deleted: int = 0
     clauses_dropped: int = 0
     duplicate_clauses_dropped: int = 0
+    eliminations: list[Elimination] = field(default_factory=list)
 
     @property
     def atoms_deleted(self) -> int:
         return self.head_atoms_deleted + self.body_atoms_deleted
+
+    def by_predicate(self) -> dict[str, int]:
+        """Deleted-atom counts keyed by the type predicate removed."""
+        out: dict[str, int] = {}
+        for elimination in self.eliminations:
+            pred = elimination.atom.split("(", 1)[0]
+            out[pred] = out.get(pred, 0) + 1
+        return dict(sorted(out.items(), key=lambda item: -item[1]))
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.atoms_deleted} type atoms deleted "
+            f"({self.head_atoms_deleted} head, {self.body_atoms_deleted} body)",
+            f"{self.clauses_dropped} clauses dropped",
+            f"{self.duplicate_clauses_dropped} duplicates dropped",
+        ]
+        per_pred = self.by_predicate()
+        if per_pred:
+            top = ", ".join(f"{pred}: {count}" for pred, count in per_pred.items())
+            parts.append(f"by predicate: {top}")
+        return "; ".join(parts)
+
+    def _record(self, zone: str, atom: FAtom, reason: str) -> None:
+        from repro.fol.pretty import pretty_fatom
+
+        self.eliminations.append(Elimination(zone, pretty_fatom(atom), reason))
+        if zone == "head":
+            self.head_atoms_deleted += 1
+        else:
+            self.body_atoms_deleted += 1
 
 
 def _is_type_atom(atom: FBodyAtom, hierarchy: TypeHierarchy) -> bool:
@@ -69,7 +119,7 @@ def _eliminate_within_zone(
             kept.append(atom)
             continue
         assert isinstance(atom, FAtom)
-        redundant = False
+        reason = None
         for other_position, other in enumerate(atoms):
             if other_position == position or not _is_type_atom(other, hierarchy):
                 continue
@@ -79,17 +129,14 @@ def _eliminate_within_zone(
             if other.pred == atom.pred:
                 # Exact duplicate: keep only the first occurrence.
                 if other_position < position:
-                    redundant = True
+                    reason = "duplicate"
                     break
             elif hierarchy.is_subtype(other.pred, atom.pred):
                 # A strictly smaller type is present: atom is implied.
-                redundant = True
+                reason = f"implied by {other.pred} <= {atom.pred} (case 1)"
                 break
-        if redundant:
-            if zone == "head":
-                report.head_atoms_deleted += 1
-            else:
-                report.body_atoms_deleted += 1
+        if reason is not None:
+            report._record(zone, atom, reason)
         else:
             kept.append(atom)
     return kept
@@ -108,16 +155,18 @@ def _eliminate_head_by_body(
             kept.append(atom)
             continue
         assert isinstance(atom, FAtom)
-        implied = False
+        implied_by = None
         for other in body:
             if not _is_type_atom(other, hierarchy):
                 continue
             assert isinstance(other, FAtom)
             if other.args == atom.args and hierarchy.is_subtype(other.pred, atom.pred):
-                implied = True
+                implied_by = other
                 break
-        if implied:
-            report.head_atoms_deleted += 1
+        if implied_by is not None:
+            report._record(
+                "head", atom, f"implied by body {implied_by.pred} <= {atom.pred} (case 2)"
+            )
         else:
             kept.append(atom)
     return kept
@@ -148,13 +197,23 @@ def optimize_clause(
 
 def optimize_program(
     program: GeneralizedProgram,
+    tracer=None,
 ) -> tuple[GeneralizedProgram, OptimizationReport]:
     """Optimize every clause and drop exact duplicate clauses.
 
     The type axioms are left untouched: they are what justifies the
     deletions, so they must survive into the final program.
+
+    With a ``tracer`` (:class:`repro.obs.Tracer`) the pass runs inside a
+    ``transform.optimize`` span whose counters record what was removed,
+    per predicate.
     """
     report = OptimizationReport()
+    span = (
+        tracer.start("transform.optimize", clauses=len(program.clauses))
+        if tracer is not None
+        else None
+    )
     seen: set[GeneralizedClause] = set()
     optimized: list[GeneralizedClause] = []
     for clause in program.clauses:
@@ -166,6 +225,14 @@ def optimize_program(
             continue
         seen.add(simplified)
         optimized.append(simplified)
+    if span is not None:
+        span.count("head_atoms_deleted", report.head_atoms_deleted)
+        span.count("body_atoms_deleted", report.body_atoms_deleted)
+        span.count("clauses_dropped", report.clauses_dropped)
+        span.count("duplicate_clauses_dropped", report.duplicate_clauses_dropped)
+        for pred, count in report.by_predicate().items():
+            span.count(f"deleted.{pred}", count)
+        tracer.finish(span)
     return (
         GeneralizedProgram(tuple(optimized), program.axioms, program.hierarchy),
         report,

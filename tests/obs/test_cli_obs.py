@@ -1,0 +1,157 @@
+"""The query/trace subcommands, workload loading, and KB-level hooks."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import SUBCOMMANDS, Repl, cmd_query, cmd_trace, load_workload
+from repro.interface.kb import ENGINES, KnowledgeBase
+from repro.obs import ExplainReport, Tracer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+TC_SOURCE = """
+edge(a, b).  edge(b, c).  edge(c, d).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+:- tc(a, X).
+"""
+
+
+@pytest.fixture
+def tc_file(tmp_path):
+    path = tmp_path / "tc.cl"
+    path.write_text(TC_SOURCE)
+    return str(path)
+
+
+class TestLoadWorkload:
+    def test_cl_file_yields_inline_queries(self, tc_file):
+        kb, queries = load_workload(tc_file)
+        assert queries == ["tc(a, X)"]
+        assert len(kb.ask(queries[0])) == 3
+
+    def test_python_workload_module(self):
+        path = REPO_ROOT / "examples" / "path_database.py"
+        kb, queries = load_workload(str(path))
+        assert queries  # the example declares TRACE_QUERIES
+        answers = kb.ask(queries[0])
+        assert len(answers) == 2  # two a->d node sequences
+
+    def test_python_module_without_trace_source_rejected(self, tmp_path):
+        from repro.core.errors import CLogicError
+
+        path = tmp_path / "plain.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(CLogicError, match="TRACE_SOURCE"):
+            load_workload(str(path))
+
+
+class TestQueryCommand:
+    def test_prints_answers(self, tc_file):
+        out = io.StringIO()
+        assert cmd_query([tc_file], out=out) == 0
+        text = out.getvalue()
+        assert "?- tc(a, X)" in text
+        assert "(3 answer(s))" in text
+
+    def test_explain_flag_renders_report(self, tc_file):
+        out = io.StringIO()
+        assert cmd_query([tc_file, "--engine", "seminaive", "--explain"], out=out) == 0
+        text = out.getvalue()
+        assert "EXPLAIN — seminaive" in text
+        assert "join order (greedy, final round):" in text
+        assert "round  instantiations  derived  new" in text
+
+    def test_query_flag_overrides_inline(self, tc_file):
+        out = io.StringIO()
+        assert cmd_query([tc_file, "--query", "tc(b, X)"], out=out) == 0
+        assert "(2 answer(s))" in out.getvalue()
+
+    def test_no_queries_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "facts.cl"
+        path.write_text("edge(a, b).\n")
+        assert cmd_query([str(path)], out=io.StringIO()) == 1
+        assert "--query" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert cmd_query(["/no/such/file.cl"], out=io.StringIO()) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_implies_explain_and_tree(self, tc_file):
+        out = io.StringIO()
+        assert cmd_trace([tc_file, "--engine", "bottomup"], out=out) == 0
+        text = out.getvalue()
+        assert "EXPLAIN — bottomup" in text
+        assert "-- trace --" in text
+        assert "bottomup.round" in text
+
+    def test_trace_out_writes_valid_jsonl(self, tc_file, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        out = io.StringIO()
+        argv = [tc_file, "--engine", "seminaive", "--trace-out", str(trace_path)]
+        assert cmd_trace(argv, out=out) == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert all(
+            {"id", "parent", "name", "start", "duration", "attrs", "counters"}
+            <= set(record)
+            for record in records
+        )
+        assert any(record["name"] == "seminaive.round" for record in records)
+
+    def test_acceptance_path_database_example(self):
+        # The headline command: repro trace examples/path_database.py
+        out = io.StringIO()
+        path = str(REPO_ROOT / "examples" / "path_database.py")
+        assert cmd_trace([path], out=out) == 0
+        text = out.getvalue()
+        assert "EXPLAIN — direct" in text
+        assert "rule 1:" in text
+
+
+class TestReplExplain:
+    def test_explain_command(self):
+        out = io.StringIO()
+        repl = Repl(KnowledgeBase.from_source(TC_SOURCE), out=out)
+        repl.handle(":explain tc(a, X)")
+        text = out.getvalue()
+        assert "(3 answer(s))" in text
+        assert "EXPLAIN — direct" in text
+
+    def test_explain_without_query_prints_usage(self):
+        out = io.StringIO()
+        Repl(out=out).handle(":explain")
+        assert "usage: :explain QUERY" in out.getvalue()
+
+
+class TestKnowledgeBaseHooks:
+    def test_every_engine_accepts_a_tracer(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        kb.sld_depth = 20
+        for engine in ENGINES:
+            # Recursion through the translation explodes plain SLD (the
+            # §4 point, measured in E6) — give it the one-step goal.
+            query = "edge(a, X)" if engine == "sld" else "tc(a, X)"
+            expected = 1 if engine == "sld" else 3
+            tracer = Tracer()
+            answers = kb.ask(query, engine=engine, tracer=tracer)
+            assert len(answers) == expected, engine
+            assert list(tracer.spans()), engine  # something was recorded
+
+    def test_fixpoint_engines_fill_reports(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        for engine in ("direct", "bottomup", "seminaive"):
+            report = ExplainReport()
+            kb.ask("tc(a, X)", engine=engine, report=report)
+            assert report.rounds > 0, engine
+            assert report.facts_total > 0, engine
+            assert report.rules, engine
+
+    def test_subcommand_registry_names(self):
+        assert set(SUBCOMMANDS) == {"repl", "query", "trace"}

@@ -1,0 +1,135 @@
+"""MetricsRegistry behaviour and the EvaluationStats facade bridge."""
+
+from repro.engine.bottomup import EvaluationStats, naive_fixpoint
+from repro.fol.atoms import FAtom, HornClause
+from repro.fol.terms import FConst, FVar
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import publish_dataclass
+
+
+class FakeClock:
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("facts").add(3)
+        registry.counter("facts").add(2)
+        assert registry.counter("facts").value == 5
+        assert len(registry) == 1
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("store.size").set(41)
+        registry.gauge("store.size").set(42)
+        assert registry.gauge("store.size").value == 42
+
+    def test_timer_with_fake_clock(self):
+        registry = MetricsRegistry(clock=FakeClock(step=1.0))
+        timer = registry.timer("round")
+        with timer.time():
+            pass
+        with timer.time():
+            pass
+        assert timer.total == 2.0
+        assert timer.count == 2
+        assert timer.mean == 1.0
+
+    def test_snapshot_is_flat(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").add(7)
+        registry.gauge("g").set(1.5)
+        with registry.timer("t").time():
+            pass
+        assert registry.snapshot() == {
+            "c": 7,
+            "g": 1.5,
+            "t.total_s": 1.0,
+            "t.count": 1,
+        }
+
+    def test_merge_folds_counts(self):
+        left = MetricsRegistry(clock=FakeClock())
+        right = MetricsRegistry(clock=FakeClock())
+        left.counter("c").add(1)
+        right.counter("c").add(2)
+        right.gauge("g").set(9)
+        with right.timer("t").time():
+            pass
+        left.merge(right)
+        snapshot = left.snapshot()
+        assert snapshot["c"] == 3
+        assert snapshot["g"] == 9
+        assert snapshot["t.count"] == 1
+
+    def test_iteration_lists_names(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert sorted(registry) == ["a", "b"]
+
+
+class TestStatsFacade:
+    """EvaluationStats stays the cheap hot-loop dataclass and publishes
+    into the registry at run boundaries, losslessly."""
+
+    def _run_stats(self) -> EvaluationStats:
+        clauses = [
+            HornClause(FAtom("edge", (FConst(i), FConst(i + 1)))) for i in range(4)
+        ]
+        clauses.append(
+            HornClause(
+                FAtom("tc", (FVar("X"), FVar("Y"))),
+                (FAtom("edge", (FVar("X"), FVar("Y"))),),
+            )
+        )
+        clauses.append(
+            HornClause(
+                FAtom("tc", (FVar("X"), FVar("Z"))),
+                (
+                    FAtom("edge", (FVar("X"), FVar("Y"))),
+                    FAtom("tc", (FVar("Y"), FVar("Z"))),
+                ),
+            )
+        )
+        stats = EvaluationStats()
+        naive_fixpoint(clauses, stats=stats)
+        return stats
+
+    def test_publish_then_from_registry_round_trips(self):
+        stats = self._run_stats()
+        assert stats.facts_new > 0  # a meaningful run, not all zeros
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        assert EvaluationStats.from_registry(registry) == stats
+
+    def test_published_names_carry_the_prefix(self):
+        stats = self._run_stats()
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["fixpoint.rounds"] == stats.rounds
+        assert snapshot["fixpoint.facts_new"] == stats.facts_new
+        assert all(name.startswith("fixpoint.") for name in snapshot)
+
+    def test_publish_accumulates_across_runs(self):
+        registry = MetricsRegistry()
+        first = self._run_stats()
+        first.publish(registry)
+        first.publish(registry)
+        merged = EvaluationStats.from_registry(registry)
+        assert merged.facts_derived == 2 * first.facts_derived
+
+    def test_publish_dataclass_counter_filter(self):
+        stats = self._run_stats()
+        registry = MetricsRegistry()
+        publish_dataclass(registry, stats, "fp", counters={"rounds"})
+        assert list(registry) == ["fp.rounds"]

@@ -1,0 +1,136 @@
+"""ExplainReport structure and its filling by the fixpoint engines."""
+
+from repro.engine.bottomup import naive_fixpoint
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.fol.atoms import FAtom, HornClause
+from repro.fol.terms import FConst, FVar
+from repro.obs import ExplainReport, IndexStats
+
+
+def tc_clauses(n: int) -> list[HornClause]:
+    clauses = [
+        HornClause(FAtom("edge", (FConst(i), FConst(i + 1)))) for i in range(n)
+    ]
+    clauses.append(
+        HornClause(
+            FAtom("tc", (FVar("X"), FVar("Y"))),
+            (FAtom("edge", (FVar("X"), FVar("Y"))),),
+        )
+    )
+    clauses.append(
+        HornClause(
+            FAtom("tc", (FVar("X"), FVar("Z"))),
+            (
+                FAtom("edge", (FVar("X"), FVar("Y"))),
+                FAtom("tc", (FVar("Y"), FVar("Z"))),
+            ),
+        )
+    )
+    return clauses
+
+
+class TestIndexStats:
+    def test_hit_rate(self):
+        stats = IndexStats(lookups=4, indexed=3, scans=1)
+        assert stats.hit_rate == 0.75
+        assert IndexStats().hit_rate == 0.0
+
+    def test_add_since_accumulates_the_delta(self):
+        live = IndexStats(lookups=10, indexed=8, scans=2, candidates_returned=50)
+        snapshot = live.snapshot()
+        live.lookups += 5
+        live.indexed += 4
+        live.scans += 1
+        live.candidates_returned += 20
+        into = IndexStats()
+        live.add_since(snapshot, into)
+        assert (into.lookups, into.indexed, into.scans) == (5, 4, 1)
+        assert into.candidates_returned == 20
+
+    def test_describe(self):
+        assert IndexStats().describe() == "no index lookups"
+        text = IndexStats(lookups=4, indexed=3, scans=1, candidates_returned=9).describe()
+        assert "75.0%" in text and "4 lookups" in text
+
+
+class TestReportShape:
+    def test_rule_slot_is_stable_per_key(self):
+        report = ExplainReport()
+        first = report.rule(0, "p :- q.")
+        again = report.rule(0, "ignored on second call")
+        assert first is again
+        assert report.rules == [first]
+        assert first.rule == "p :- q."
+
+    def test_round_rows_and_totals(self):
+        report = ExplainReport(engine="test")
+        slot = report.rule(0, "p :- q.")
+        slot.round(1).instantiations += 3
+        slot.round(1).facts_new += 2
+        slot.round(2).instantiations += 1
+        assert slot.instantiations == 4
+        assert slot.facts_new == 2
+        assert sorted(slot.rounds) == [1, 2]
+
+    def test_render_mentions_everything(self):
+        report = ExplainReport(engine="seminaive")
+        report.rounds = 2
+        report.facts_total = 7
+        slot = report.rule(0, "tc(X, Y) :- edge(X, Y).")
+        slot.join_order = [("edge(X, Y)", 3)]
+        slot.round(1).instantiations = 3
+        text = report.render()
+        assert "EXPLAIN — seminaive" in text
+        assert "rounds: 2   facts in model: 7" in text
+        assert "tc(X, Y) :- edge(X, Y)." in text
+        assert "edge(X, Y) (~3)" in text
+        assert "round  instantiations  derived  new" in text
+
+    def test_never_instantiated_rule_renders(self):
+        report = ExplainReport()
+        report.rule(0, "dead :- no_such_fact.")
+        assert "(never instantiated)" in report.render()
+
+
+class TestEngineFilling:
+    def test_seminaive_fills_the_report(self):
+        report = ExplainReport()
+        facts = seminaive_fixpoint(tc_clauses(5), report=report)
+        assert report.engine == "seminaive"
+        assert report.rounds >= 2
+        assert report.facts_total == len(facts)
+        assert report.index.lookups > 0
+        # One slot per rule (extensional facts are not rules), each
+        # carrying a join order and consistent totals.
+        assert len(report.rules) == 2
+        for slot in report.rules:
+            assert slot.join_order is not None
+            assert slot.facts_derived >= slot.facts_new
+
+    def test_new_facts_attributed_to_rules_sum_to_model(self):
+        # Every fact in the model beyond round 0 is some rule's
+        # facts_new exactly once (fixpoint facts are derived once).
+        report = ExplainReport()
+        facts = naive_fixpoint(tc_clauses(4), report=report)
+        derived_new = sum(slot.facts_new for slot in report.rules)
+        base_facts = len(facts) - derived_new
+        assert base_facts > 0  # the edge/1 extensional facts
+        assert derived_new > 0
+
+    def test_naive_and_seminaive_agree_on_facts_new_per_rule(self):
+        # The E11 regression: both strategies compute the same model,
+        # so each rule contributes the same number of *new* facts even
+        # though naive re-derives old ones every round.
+        clauses = tc_clauses(8)
+        naive_report = ExplainReport()
+        semi_report = ExplainReport()
+        naive_facts = naive_fixpoint(clauses, report=naive_report)
+        semi_facts = seminaive_fixpoint(clauses, report=semi_report)
+        assert len(naive_facts) == len(semi_facts)
+        naive_new = [slot.facts_new for slot in naive_report.rules]
+        semi_new = [slot.facts_new for slot in semi_report.rules]
+        assert naive_new == semi_new
+        # ... while naive does strictly more instantiation work.
+        assert sum(s.instantiations for s in naive_report.rules) > sum(
+            s.instantiations for s in semi_report.rules
+        )

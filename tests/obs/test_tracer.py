@@ -1,0 +1,143 @@
+"""Span nesting, deterministic timing, and the JSONL round trip."""
+
+import pytest
+
+from repro.obs import Tracer, read_jsonl
+
+
+class FakeClock:
+    """Steps by a fixed amount per call — durations become exact."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNesting:
+    def test_context_managers_nest(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", round=1) as inner:
+                inner.count("facts_new", 3)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent_id == outer.span_id
+        assert inner.attributes == {"round": 1}
+        assert inner.counters == {"facts_new": 3}
+
+    def test_imperative_start_finish(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")
+        assert tracer.current() is inner
+        tracer.finish(inner)
+        assert tracer.current() is outer
+        tracer.finish(outer)
+        assert tracer.current() is None
+
+    def test_out_of_order_finish_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            tracer.finish(outer)
+
+    def test_siblings_after_close_are_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["a", "b", "c", "d"]
+
+
+class TestTiming:
+    def test_durations_are_deterministic_with_fake_clock(self):
+        # Clock ticks: 0 (outer start), 1 (inner start), 2 (inner end),
+        # 3 (outer end) — so inner took 1.0 and outer 3.0.
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+        assert inner.start == 1.0 and outer.start == 0.0
+
+    def test_counter_accumulates(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s") as span:
+            span.count("n")
+            span.count("n", 4)
+        assert span.counters["n"] == 5
+
+    def test_set_overwrites_attribute(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", changed=False) as span:
+            span.set("changed", True)
+        assert span.attributes["changed"] is True
+
+
+class TestExport:
+    def _sample(self) -> Tracer:
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("fixpoint", engine="seminaive") as run:
+            run.count("rounds", 2)
+            with tracer.span("round", round=1) as first:
+                first.count("facts_new", 11)
+            with tracer.span("round", round=2):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self):
+        tracer = self._sample()
+        roots = read_jsonl(tracer.to_jsonl())
+        assert len(roots) == 1
+        original = list(tracer.spans())
+        rebuilt = list(roots[0].walk())
+        assert len(rebuilt) == len(original) == 3
+        for before, after in zip(original, rebuilt):
+            assert after.to_record() == before.to_record()
+
+    def test_write_jsonl_file(self, tmp_path):
+        tracer = self._sample()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 3
+        roots = read_jsonl(text)
+        assert roots[0].name == "fixpoint"
+
+    def test_empty_tracer_exports_empty(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.to_jsonl() == ""
+        path = tmp_path / "empty.jsonl"
+        tracer.write_jsonl(str(path))
+        assert path.read_text() == ""
+        assert read_jsonl("") == []
+
+    def test_format_tree(self):
+        tracer = self._sample()
+        tree = tracer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("fixpoint [engine=seminaive] rounds=2")
+        assert lines[1].startswith("  round [round=1] facts_new=11")
+        # Fake clock: each round span opens and closes one tick apart.
+        assert "(1000.00 ms)" in lines[1]
+        without = tracer.format_tree(durations=False)
+        assert "ms" not in without

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fail if a documented ``repro ...`` command is not a real subcommand.
+
+Scans fenced code blocks in the given markdown files (default:
+docs/EVALUATION.md, docs/ARCHITECTURE.md, README.md) for invocations of
+the CLI — either ``repro SUB ...`` or ``python -m repro SUB ...`` — and
+checks every subcommand against :data:`repro.cli.SUBCOMMANDS`, so the
+docs cannot drift from what the CLI actually dispatches.  Repository
+file paths mentioned as the command's first argument must exist, too.
+
+Run from the repository root::
+
+    python tools/check_docs_cli.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import SUBCOMMANDS  # noqa: E402
+
+DEFAULT_DOCS = ["docs/EVALUATION.md", "docs/ARCHITECTURE.md", "README.md"]
+
+ENV_ASSIGNMENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*=\S*")
+
+
+def extract_invocation(line: str) -> list[str] | None:
+    """The argv after ``repro`` if the line invokes the CLI, else None.
+
+    Recognizes the documented shell idioms: optional leading environment
+    assignments (``PYTHONPATH=src``), then either ``repro ...`` or
+    ``python -m repro ...``.
+    """
+    tokens = line.split()
+    index = 0
+    while index < len(tokens) and ENV_ASSIGNMENT.fullmatch(tokens[index]):
+        index += 1
+    if tokens[index : index + 3] == ["python", "-m", "repro"]:
+        return tokens[index + 3 :]
+    if tokens[index : index + 1] == ["repro"]:
+        return tokens[index + 1 :]
+    return None
+
+
+def fenced_blocks(text: str):
+    """Yield (start_line, block_text) for every ``` fence."""
+    lines = text.splitlines()
+    inside = False
+    start = 0
+    block: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        if line.strip().startswith("```"):
+            if inside:
+                yield start, "\n".join(block)
+                block = []
+            inside = not inside
+            start = number + 1
+        elif inside:
+            block.append(line)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for start, block in fenced_blocks(text):
+        for offset, line in enumerate(block.splitlines()):
+            stripped = line.strip()
+            if stripped.startswith("#") or stripped.startswith("%"):
+                continue
+            arguments = extract_invocation(stripped)
+            if arguments is None:
+                continue
+            where = f"{path}:{start + offset}"
+            if not arguments or arguments[0].startswith("-"):
+                continue  # bare repl / `repro --help` style
+            subcommand = arguments[0]
+            if subcommand not in SUBCOMMANDS:
+                errors.append(
+                    f"{where}: `repro {subcommand}` is not a CLI "
+                    f"subcommand (have: {', '.join(sorted(SUBCOMMANDS))})"
+                )
+                continue
+            for argument in arguments[1:]:
+                if argument.startswith("-") or "=" in argument:
+                    break  # flags onward; stop path checking
+                if "/" in argument and not (REPO_ROOT / argument).exists():
+                    errors.append(
+                        f"{where}: `repro {subcommand}` references "
+                        f"missing file {argument}"
+                    )
+                break  # only the first positional is a file
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(p) for p in (argv or DEFAULT_DOCS)]
+    errors: list[str] = []
+    checked = 0
+    for path in paths:
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if not path.exists():
+            errors.append(f"{path}: documentation file missing")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"docs CLI check: {checked} file(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
