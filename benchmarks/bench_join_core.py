@@ -1,0 +1,515 @@
+#!/usr/bin/env python3
+"""Join-core microbenchmarks: before/after numbers for the adaptive
+multi-argument indexing + segmented deltas + compiled join executor.
+
+The "before" side is a compact, faithful copy of the pre-optimization
+evaluation core (first-argument-indexed fact base with per-call list
+copies and stamp-filtered deltas, recursive nested-loop join), embedded
+here so the comparison stays reproducible after the optimized core has
+replaced it in ``repro.engine``.  The "after" side is the live code.
+
+Emits ``BENCH_join_core.json`` (schema checked by
+``tools/check_bench_schema.py``) and exits non-zero if any correctness
+cross-check fails: legacy and optimized cores must compute identical
+fixpoints, and all five engines must agree on the E6/E11 workloads.
+
+Usage::
+
+    python benchmarks/bench_join_core.py            # full sizes
+    python benchmarks/bench_join_core.py --smoke    # CI-sized
+    python benchmarks/bench_join_core.py --out PATH
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))  # workloads
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from repro.engine.bottomup import naive_fixpoint, normalize_clauses  # noqa: E402
+from repro.engine.builtins import builtin_is_ready, solve_builtin  # noqa: E402
+from repro.engine.seminaive import seminaive_fixpoint  # noqa: E402
+from repro.fol.atoms import (  # noqa: E402
+    FAtom,
+    FBuiltin,
+    HornClause,
+    atom_is_ground,
+    substitute_fatom,
+)
+from repro.fol.subst import Substitution  # noqa: E402
+from repro.fol.terms import FApp, FConst, FTerm, FVar  # noqa: E402
+from repro.fol.unify import match_atom  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# The legacy (pre-PR) evaluation core — "before" numbers
+# ----------------------------------------------------------------------
+
+def _legacy_principal_functor(term: FTerm):
+    if isinstance(term, FConst):
+        return ("c", type(term.value).__name__, term.value)
+    if isinstance(term, FApp):
+        return ("f", term.functor, len(term.args))
+    return None
+
+
+class LegacyFactBase:
+    """First-argument index only; per-call list copies; delta partitions
+    by filtering every candidate's round stamp."""
+
+    __slots__ = ("_atoms", "_by_pred", "_by_first", "_stamps", "_round")
+
+    def __init__(self, atoms=()):
+        self._atoms = set()
+        self._by_pred = {}
+        self._by_first = {}
+        self._stamps = {}
+        self._round = 0
+        for atom in atoms:
+            self.add(atom)
+
+    def add(self, atom):
+        if not atom_is_ground(atom):
+            raise ValueError(f"fact bases hold ground atoms only, got {atom!r}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._stamps[atom] = self._round
+        self._by_pred.setdefault(atom.signature, []).append(atom)
+        key = _legacy_principal_functor(atom.args[0])
+        self._by_first.setdefault((atom.signature, key), []).append(atom)
+        return True
+
+    def next_round(self):
+        self._round += 1
+        return self._round
+
+    def __contains__(self, atom):
+        return atom in self._atoms
+
+    def __len__(self):
+        return len(self._atoms)
+
+    def count(self, signature):
+        return len(self._by_pred.get(signature, ()))
+
+    def candidates(self, pattern):
+        key = _legacy_principal_functor(pattern.args[0])
+        if key is None:
+            return list(self._by_pred.get(pattern.signature, ()))
+        return list(self._by_first.get((pattern.signature, key), ()))
+
+    def candidate_count(self, pattern):
+        key = _legacy_principal_functor(pattern.args[0])
+        if key is None:
+            return len(self._by_pred.get(pattern.signature, ()))
+        return len(self._by_first.get((pattern.signature, key), ()))
+
+    def candidates_since(self, pattern, since_round):
+        return [a for a in self.candidates(pattern) if self._stamps[a] >= since_round]
+
+    def candidates_before(self, pattern, before_round):
+        return [a for a in self.candidates(pattern) if self._stamps[a] < before_round]
+
+
+_ALL, _OLD = "all", "old"
+
+
+def _legacy_pick(remaining, facts, subst, reorder):
+    if not reorder:
+        return 0
+    best_index, best_cost = -1, float("inf")
+    for index, (atom, __) in enumerate(remaining):
+        if isinstance(atom, FBuiltin):
+            if builtin_is_ready(atom, subst):
+                return index
+            continue
+        pattern = substitute_fatom(atom, subst)
+        cost = facts.candidate_count(pattern)
+        if cost == 0:
+            return index
+        if cost < best_cost:
+            best_cost, best_index = cost, index
+    return best_index
+
+
+def _legacy_join(remaining, facts, subst, reorder, old_before):
+    if not remaining:
+        yield subst
+        return
+    index = _legacy_pick(remaining, facts, subst, reorder)
+    if index < 0:
+        solve_builtin(remaining[0][0], subst)
+        raise RuntimeError("builtin could not be scheduled")
+    atom, mode = remaining[index]
+    rest = remaining[:index] + remaining[index + 1 :]
+    if isinstance(atom, FBuiltin):
+        solved = solve_builtin(atom, subst)
+        if solved is not None:
+            yield from _legacy_join(rest, facts, solved, reorder, old_before)
+        return
+    pattern = substitute_fatom(atom, subst)
+    if mode == _OLD:
+        candidates = facts.candidates_before(pattern, old_before)
+    else:
+        candidates = facts.candidates(pattern)
+    for fact in candidates:
+        extended = match_atom(pattern, fact, subst)
+        if extended is not None:
+            yield from _legacy_join(rest, facts, extended, reorder, old_before)
+
+
+def legacy_join_body(body, facts, initial=None, delta_position=None, delta_round=0):
+    subst = initial if initial is not None else Substitution.empty()
+    if delta_position is not None:
+        rest = []
+        for index, atom in enumerate(body):
+            if index == delta_position:
+                continue
+            restrict_old = index < delta_position and not isinstance(atom, FBuiltin)
+            rest.append((atom, _OLD if restrict_old else _ALL))
+        pattern = substitute_fatom(body[delta_position], subst)
+        for fact in facts.candidates_since(pattern, delta_round):
+            extended = match_atom(pattern, fact, subst)
+            if extended is not None:
+                yield from _legacy_join(list(rest), facts, extended, True, delta_round)
+        return
+    yield from _legacy_join([(atom, _ALL) for atom in body], facts, subst, True, 0)
+
+
+def _legacy_derive(heads, subst, facts):
+    new = False
+    for head in heads:
+        new |= facts.add(substitute_fatom(head, subst))
+    return new
+
+
+def legacy_naive_fixpoint(clauses):
+    generalized = normalize_clauses(clauses)
+    facts = LegacyFactBase()
+    for clause in generalized:
+        if clause.is_fact:
+            for head in clause.heads:
+                facts.add(head)
+    rules = [clause for clause in generalized if not clause.is_fact]
+    for _ in range(10_000):
+        facts.next_round()
+        changed = False
+        for clause in rules:
+            for subst in legacy_join_body(clause.body, facts):
+                changed |= _legacy_derive(clause.heads, subst, facts)
+        if not changed:
+            return facts
+    raise RuntimeError("no fixpoint")
+
+
+def legacy_seminaive_fixpoint(clauses):
+    generalized = normalize_clauses(clauses)
+    facts = LegacyFactBase()
+    for clause in generalized:
+        if clause.is_fact:
+            for head in clause.heads:
+                facts.add(head)
+    rules = [clause for clause in generalized if not clause.is_fact]
+    positions = [
+        [i for i, atom in enumerate(clause.body) if not isinstance(atom, FBuiltin)]
+        for clause in rules
+    ]
+    delta_round = 0
+    for round_number in range(1, 10_001):
+        current = facts.next_round()
+        changed = False
+        for clause, delta_positions in zip(rules, positions):
+            if not delta_positions:
+                if round_number > 1:
+                    continue
+                for subst in legacy_join_body(clause.body, facts):
+                    changed |= _legacy_derive(clause.heads, subst, facts)
+            else:
+                for position in delta_positions:
+                    for subst in legacy_join_body(
+                        clause.body, facts,
+                        delta_position=position, delta_round=delta_round,
+                    ):
+                        changed |= _legacy_derive(clause.heads, subst, facts)
+        delta_round = current
+        if not changed:
+            return facts
+    raise RuntimeError("no fixpoint")
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+def tc_clauses(n):
+    """E11: transitive closure of an n-edge chain."""
+    clauses = [
+        HornClause(FAtom("edge", (FConst(i), FConst(i + 1)))) for i in range(n)
+    ]
+    clauses.append(
+        HornClause(
+            FAtom("tc", (FVar("X"), FVar("Y"))),
+            (FAtom("edge", (FVar("X"), FVar("Y"))),),
+        )
+    )
+    clauses.append(
+        HornClause(
+            FAtom("tc", (FVar("X"), FVar("Z"))),
+            (FAtom("edge", (FVar("X"), FVar("Y"))), FAtom("tc", (FVar("Y"), FVar("Z")))),
+        )
+    )
+    return clauses
+
+
+def translated_path_fol(nodes):
+    """E6: the translated (FOL) chain-graph path program."""
+    from repro.transform.clauses import program_to_fol
+    from workloads import chain_graph_program
+
+    return program_to_fol(chain_graph_program(nodes))
+
+
+def probe_workload(n):
+    """n chain edges plus n bound-*second*-argument probe patterns —
+    the shape first-argument indexing cannot serve."""
+    facts = [FAtom("edge", (FConst(i), FConst(i + 1))) for i in range(n)]
+    patterns = [FAtom("edge", (FVar("X"), FConst(i + 1))) for i in range(n)]
+    return facts, patterns
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+def best_of(repeats, fn):
+    """(best milliseconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+    return best, result
+
+
+def bench_fixpoints(name, sizes, legacy_fn, new_fn, workload_fn, count_fn, repeats):
+    rows = []
+    for size in sizes:
+        workload = workload_fn(size)
+        before_ms, legacy_facts = best_of(repeats, lambda: legacy_fn(workload))
+        after_ms, new_facts = best_of(repeats, lambda: new_fn(workload))
+        checks = {
+            "legacy_facts": len(legacy_facts),
+            "new_facts": len(new_facts),
+            "counts_equal": len(legacy_facts) == len(new_facts)
+            and count_fn(legacy_facts) == count_fn(new_facts),
+        }
+        rows.append(
+            {
+                "name": name,
+                "size": size,
+                "before_ms": round(before_ms, 3),
+                "after_ms": round(after_ms, 3),
+                "speedup": round(before_ms / after_ms, 2) if after_ms else 0.0,
+                "checks": checks,
+            }
+        )
+        print(
+            f"  {name:<28} n={size:<4} before={before_ms:9.2f}ms  "
+            f"after={after_ms:9.2f}ms  speedup={rows[-1]['speedup']:>6.2f}x",
+            flush=True,
+        )
+    return rows
+
+
+def bench_probes(sizes, repeats):
+    from repro.engine.factbase import FactBase
+    from repro.engine.join import join_body
+
+    rows = []
+    for size in sizes:
+        atoms, patterns = probe_workload(size)
+
+        def run_legacy():
+            base = LegacyFactBase(atoms)
+            return sum(
+                1
+                for pattern in patterns
+                for __ in legacy_join_body((pattern,), base)
+            )
+
+        def run_new():
+            base = FactBase(atoms)
+            return sum(
+                1 for pattern in patterns for __ in join_body((pattern,), base)
+            )
+
+        before_ms, legacy_hits = best_of(repeats, run_legacy)
+        after_ms, new_hits = best_of(repeats, run_new)
+        rows.append(
+            {
+                "name": "bound_second_arg_probes",
+                "size": size,
+                "before_ms": round(before_ms, 3),
+                "after_ms": round(after_ms, 3),
+                "speedup": round(before_ms / after_ms, 2) if after_ms else 0.0,
+                "checks": {
+                    "legacy_facts": legacy_hits,
+                    "new_facts": new_hits,
+                    "counts_equal": legacy_hits == new_hits,
+                },
+            }
+        )
+        print(
+            f"  {'bound_second_arg_probes':<28} n={size:<4} "
+            f"before={before_ms:9.2f}ms  after={after_ms:9.2f}ms  "
+            f"speedup={rows[-1]['speedup']:>6.2f}x",
+            flush=True,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Five-engine agreement (E6 / E11 workloads)
+# ----------------------------------------------------------------------
+
+def tc_source(n):
+    lines = [f"edge(n{i}, n{i + 1})." for i in range(n)]
+    lines.append("tc(X, Y) :- edge(X, Y).")
+    lines.append("tc(X, Y) :- edge(X, Z), tc(Z, Y).")
+    return "\n".join(lines)
+
+
+def agreement_rows(smoke):
+    from repro.interface.kb import ENGINES, KnowledgeBase
+    from workloads import extensional_path_db
+
+    rows = []
+
+    # E11: recursive transitive closure.  Plain SLD provably cannot
+    # terminate on the translated recursive rules (see
+    # tests/engine/test_agreement.py and the paper's E6 discussion), so —
+    # as in the repo's own agreement tests — it is excluded here and the
+    # tabled engine covers the top-down side.
+    n = 8 if smoke else 12
+    kb = KnowledgeBase.from_source(tc_source(n))
+    engines = [engine for engine in ENGINES if engine != "sld"]
+    answer_sets = {
+        engine: frozenset(map(repr, kb.ask("tc(n0, X)", engine=engine)))
+        for engine in engines
+    }
+    rows.append(
+        {
+            "workload": "e11_tc_chain",
+            "size": n,
+            "engines": {engine: len(a) for engine, a in answer_sets.items()},
+            "engines_excluded": {"sld": "plain SLD loops on recursive rules"},
+            "identical": len(set(answer_sets.values())) == 1,
+        }
+    )
+
+    # E6: extensional path objects — non-recursive, all five engines.
+    size = 10 if smoke else 20
+    kb = KnowledgeBase(extensional_path_db(size))
+    kb.sld_depth = 50
+    answer_sets = {
+        engine: frozenset(
+            map(repr, kb.ask(":- path: X[src => S, dest => D].", engine=engine))
+        )
+        for engine in ENGINES
+    }
+    rows.append(
+        {
+            "workload": "e6_extensional_paths",
+            "size": size,
+            "engines": {engine: len(a) for engine, a in answer_sets.items()},
+            "engines_excluded": {},
+            "identical": len(set(answer_sets.values())) == 1,
+        }
+    )
+    for row in rows:
+        print(
+            f"  agreement {row['workload']:<22} n={row['size']:<4} "
+            f"{row['engines']}  identical={row['identical']}",
+            flush=True,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        default=str(HERE.parent / "BENCH_join_core.json"),
+        help="output JSON path (default: repo root BENCH_join_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else 3
+    tc_sizes = [32] if args.smoke else [32, 64, 96]
+    naive_sizes = [8] if args.smoke else [8, 16, 24]
+    path_sizes = [6] if args.smoke else [6, 8]
+    probe_sizes = [200] if args.smoke else [400, 800]
+
+    print(f"join-core benchmark ({'smoke' if args.smoke else 'full'})", flush=True)
+    workloads = []
+    workloads += bench_fixpoints(
+        "seminaive_tc", tc_sizes,
+        legacy_seminaive_fixpoint, seminaive_fixpoint,
+        tc_clauses, lambda facts: facts.count(("tc", 2)), repeats,
+    )
+    workloads += bench_fixpoints(
+        "naive_tc", naive_sizes,
+        legacy_naive_fixpoint, naive_fixpoint,
+        tc_clauses, lambda facts: facts.count(("tc", 2)), repeats,
+    )
+    workloads += bench_fixpoints(
+        "seminaive_translated_path", path_sizes,
+        legacy_seminaive_fixpoint, seminaive_fixpoint,
+        translated_path_fol, lambda facts: facts.count(("path", 1)), repeats,
+    )
+    workloads += bench_probes(probe_sizes, repeats)
+    agreement = agreement_rows(args.smoke)
+
+    payload = {
+        "benchmark": "join_core",
+        "schema_version": SCHEMA_VERSION,
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "workloads": workloads,
+        "agreement": agreement,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}", flush=True)
+
+    failures = [w for w in workloads if not w["checks"]["counts_equal"]]
+    failures += [a for a in agreement if not a["identical"]]
+    if failures:
+        print(f"FAILED cross-checks: {failures}", file=sys.stderr)
+        return 1
+    largest_tc = max(
+        (w for w in workloads if w["name"] == "seminaive_tc"),
+        key=lambda w: w["size"],
+    )
+    print(
+        f"headline: seminaive TC n={largest_tc['size']} "
+        f"speedup {largest_tc['speedup']}x",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,18 @@ from repro.engine.bottomup import (
     normalize_clauses,
 )
 from repro.engine.builtins import builtin_is_ready, eval_arith, solve_builtin
+from repro.engine.clauseindex import ClauseIndex
 from repro.engine.cunify import apply_binding, strip_identity, unify_identities
 from repro.engine.direct import Answer, DirectEngine, DirectStats
 from repro.engine.explain import Derivation, Explainer, format_derivation
-from repro.engine.factbase import FactBase, principal_functor
-from repro.engine.join import check_range_restricted, join_body, plan_order
+from repro.engine.factbase import FactBase, FactView, principal_functor
+from repro.engine.join import (
+    JoinPlan,
+    check_range_restricted,
+    compile_body,
+    join_body,
+    plan_order,
+)
 from repro.engine.negation import (
     NegClause,
     StratificationError,
@@ -25,6 +32,7 @@ from repro.engine.topdown import SLDEngine, SLDStats, solve_iterative_deepening
 
 __all__ = [
     "Answer",
+    "ClauseIndex",
     "Derivation",
     "DirectEngine",
     "DirectStats",
@@ -32,6 +40,8 @@ __all__ = [
     "format_derivation",
     "EvaluationStats",
     "FactBase",
+    "FactView",
+    "JoinPlan",
     "NegClause",
     "SLDEngine",
     "StratificationError",
@@ -43,8 +53,10 @@ __all__ = [
     "builtin_is_ready",
     "canonical_atom",
     "check_range_restricted",
+    "compile_body",
     "eval_arith",
     "join_body",
+    "plan_order",
     "naive_fixpoint",
     "normalize_clauses",
     "principal_functor",

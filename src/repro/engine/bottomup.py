@@ -28,7 +28,7 @@ from repro.fol.atoms import (
 )
 from repro.fol.subst import Substitution
 from repro.engine.factbase import FactBase
-from repro.engine.join import check_range_restricted, join_body, plan_order
+from repro.engine.join import check_range_restricted, compile_body, join_body
 
 __all__ = [
     "EvaluationStats",
@@ -168,7 +168,14 @@ def naive_fixpoint(
                     stats.facts_new += 1
                 stats.facts_derived += 1
     rules = [clause for clause in generalized if not clause.is_fact]
+    plans = [compile_body(clause.body) for clause in rules]
     rule_slots = prepare_report(report, "bottomup (naive)", rules, facts)
+    if rule_slots is not None:
+        # Plan once at entry; refreshed on the final round below so the
+        # report shows the converged selectivities without paying a
+        # re-plan per rule per round.
+        for slot, plan in zip(rule_slots, plans):
+            slot.join_order = plan.order(facts)
     for _ in range(max_rounds):
         stats.rounds += 1
         facts.next_round()
@@ -182,13 +189,11 @@ def naive_fixpoint(
         for rule_index, clause in enumerate(rules):
             row = None
             if rule_slots is not None:
-                slot = rule_slots[rule_index]
-                slot.join_order = plan_order(clause.body, facts)
-                row = slot.round(stats.rounds)
+                row = rule_slots[rule_index].round(stats.rounds)
                 index_before = report.index.snapshot()
             derived_before, new_before = stats.facts_derived, stats.facts_new
             instantiations = 0
-            for subst in join_body(clause.body, facts):
+            for subst in plans[rule_index].run(facts):
                 stats.body_evaluations += 1
                 instantiations += 1
                 for head in clause.heads:
@@ -208,6 +213,9 @@ def naive_fixpoint(
             round_span.set("changed", changed)
             tracer.finish(round_span)
         if not changed:
+            if rule_slots is not None:
+                for slot, plan in zip(rule_slots, plans):
+                    slot.join_order = plan.order(facts)
             finish_report(report, stats, facts)
             return facts
     raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")

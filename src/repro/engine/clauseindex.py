@@ -1,0 +1,73 @@
+"""First-argument clause indexing shared by the top-down engines.
+
+The WAM trick on the *rule* side: clauses are bucketed by the principal
+functor of their head's first argument, with variable-first-argument
+clauses kept apart (they match any call).  A call with a ground-enough
+first argument then resolves only against the clauses that can possibly
+unify, in program order — the same discipline
+:class:`~repro.engine.factbase.FactBase` applies to facts.
+
+Used by :class:`~repro.engine.topdown.SLDEngine` and
+:class:`~repro.engine.tabling.TabledEngine`; both previously kept their
+own (or no) clause index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.fol.atoms import FAtom, HornClause
+from repro.engine.factbase import principal_functor
+
+__all__ = ["ClauseIndex"]
+
+
+class ClauseIndex:
+    """Clauses of one program, indexed by head signature and first-
+    argument principal functor.  Immutable after construction."""
+
+    __slots__ = ("_by_pred", "_by_first", "_open_first")
+
+    def __init__(self, clauses: Iterable[HornClause]) -> None:
+        self._by_pred: dict[tuple[str, int], list[HornClause]] = {}
+        # Entries carry the program position so merged candidate lists
+        # preserve program order.
+        self._by_first: dict[tuple, list[tuple[int, HornClause]]] = {}
+        self._open_first: dict[tuple[str, int], list[tuple[int, HornClause]]] = {}
+        for position, clause in enumerate(clauses):
+            signature = clause.head.signature
+            self._by_pred.setdefault(signature, []).append(clause)
+            key = (
+                principal_functor(clause.head.args[0])
+                if clause.head.args
+                else None
+            )
+            if key is None:
+                self._open_first.setdefault(signature, []).append(
+                    (position, clause)
+                )
+            else:
+                self._by_first.setdefault((signature, key), []).append(
+                    (position, clause)
+                )
+
+    def all_for(self, signature: tuple[str, int]) -> Sequence[HornClause]:
+        """Every clause whose head has the signature, in program order."""
+        return self._by_pred.get(signature, [])
+
+    def candidates(self, pattern: FAtom) -> Sequence[HornClause]:
+        """Candidate clauses for a goal, narrowed by the indexes; kept
+        in program order (merge of indexed and open-first-argument
+        lists)."""
+        signature = pattern.signature
+        key = principal_functor(pattern.args[0]) if pattern.args else None
+        if key is None:
+            return self._by_pred.get(signature, [])
+        indexed = self._by_first.get((signature, key), [])
+        open_first = self._open_first.get(signature, [])
+        if not open_first:
+            return [clause for _, clause in indexed]
+        if not indexed:
+            return [clause for _, clause in open_first]
+        merged = sorted(indexed + open_first, key=lambda entry: entry[0])
+        return [clause for _, clause in merged]

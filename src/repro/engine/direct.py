@@ -135,6 +135,9 @@ class DirectEngine:
         self._max_rounds = max_rounds
         self._saturation_mode = saturation_mode
         self._saturated = False
+        # Per-clause delta positions (indices of positive atoms), keyed
+        # by clause identity — computed once, reused every delta round.
+        self._delta_positions: dict[int, list[int]] = {}
         # Observability (repro.obs): spans per saturation round and a
         # per-rule EXPLAIN account.  Both optional and off by default.
         self._tracer = tracer
@@ -330,11 +333,14 @@ class DirectEngine:
         """Binding iterators for one clause in one delta round — one per
         delta position; builtin/negation-only bodies get a single naive
         pass (cheap to re-run)."""
-        positions = [
-            index
-            for index, atom in enumerate(clause.body)
-            if isinstance(atom, (TermAtom, PredAtom))
-        ]
+        positions = self._delta_positions.get(id(clause))
+        if positions is None:
+            positions = [
+                index
+                for index, atom in enumerate(clause.body)
+                if isinstance(atom, (TermAtom, PredAtom))
+            ]
+            self._delta_positions[id(clause)] = positions
         if not positions:
             yield self._solve_body(clause.body, {})
             return

@@ -1,32 +1,48 @@
 """Indexed storage for ground first-order facts.
 
 The bottom-up engines derive sets of ground atoms; :class:`FactBase`
-stores them with two levels of indexing:
+stores them with three levels of structure:
 
 * by predicate signature ``(name, arity)``;
-* within a predicate, by the *principal functor* of the first argument
-  (constant value, functor name, or wildcard), the classic first-
-  argument indexing of Prolog systems.
+* within a predicate, by *adaptive multi-argument indexes*: when
+  :meth:`candidates` sees a pattern whose set of bound argument
+  positions has no index yet, that index is built once (one scan of the
+  predicate's facts, keyed on the principal functors of those
+  positions) and maintained incrementally for the rest of the run.
+  Classic Prolog first-argument indexing is the special case
+  ``positions == (0,)``; patterns that bind other argument subsets —
+  which translated C-logic bodies produce constantly once bindings
+  flow — get their own, equally selective index on demand;
+* in *round segments*: facts of a predicate are appended in derivation
+  order, and the offsets where each round begins are recorded, so the
+  delta/old partitions of semi-naive evaluation
+  (:meth:`candidates_since` / :meth:`candidates_before`) are O(|answer|)
+  slices instead of a stamp-filter over every candidate.
 
-Facts are also stamped with the *round* in which they were derived,
-which is what semi-naive evaluation's delta joins need.
+Fetches return immutable :class:`FactView` windows over the append-only
+segment lists — no per-call copying — and stay stable while new facts
+are derived into the base (the bottom-up engines iterate candidates
+exactly that way).
 
 For observability, :meth:`FactBase.observe` attaches a
 :class:`repro.obs.report.IndexStats`; every :meth:`candidates` fetch
-then records whether the first-argument index was usable and how many
-candidates it returned — the EXPLAIN report's index-hit numbers.  With
-no observer attached the cost is one ``None`` check per fetch.
+then records which index answered and how many candidates it returned,
+and partition probes (:meth:`candidates_since`/:meth:`candidates_before`)
+are counted separately so EXPLAIN's index-hit rates describe real
+lookups only.  With no observer attached the cost is one ``None`` check
+per fetch.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.core.errors import StoreError
 from repro.fol.atoms import FAtom, atom_is_ground
 from repro.fol.terms import FApp, FConst, FTerm
 
-__all__ = ["FactBase", "principal_functor"]
+__all__ = ["FactBase", "FactView", "principal_functor"]
 
 
 def principal_functor(term: FTerm) -> Optional[tuple]:
@@ -40,15 +56,118 @@ def principal_functor(term: FTerm) -> Optional[tuple]:
     return None
 
 
-class FactBase:
-    """A set of ground atoms with predicate and first-argument indexes."""
+class FactView(Sequence):
+    """An immutable window ``rows[start:stop]`` over an append-only list.
 
-    __slots__ = ("_atoms", "_by_pred", "_by_first", "_stamps", "_round", "_obs")
+    Fetches hand these out instead of copying: the window is fixed at
+    fetch time, so callers may keep deriving new facts into the base
+    while iterating (appends land beyond ``stop``).
+    """
+
+    __slots__ = ("_rows", "_start", "_stop")
+
+    def __init__(self, rows: Sequence[FAtom], start: int, stop: int) -> None:
+        self._rows = rows
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self) -> Iterator[FAtom]:
+        rows = self._rows
+        for index in range(self._start, self._stop):
+            yield rows[index]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._rows[self._start + index]
+
+    def raw(self) -> tuple[Sequence[FAtom], int, int]:
+        """``(rows, start, stop)`` — the join executor's fast path, so
+        its inner loop indexes the underlying list directly."""
+        return self._rows, self._start, self._stop
+
+    def __repr__(self) -> str:
+        return f"FactView({list(self)!r})"
+
+
+_EMPTY_VIEW = FactView((), 0, 0)
+
+
+class _PredStore:
+    """One predicate's facts: round-segmented rows + adaptive indexes."""
+
+    __slots__ = ("rows", "seg_rounds", "seg_starts", "indexes")
+
+    def __init__(self) -> None:
+        #: Facts in derivation order (append-only).
+        self.rows: list[FAtom] = []
+        #: Parallel arrays: round number -> offset in ``rows`` where that
+        #: round's facts begin.  Rounds with no additions have no entry.
+        self.seg_rounds: list[int] = []
+        self.seg_starts: list[int] = []
+        #: positions tuple -> (key tuple -> bucket of facts).
+        self.indexes: dict[tuple[int, ...], dict[tuple, list[FAtom]]] = {}
+
+    def add(self, atom: FAtom, round_number: int) -> None:
+        if not self.seg_rounds or self.seg_rounds[-1] != round_number:
+            self.seg_rounds.append(round_number)
+            self.seg_starts.append(len(self.rows))
+        self.rows.append(atom)
+        for positions, index in self.indexes.items():
+            key = tuple(principal_functor(atom.args[p]) for p in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [atom]
+            else:
+                bucket.append(atom)
+
+    def build_index(self, positions: tuple[int, ...]) -> dict[tuple, list[FAtom]]:
+        index: dict[tuple, list[FAtom]] = {}
+        for atom in self.rows:
+            key = tuple(principal_functor(atom.args[p]) for p in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [atom]
+            else:
+                bucket.append(atom)
+        self.indexes[positions] = index
+        return index
+
+    def start_of_round(self, round_number: int) -> int:
+        """Offset in ``rows`` of the first fact stamped >= round_number."""
+        cut = bisect_left(self.seg_rounds, round_number)
+        if cut == len(self.seg_rounds):
+            return len(self.rows)
+        return self.seg_starts[cut]
+
+
+def _bound_positions(pattern: FAtom) -> tuple[tuple[int, ...], tuple]:
+    """The pattern's indexable argument positions and their keys."""
+    positions: list[int] = []
+    keys: list[tuple] = []
+    for position, arg in enumerate(pattern.args):
+        key = principal_functor(arg)
+        if key is not None:
+            positions.append(position)
+            keys.append(key)
+    return tuple(positions), tuple(keys)
+
+
+class FactBase:
+    """A set of ground atoms with predicate and adaptive argument indexes."""
+
+    __slots__ = ("_atoms", "_preds", "_stamps", "_round", "_obs")
 
     def __init__(self, atoms: Iterable[FAtom] = ()) -> None:
         self._atoms: set[FAtom] = set()
-        self._by_pred: dict[tuple[str, int], list[FAtom]] = {}
-        self._by_first: dict[tuple, list[FAtom]] = {}
+        self._preds: dict[tuple[str, int], _PredStore] = {}
         self._stamps: dict[FAtom, int] = {}
         self._round = 0
         self._obs = None
@@ -73,9 +192,10 @@ class FactBase:
             return False
         self._atoms.add(atom)
         self._stamps[atom] = self._round
-        self._by_pred.setdefault(atom.signature, []).append(atom)
-        key = principal_functor(atom.args[0])
-        self._by_first.setdefault((atom.signature, key), []).append(atom)
+        store = self._preds.get(atom.signature)
+        if store is None:
+            store = self._preds[atom.signature] = _PredStore()
+        store.add(atom, self._round)
         return True
 
     def add_all(self, atoms: Iterable[FAtom]) -> int:
@@ -109,56 +229,158 @@ class FactBase:
         return self._stamps[atom]
 
     def predicates(self) -> set[tuple[str, int]]:
-        return set(self._by_pred)
+        return set(self._preds)
 
     def count(self, signature: tuple[str, int]) -> int:
-        return len(self._by_pred.get(signature, ()))
+        store = self._preds.get(signature)
+        return len(store.rows) if store is not None else 0
 
-    def candidates(self, pattern: FAtom) -> list[FAtom]:
+    def index_names(self) -> list[str]:
+        """The adaptive indexes built so far, as ``pred/arity[pos,...]``
+        (argument positions 1-based, EXPLAIN's notation)."""
+        return [
+            _index_name(signature, positions)
+            for signature, store in self._preds.items()
+            for positions in store.indexes
+        ]
+
+    def candidates(self, pattern: FAtom) -> FactView:
         """Facts that could match ``pattern``, narrowed by the indexes.
 
-        With a non-variable first argument the first-argument index is
-        used; otherwise all facts of the predicate are returned.
+        The index on exactly the pattern's bound argument positions is
+        used, built on demand the first time that position subset is
+        queried; a pattern with no bound positions gets the whole
+        predicate.  Returns an immutable :class:`FactView` — no copy.
         """
-        signature = pattern.signature
-        key = principal_functor(pattern.args[0])
-        if key is None:
-            result = list(self._by_pred.get(signature, ()))
+        store = self._preds.get(pattern.signature)
+        if store is None:
+            return _EMPTY_VIEW
+        positions, keys = _bound_positions(pattern)
+        if not positions:
+            result = FactView(store.rows, 0, len(store.rows))
             if self._obs is not None:
                 self._obs.lookups += 1
                 self._obs.scans += 1
                 self._obs.candidates_returned += len(result)
             return result
-        # Copied so callers may iterate while new facts are derived into
-        # the base (the bottom-up engines do exactly that).
-        result = list(self._by_first.get((signature, key), ()))
+        result = self._fetch_indexed(store, positions, keys)
         if self._obs is not None:
             self._obs.lookups += 1
             self._obs.indexed += 1
             self._obs.candidates_returned += len(result)
+            self._obs.record_index(
+                _index_name(pattern.signature, positions), len(result)
+            )
         return result
 
+    def _fetch_indexed(
+        self, store: _PredStore, positions: tuple[int, ...], keys: tuple
+    ) -> FactView:
+        """The bucket for ``keys`` under the index on ``positions``,
+        building that index on first demand."""
+        index = store.indexes.get(positions)
+        if index is None:
+            index = store.build_index(positions)
+            if self._obs is not None:
+                self._obs.indexes_built += 1
+        bucket = index.get(keys)
+        if bucket is None:
+            return _EMPTY_VIEW
+        return FactView(bucket, 0, len(bucket))
+
     def candidate_count(self, pattern: FAtom) -> int:
-        """Number of candidates for ``pattern`` without copying the
-        index list (the join planner's selectivity probe)."""
-        signature = pattern.signature
-        key = principal_functor(pattern.args[0])
-        if key is None:
-            return len(self._by_pred.get(signature, ()))
-        return len(self._by_first.get((signature, key), ()))
+        """Estimated number of candidates for ``pattern`` (the join
+        planner's selectivity probe).
 
-    def candidates_since(self, pattern: FAtom, since_round: int) -> list[FAtom]:
+        Exact when an index on the pattern's bound positions already
+        exists; otherwise the tightest upper bound any built index on a
+        *subset* of those positions gives, falling back to the predicate
+        count.  Probes never build indexes — only :meth:`candidates`
+        (an actual fetch) does, so planning N atoms does not materialize
+        N speculative indexes.
+        """
+        store = self._preds.get(pattern.signature)
+        if store is None:
+            return 0
+        positions, keys = _bound_positions(pattern)
+        if not positions:
+            return len(store.rows)
+        index = store.indexes.get(positions)
+        if index is not None:
+            bucket = index.get(keys)
+            return len(bucket) if bucket is not None else 0
+        best = len(store.rows)
+        if store.indexes:
+            by_position = dict(zip(positions, keys))
+            for built_positions, built in store.indexes.items():
+                if all(p in by_position for p in built_positions):
+                    bucket = built.get(
+                        tuple(by_position[p] for p in built_positions)
+                    )
+                    size = len(bucket) if bucket is not None else 0
+                    if size < best:
+                        best = size
+        return best
+
+    def candidates_since(self, pattern: FAtom, since_round: int) -> Sequence[FAtom]:
         """Candidates first derived at or after ``since_round`` (the
-        delta restriction of semi-naive evaluation)."""
-        return [a for a in self.candidates(pattern) if self._stamps[a] >= since_round]
+        delta restriction of semi-naive evaluation).
 
-    def candidates_before(self, pattern: FAtom, before_round: int) -> list[FAtom]:
+        Served from the round segments: the delta is the tail of the
+        predicate's rows, O(|delta|) regardless of how many old facts
+        exist.  Patterns with bound arguments filter that tail.
+        """
+        store = self._preds.get(pattern.signature)
+        if store is None:
+            return _EMPTY_VIEW
+        start = store.start_of_round(since_round)
+        rows = store.rows
+        positions, keys = _bound_positions(pattern)
+        if not positions:
+            result: Sequence[FAtom] = FactView(rows, start, len(rows))
+        else:
+            result = [
+                atom
+                for atom in FactView(rows, start, len(rows))
+                if tuple(principal_functor(atom.args[p]) for p in positions) == keys
+            ]
+        if self._obs is not None:
+            self._obs.partition_probes += 1
+            self._obs.partition_candidates += len(result)
+        return result
+
+    def candidates_before(self, pattern: FAtom, before_round: int) -> Sequence[FAtom]:
         """Candidates first derived strictly before ``before_round``
-        (the 'old facts' side of the semi-naive partition)."""
-        return [a for a in self.candidates(pattern) if self._stamps[a] < before_round]
+        (the 'old facts' side of the semi-naive partition).
+
+        A pattern with no bound arguments is an O(1) prefix slice of the
+        round segments; with bound arguments the adaptive index narrows
+        first and the (usually few) survivors are stamp-checked.
+        """
+        store = self._preds.get(pattern.signature)
+        if store is None:
+            return _EMPTY_VIEW
+        end = store.start_of_round(before_round)
+        positions, keys = _bound_positions(pattern)
+        if not positions:
+            result: Sequence[FAtom] = FactView(store.rows, 0, end)
+        else:
+            stamps = self._stamps
+            narrowed = self._fetch_indexed(store, positions, keys)
+            result = [atom for atom in narrowed if stamps[atom] < before_round]
+        if self._obs is not None:
+            self._obs.partition_probes += 1
+            self._obs.partition_candidates += len(result)
+        return result
 
     def by_predicate(self, signature: tuple[str, int]) -> list[FAtom]:
-        return list(self._by_pred.get(signature, ()))
+        store = self._preds.get(signature)
+        return list(store.rows) if store is not None else []
 
     def snapshot(self) -> frozenset[FAtom]:
         return frozenset(self._atoms)
+
+
+def _index_name(signature: tuple[str, int], positions: tuple[int, ...]) -> str:
+    rendered = ",".join(str(p + 1) for p in positions)
+    return f"{signature[0]}/{signature[1]}[{rendered}]"

@@ -1,20 +1,27 @@
-"""Nested-loop body joins over a fact base, with greedy join ordering.
+"""Compiled body joins over a fact base, with greedy join ordering.
 
 The shared evaluation core of the bottom-up engines and of bottom-up
 query answering: given a clause body (a sequence of atoms and builtins)
 and a :class:`~repro.engine.factbase.FactBase`, enumerate all
 substitutions that satisfy the body.
 
+A body is compiled once into a :class:`JoinPlan` — per-step kinds and
+variable sets are resolved at compile time — and the plan is executed
+with an explicit stack of join frames instead of Python recursion and
+per-step list slicing.  Candidate windows come back from the fact base
+as immutable :class:`~repro.engine.factbase.FactView` slices, so the
+inner loop indexes the backing row list directly without copying.
+
 Atoms are joined in *greedy selectivity order*: at each step the
-evaluator picks a ready builtin if any (cost zero), otherwise the
-pattern with the fewest indexed fact candidates under the current
-substitution.  Translated C-logic bodies are full of wide ``object(X)``
-typing atoms whose variables the adjacent label atoms bind cheaply —
-textual order would enumerate the whole active domain before filtering,
-the exact blow-up Section 4 attributes to the translation.  Join order
-never affects the answer set, so this is a pure optimization;
-``reorder=False`` restores textual order for experiments that need the
-paper's worst case.
+executor picks a ready builtin or ground negation if any (cost zero),
+otherwise the pattern with the fewest indexed fact candidates under the
+current substitution.  Translated C-logic bodies are full of wide
+``object(X)`` typing atoms whose variables the adjacent label atoms
+bind cheaply — textual order would enumerate the whole active domain
+before filtering, the exact blow-up Section 4 attributes to the
+translation.  Join order never affects the answer set, so this is a
+pure optimization; ``reorder=False`` restores textual order for
+experiments that need the paper's worst case.
 
 For semi-naive evaluation, one body position can be designated the
 *delta position*: the atom there only matches facts first derived at or
@@ -39,14 +46,329 @@ from repro.fol.atoms import (
 from repro.fol.subst import Substitution
 from repro.fol.terms import fterm_variables
 from repro.engine.builtins import builtin_is_ready, solve_builtin
-from repro.engine.factbase import FactBase
+from repro.engine.factbase import FactBase, FactView
 from repro.fol.unify import match_atom
 
-__all__ = ["join_body", "check_range_restricted", "plan_order"]
+__all__ = [
+    "JoinPlan",
+    "compile_body",
+    "join_body",
+    "check_range_restricted",
+    "plan_order",
+]
 
 
 #: Candidate-source modes for one body atom in a partitioned join.
 _ALL, _OLD = "all", "old"
+
+#: Step kinds resolved at compile time.
+_ATOM, _BUILTIN, _NEG = 0, 1, 2
+
+
+class _Step:
+    """One compiled body position: the atom, its kind, and (for
+    negations) the variables that must be bound before it can run."""
+
+    __slots__ = ("atom", "kind", "vars")
+
+    def __init__(self, atom: FBodyAtom, kind: int, vars_: frozenset) -> None:
+        self.atom = atom
+        self.kind = kind
+        self.vars = vars_
+
+
+class JoinPlan:
+    """A clause body compiled for repeated execution.
+
+    Compile once per rule (the fixpoint engines do this at entry), then
+    call :meth:`run` every round — the per-step classification work is
+    never repeated.  Plans are immutable and safe to share.
+    """
+
+    __slots__ = ("body", "steps", "_modes")
+
+    def __init__(self, body: tuple, steps: tuple) -> None:
+        self.body = body
+        self.steps = steps
+        self._modes: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        facts: FactBase,
+        initial: Optional[Substitution] = None,
+        reorder: bool = True,
+    ) -> Iterator[Substitution]:
+        """All substitutions satisfying the body against ``facts``."""
+        subst = initial if initial is not None else Substitution.empty()
+        return self._run(facts, subst, reorder, None, 0, [False] * len(self.steps), 0)
+
+    def run_delta(
+        self,
+        facts: FactBase,
+        delta_position: int,
+        delta_round: int,
+        initial: Optional[Substitution] = None,
+        reorder: bool = True,
+    ) -> Iterator[Substitution]:
+        """The semi-naive partition: the atom at ``delta_position``
+        matches only facts stamped ``>= delta_round`` (joined first,
+        being the most selective), earlier positive positions match only
+        strictly older facts, later positions are unrestricted."""
+        subst = initial if initial is not None else Substitution.empty()
+        steps = self.steps
+        step = steps[delta_position]
+        if step.kind != _ATOM:
+            raise SafetyError("the delta position must be a positive atom")
+        modes = self._modes_for(delta_position)
+        pattern = substitute_fatom(step.atom, subst)
+        n = len(steps)
+        for fact in facts.candidates_since(pattern, delta_round):
+            extended = match_atom(pattern, fact, subst)
+            if extended is not None:
+                used = [False] * n
+                used[delta_position] = True
+                yield from self._run(
+                    facts, extended, reorder, modes, delta_round, used, 1
+                )
+
+    def order(self, facts: FactBase) -> list[tuple[str, int]]:
+        """The greedy join order against the current facts — see
+        :func:`plan_order`."""
+        from repro.fol.pretty import pretty_fatom
+
+        steps = self.steps
+        used = [False] * len(steps)
+        subst = Substitution.empty()
+        plan: list[tuple[str, int]] = []
+        for _ in range(len(steps)):
+            index = self._select(used, facts, subst)
+            if index < 0:
+                plan.extend(
+                    (pretty_fatom(step.atom), -1)
+                    for position, step in enumerate(steps)
+                    if not used[position]
+                )
+                break
+            used[index] = True
+            step = steps[index]
+            if step.kind == _ATOM:
+                pattern = substitute_fatom(step.atom, subst)
+                cost = facts.candidate_count(pattern)
+            else:
+                cost = 0
+            plan.append((pretty_fatom(step.atom), cost))
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _modes_for(self, delta_position: int) -> tuple:
+        modes = self._modes.get(delta_position)
+        if modes is None:
+            modes = tuple(
+                _OLD if index < delta_position and step.kind == _ATOM else _ALL
+                for index, step in enumerate(self.steps)
+            )
+            self._modes[delta_position] = modes
+        return modes
+
+    def _select(self, used: list, facts: FactBase, subst: Substitution) -> int:
+        """Greedy choice of the next unused step; -1 when only unready
+        builtins / non-ground negations remain."""
+        steps = self.steps
+        bound = subst.raw.keys()
+        best = -1
+        best_cost = 0
+        for index, step in enumerate(steps):
+            if used[index]:
+                continue
+            kind = step.kind
+            if kind == _BUILTIN:
+                if builtin_is_ready(step.atom, subst):
+                    return index
+                continue
+            if kind == _NEG:
+                if step.vars <= bound:
+                    grounded = substitute_fatom(step.atom.atom, subst)
+                    if atom_is_ground(grounded):
+                        return index  # a ground test costs nothing
+                continue
+            pattern = substitute_fatom(step.atom, subst)
+            cost = facts.candidate_count(pattern)
+            if cost == 0:
+                return index  # fails immediately: prune this branch now
+            if best < 0 or cost < best_cost:
+                best_cost = cost
+                best = index
+        return best
+
+    def _raise_unschedulable(self, used: list, subst: Substitution) -> None:
+        for index, step in enumerate(self.steps):
+            if not used[index]:
+                if step.kind == _BUILTIN:
+                    # Raise the standard instantiation error.
+                    solve_builtin(step.atom, subst)
+                    raise BuiltinError(
+                        "builtin could not be scheduled"
+                    )  # pragma: no cover
+                break
+        raise SafetyError(
+            "negative atoms could not be grounded by the positive goals "
+            "(unsafe rule)"
+        )
+
+    def _run(
+        self,
+        facts: FactBase,
+        subst: Substitution,
+        reorder: bool,
+        modes: Optional[tuple],
+        old_before: int,
+        used: list,
+        n_used: int,
+    ) -> Iterator[Substitution]:
+        """Iterative executor: an explicit stack of join frames, with
+        deterministic steps (builtins, ground negations) applied inline
+        between choice points and unwound on backtrack."""
+        steps = self.steps
+        n = len(steps)
+        # One frame per open positive atom:
+        # [step index, pattern, rows, next position, stop, base subst,
+        #  deterministic steps consumed on the way to this frame]
+        stack: list[list] = []
+
+        def descend(current: Substitution):
+            """Extend ``current`` through deterministic steps until the
+            body completes (answer), a positive atom opens a frame, or a
+            test fails.  Returns ``(code, answer, dets)`` with code
+            0=answer, 1=frame pushed, 2=dead branch."""
+            nonlocal n_used
+            dets: list[int] = []
+            while n_used < n:
+                if reorder:
+                    index = self._select(used, facts, current)
+                    if index < 0:
+                        self._raise_unschedulable(used, current)
+                else:
+                    index = used.index(False)
+                step = steps[index]
+                kind = step.kind
+                if kind == _ATOM:
+                    pattern = substitute_fatom(step.atom, current)
+                    if modes is not None and modes[index] == _OLD:
+                        window = facts.candidates_before(pattern, old_before)
+                    else:
+                        window = facts.candidates(pattern)
+                    if type(window) is FactView:
+                        rows, position, stop = window.raw()
+                    else:
+                        rows, position, stop = window, 0, len(window)
+                    used[index] = True
+                    n_used += 1
+                    stack.append(
+                        [index, pattern, rows, position, stop, current, dets]
+                    )
+                    return 1, None, dets
+                used[index] = True
+                n_used += 1
+                dets.append(index)
+                if kind == _BUILTIN:
+                    solved = solve_builtin(step.atom, current)
+                    if solved is None:
+                        return 2, None, dets
+                    current = solved
+                    continue
+                # Negation as failure against the facts derived so far.
+                # Sound for query answering over a completed model and
+                # for stratified evaluation (the stratified engine
+                # orders the strata); the positive-only fixpoints refuse
+                # rules containing NegAtom.
+                ground = substitute_fatom(step.atom.atom, current)
+                if not atom_is_ground(ground):
+                    raise SafetyError(
+                        f"negative atom {ground.pred}/{ground.arity} is not "
+                        "ground when reached (bind its variables in earlier "
+                        "goals)"
+                    )
+                if ground in facts:
+                    return 2, None, dets
+            return 0, current, dets
+
+        code, answer, dets = descend(subst)
+        while True:
+            if code == 0:
+                yield answer
+            if code != 1:
+                # Dead branch or delivered answer: release the
+                # deterministic tail of that descent.
+                for det in dets:
+                    used[det] = False
+                n_used -= len(dets)
+            # Advance the deepest open frame to its next candidate.
+            while stack:
+                frame = stack[-1]
+                pattern, rows, position, stop, base = (
+                    frame[1],
+                    frame[2],
+                    frame[3],
+                    frame[4],
+                    frame[5],
+                )
+                extended = None
+                while position < stop:
+                    fact = rows[position]
+                    position += 1
+                    extended = match_atom(pattern, fact, base)
+                    if extended is not None:
+                        break
+                if extended is not None:
+                    frame[3] = position
+                    code, answer, dets = descend(extended)
+                    break
+                # Frame exhausted: release its atom and the
+                # deterministic prefix that led to it.
+                stack.pop()
+                used[frame[0]] = False
+                n_used -= 1
+                for det in frame[6]:
+                    used[det] = False
+                n_used -= len(frame[6])
+            else:
+                return
+
+
+#: Compiled plans keyed by body tuple (bodies are immutable and
+#: hashable).  Engines precompile per rule; this cache serves the
+#: ad-hoc `join_body` callers (queries, tests) the same plan reuse.
+_PLAN_CACHE: dict[tuple, JoinPlan] = {}
+_PLAN_CACHE_LIMIT = 1024
+
+
+def compile_body(body: Sequence[FBodyAtom]) -> JoinPlan:
+    """Compile ``body`` into a reusable :class:`JoinPlan` (cached)."""
+    key = tuple(body)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        steps = []
+        for atom in key:
+            if isinstance(atom, FBuiltin):
+                steps.append(_Step(atom, _BUILTIN, frozenset(atom_variables(atom))))
+            elif isinstance(atom, NegAtom):
+                steps.append(
+                    _Step(atom, _NEG, frozenset(atom_variables(atom.atom)))
+                )
+            else:
+                steps.append(_Step(atom, _ATOM, frozenset(atom_variables(atom))))
+        plan = JoinPlan(key, tuple(steps))
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.clear()
+        _PLAN_CACHE[key] = plan
+    return plan
 
 
 def join_body(
@@ -66,116 +388,10 @@ def join_body(
     later indexes are unrestricted.  Summed over all positions this
     covers every instantiation that touches a new fact exactly once.
     """
-    subst = initial if initial is not None else Substitution.empty()
+    plan = compile_body(body)
     if delta_position is not None:
-        delta_atom = body[delta_position]
-        if isinstance(delta_atom, (FBuiltin, NegAtom)):
-            raise SafetyError("the delta position must be a positive atom")
-        rest = []
-        for index, atom in enumerate(body):
-            if index == delta_position:
-                continue
-            restrict_old = index < delta_position and not isinstance(
-                atom, (FBuiltin, NegAtom)
-            )
-            rest.append((atom, _OLD if restrict_old else _ALL))
-        pattern = substitute_fatom(delta_atom, subst)
-        assert isinstance(pattern, FAtom)
-        for fact in facts.candidates_since(pattern, delta_round):
-            extended = match_atom(pattern, fact, subst)
-            if extended is not None:
-                yield from _join(list(rest), facts, extended, reorder, delta_round)
-        return
-    yield from _join([(atom, _ALL) for atom in body], facts, subst, reorder, 0)
-
-
-def _pick(
-    remaining: list[tuple[FBodyAtom, str]],
-    facts: FactBase,
-    subst: Substitution,
-    reorder: bool,
-) -> int:
-    """Choose the next atom to solve; -1 signals 'nothing runnable'."""
-    if not reorder:
-        return 0
-    best_index = -1
-    best_cost: float = float("inf")
-    for index, (atom, __) in enumerate(remaining):
-        if isinstance(atom, FBuiltin):
-            if builtin_is_ready(atom, subst):
-                return index
-            continue
-        if isinstance(atom, NegAtom):
-            grounded = substitute_fatom(atom.atom, subst)
-            assert isinstance(grounded, FAtom)
-            if atom_is_ground(grounded):
-                return index  # a ground test costs nothing
-            continue
-        pattern = substitute_fatom(atom, subst)
-        assert isinstance(pattern, FAtom)
-        cost = facts.candidate_count(pattern)
-        if cost == 0:
-            return index  # fails immediately: prune this branch now
-        if cost < best_cost:
-            best_cost = cost
-            best_index = index
-    return best_index
-
-
-def _join(
-    remaining: list[tuple[FBodyAtom, str]],
-    facts: FactBase,
-    subst: Substitution,
-    reorder: bool,
-    old_before: int,
-) -> Iterator[Substitution]:
-    if not remaining:
-        yield subst
-        return
-    index = _pick(remaining, facts, subst, reorder)
-    if index < 0:
-        # Only unready builtins / non-ground negations remain.
-        leftover = remaining[0][0]
-        if isinstance(leftover, FBuiltin):
-            # Raise the standard instantiation error.
-            solve_builtin(leftover, subst)
-            raise BuiltinError("builtin could not be scheduled")  # pragma: no cover
-        raise SafetyError(
-            "negative atoms could not be grounded by the positive goals "
-            "(unsafe rule)"
-        )
-    atom, mode = remaining[index]
-    rest = remaining[:index] + remaining[index + 1 :]
-    if isinstance(atom, FBuiltin):
-        solved = solve_builtin(atom, subst)
-        if solved is not None:
-            yield from _join(rest, facts, solved, reorder, old_before)
-        return
-    if isinstance(atom, NegAtom):
-        # Negation as failure against the facts derived so far.  Sound
-        # for query answering over a completed model and for stratified
-        # evaluation (the stratified engine orders the strata); the
-        # positive-only fixpoints refuse rules containing NegAtom.
-        ground = substitute_fatom(atom.atom, subst)
-        assert isinstance(ground, FAtom)
-        if not atom_is_ground(ground):
-            raise SafetyError(
-                f"negative atom {ground.pred}/{ground.arity} is not ground "
-                "when reached (bind its variables in earlier goals)"
-            )
-        if ground not in facts:
-            yield from _join(rest, facts, subst, reorder, old_before)
-        return
-    pattern = substitute_fatom(atom, subst)
-    assert isinstance(pattern, FAtom)
-    if mode == _OLD:
-        candidates = facts.candidates_before(pattern, old_before)
-    else:
-        candidates = facts.candidates(pattern)
-    for fact in candidates:
-        extended = match_atom(pattern, fact, subst)
-        if extended is not None:
-            yield from _join(rest, facts, extended, reorder, old_before)
+        return plan.run_delta(facts, delta_position, delta_round, initial, reorder)
+    return plan.run(facts, initial, reorder)
 
 
 def plan_order(
@@ -192,25 +408,7 @@ def plan_order(
     schedule from an empty substitution (unready builtins, non-ground
     negations) are appended in textual order with cost -1.
     """
-    from repro.fol.pretty import pretty_fatom
-
-    remaining: list[tuple[FBodyAtom, str]] = [(atom, _ALL) for atom in body]
-    subst = Substitution.empty()
-    plan: list[tuple[str, int]] = []
-    while remaining:
-        index = _pick(remaining, facts, subst, reorder=True)
-        if index < 0:
-            plan.extend((pretty_fatom(atom), -1) for atom, __ in remaining)
-            break
-        atom, __ = remaining.pop(index)
-        if isinstance(atom, (FBuiltin, NegAtom)):
-            cost = 0
-        else:
-            pattern = substitute_fatom(atom, subst)
-            assert isinstance(pattern, FAtom)
-            cost = facts.candidate_count(pattern)
-        plan.append((pretty_fatom(atom), cost))
-    return plan
+    return compile_body(body).order(facts)
 
 
 def check_range_restricted(head_atoms: Sequence[FAtom], body: Sequence[FBodyAtom]) -> None:

@@ -23,7 +23,7 @@ predicate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Union
 
 from repro.core.errors import EngineError, SafetyError
 from repro.fol.atoms import (
@@ -38,9 +38,7 @@ from repro.fol.atoms import (
 )
 from repro.engine.bottomup import EvaluationStats
 from repro.engine.factbase import FactBase
-from repro.engine.builtins import solve_builtin
-from repro.fol.subst import Substitution
-from repro.fol.unify import match_atom
+from repro.engine.join import compile_body
 
 __all__ = [
     "NegAtom",
@@ -241,6 +239,7 @@ def _saturate_stratum(
                 if facts.add(head):
                     stats.facts_new += 1
     rules = [clause for clause in clauses if clause.body]
+    plans = [compile_body(clause.body) for clause in rules]
     rule_slots = None
     if report is not None:
         from repro.fol.pretty import pretty_fatom
@@ -275,7 +274,11 @@ def _saturate_stratum(
                 row = rule_slots[rule_index].round(stats.rounds)
                 index_before = report.index.snapshot()
                 derived_before, new_before = stats.facts_derived, stats.facts_new
-            for subst in _join_neg(clause.body, 0, facts, Substitution.empty()):
+            # Textual order (reorder=False): sound for safe stratified
+            # rules and keeps the paper's reading of the bodies; the
+            # compiled executor still serves candidates from the
+            # adaptive indexes.
+            for subst in plans[rule_index].run(facts, reorder=False):
                 stats.body_evaluations += 1
                 if row is not None:
                     row.instantiations += 1
@@ -296,36 +299,3 @@ def _saturate_stratum(
         if not changed:
             return
     raise EngineError(f"no fixpoint within {max_rounds} rounds")
-
-
-def _join_neg(
-    body: Sequence[NegBodyAtom], index: int, facts: FactBase, subst: Substitution
-):
-    if index == len(body):
-        yield subst
-        return
-    atom = body[index]
-    if isinstance(atom, FBuiltin):
-        solved = solve_builtin(atom, subst)
-        if solved is not None:
-            yield from _join_neg(body, index + 1, facts, solved)
-        return
-    if isinstance(atom, NegAtom):
-        ground = substitute_fatom(atom.atom, subst)
-        assert isinstance(ground, FAtom)
-        from repro.fol.atoms import atom_is_ground
-
-        if not atom_is_ground(ground):
-            raise SafetyError(
-                f"negative atom {ground.pred}/{ground.arity} is not ground "
-                "when reached (reorder the body)"
-            )
-        if ground not in facts:
-            yield from _join_neg(body, index + 1, facts, subst)
-        return
-    pattern = substitute_fatom(atom, subst)
-    assert isinstance(pattern, FAtom)
-    for fact in facts.candidates(pattern):
-        extended = match_atom(pattern, fact, subst)
-        if extended is not None:
-            yield from _join_neg(body, index + 1, facts, extended)

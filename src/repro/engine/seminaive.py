@@ -29,7 +29,7 @@ from repro.engine.bottomup import (
     prepare_report,
 )
 from repro.engine.factbase import FactBase
-from repro.engine.join import check_range_restricted, join_body, plan_order
+from repro.engine.join import check_range_restricted, compile_body
 
 __all__ = ["seminaive_fixpoint"]
 
@@ -62,7 +62,15 @@ def seminaive_fixpoint(
                     stats.facts_new += 1
                 stats.facts_derived += 1
     rules = [clause for clause in generalized if not clause.is_fact]
+    plans = [compile_body(clause.body) for clause in rules]
     rule_slots = prepare_report(report, "seminaive", rules, facts)
+    if rule_slots is not None:
+        # Plan once at entry; refreshed on the final round below so the
+        # report shows the converged selectivities without paying a
+        # re-plan per rule per round (which used to distort the very
+        # timings EXPLAIN reports).
+        for slot, plan in zip(rule_slots, plans):
+            slot.join_order = plan.order(facts)
     # Precompute the joinable (non-builtin) positions of each rule.
     positions = [
         [i for i, atom in enumerate(clause.body) if not isinstance(atom, FBuiltin)]
@@ -82,31 +90,24 @@ def seminaive_fixpoint(
         for rule_index, (clause, delta_positions) in enumerate(zip(rules, positions)):
             row = None
             if rule_slots is not None:
-                slot = rule_slots[rule_index]
-                slot.join_order = plan_order(clause.body, facts)
-                row = slot.round(stats.rounds)
+                row = rule_slots[rule_index].round(stats.rounds)
                 index_before = report.index.snapshot()
                 derived_before, new_before = stats.facts_derived, stats.facts_new
             evals_before = stats.body_evaluations
+            plan = plans[rule_index]
             if not delta_positions:
                 # Pure-builtin body: evaluate once, in the first round.
                 if stats.rounds > 1:
                     continue
-                iterator = join_body(clause.body, facts)
-                for subst in iterator:
+                for subst in plan.run(facts):
                     stats.body_evaluations += 1
                     changed |= _derive(clause.heads, subst, facts, stats)
             else:
-                # The old/delta/all partition in join_body yields each
+                # The old/delta/all partition in run_delta yields each
                 # new instantiation from exactly one position: no dedup
                 # needed.
                 for position in delta_positions:
-                    for subst in join_body(
-                        clause.body,
-                        facts,
-                        delta_position=position,
-                        delta_round=delta_round,
-                    ):
+                    for subst in plan.run_delta(facts, position, delta_round):
                         stats.body_evaluations += 1
                         changed |= _derive(clause.heads, subst, facts, stats)
             if row is not None:
@@ -120,6 +121,9 @@ def seminaive_fixpoint(
             round_span.set("changed", changed)
             tracer.finish(round_span)
         if not changed:
+            if rule_slots is not None:
+                for slot, plan in zip(rule_slots, plans):
+                    slot.join_order = plan.order(facts)
             finish_report(report, stats, facts)
             return facts
     raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")

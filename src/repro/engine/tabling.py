@@ -40,6 +40,7 @@ from repro.fol.subst import Substitution
 from repro.fol.terms import FApp, FConst, FTerm, FVar
 from repro.fol.unify import unify_atoms
 from repro.engine.builtins import solve_builtin
+from repro.engine.clauseindex import ClauseIndex
 
 __all__ = ["TabledEngine", "TablingStats", "canonical_atom"]
 
@@ -76,9 +77,10 @@ class TabledEngine:
 
     def __init__(self, program: Union[FOLProgram, Iterable[HornClause]]) -> None:
         clauses = program.clauses if isinstance(program, FOLProgram) else tuple(program)
-        self._by_pred: dict[tuple[str, int], list[HornClause]] = {}
-        for clause in clauses:
-            self._by_pred.setdefault(clause.head.signature, []).append(clause)
+        # First-argument clause indexing, shared with the SLD engine: a
+        # ground-enough call resolves only against clauses whose head
+        # can possibly unify.
+        self._index = ClauseIndex(clauses)
         self._table: dict[FAtom, set[FAtom]] = {}
         self._active: set[FAtom] = set()
         self._produced: set[FAtom] = set()
@@ -181,7 +183,7 @@ class TabledEngine:
                 key, {name: FVar(name + suffix) for name in atom_variables(key)}
             )
             assert isinstance(fresh_goal, FAtom)
-            for clause in self._by_pred.get(key.signature, ()):
+            for clause in self._index.candidates(fresh_goal):
                 renamed = rename_clause(clause, self._fresh_suffix())
                 unifier = unify_atoms(fresh_goal, renamed.head, None)
                 if unifier is None:

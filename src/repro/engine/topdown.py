@@ -46,7 +46,7 @@ from repro.fol.atoms import (
 from repro.fol.subst import Substitution
 from repro.fol.unify import unify_atoms
 from repro.engine.builtins import builtin_is_ready, solve_builtin
-from repro.engine.factbase import principal_functor
+from repro.engine.clauseindex import ClauseIndex
 
 __all__ = ["SLDStats", "SLDEngine", "solve_iterative_deepening"]
 
@@ -66,38 +66,14 @@ class SLDEngine:
     def __init__(self, program: Union[FOLProgram, Iterable[HornClause]]) -> None:
         clauses = program.clauses if isinstance(program, FOLProgram) else tuple(program)
         self._clauses: list[HornClause] = list(clauses)
-        self._by_pred: dict[tuple[str, int], list[HornClause]] = {}
-        # First-argument index: clauses whose head first argument has a
-        # given principal functor, plus those with a variable first
-        # argument (which match anything).  Entries carry the program
-        # position so merged candidate lists preserve program order.
-        self._by_first: dict[tuple, list[tuple[int, HornClause]]] = {}
-        self._open_first: dict[tuple[str, int], list[tuple[int, HornClause]]] = {}
-        for position, clause in enumerate(self._clauses):
-            signature = clause.head.signature
-            self._by_pred.setdefault(signature, []).append(clause)
-            key = principal_functor(clause.head.args[0])
-            if key is None:
-                self._open_first.setdefault(signature, []).append((position, clause))
-            else:
-                self._by_first.setdefault((signature, key), []).append((position, clause))
+        self._index = ClauseIndex(self._clauses)
         self._rename_counter = 0
 
-    def candidates(self, pattern: FAtom) -> list[HornClause]:
-        """Candidate clauses for a goal, narrowed by the indexes; kept in
-        program order (merge of indexed and open-first-argument lists)."""
-        signature = pattern.signature
-        key = principal_functor(pattern.args[0])
-        if key is None:
-            return self._by_pred.get(signature, [])
-        indexed = self._by_first.get((signature, key), [])
-        open_first = self._open_first.get(signature, [])
-        if not open_first:
-            return [clause for _, clause in indexed]
-        if not indexed:
-            return [clause for _, clause in open_first]
-        merged = sorted(indexed + open_first)
-        return [clause for _, clause in merged]
+    def candidates(self, pattern: FAtom) -> Sequence[HornClause]:
+        """Candidate clauses for a goal, narrowed by the first-argument
+        clause index (see :class:`~repro.engine.clauseindex.ClauseIndex`);
+        kept in program order."""
+        return self._index.candidates(pattern)
 
     def solve(
         self,

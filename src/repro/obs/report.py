@@ -8,10 +8,12 @@ engines here answer the same question for a saturation run:
 * per rule — the join order chosen by the greedy planner in
   :mod:`repro.engine.join`, with the candidate counts that justified
   it;
-* per rule and globally — the hit rate of the first-argument index
-  behind :meth:`repro.engine.factbase.FactBase.candidates` (a lookup
-  *hits* when the pattern's first argument was ground enough to use
-  the index instead of scanning the whole predicate).
+* per rule and globally — the hit rates of the adaptive argument
+  indexes behind :meth:`repro.engine.factbase.FactBase.candidates` (a
+  lookup *hits* when some bound-argument index answered it instead of
+  a whole-predicate scan; the report also lists each index that was
+  built on demand, and counts semi-naive delta/old partition fetches
+  separately so they do not dilute the hit rate).
 
 An :class:`ExplainReport` is filled by an engine when passed as its
 ``report=`` argument and rendered with :meth:`ExplainReport.render`.
@@ -27,36 +29,108 @@ __all__ = ["ExplainReport", "IndexStats", "RoundRow", "RuleStats"]
 
 @dataclass
 class IndexStats:
-    """Counters for fact-base candidate lookups (the index side)."""
+    """Counters for fact-base candidate lookups (the index side).
+
+    ``lookups``/``indexed``/``scans``/``candidates_returned`` describe
+    :meth:`~repro.engine.factbase.FactBase.candidates` fetches only.
+    The semi-naive delta/old partition probes
+    (``candidates_since``/``candidates_before``) are counted apart in
+    ``partition_probes``/``partition_candidates`` — they are served from
+    round segments, not the argument indexes, and folding them into the
+    lookup counters would distort the hit rate with facts the partition
+    immediately discards.  ``per_index`` carries the per-index account
+    keyed by ``pred/arity[positions]``: how many fetches that adaptive
+    index answered and how many candidates it handed back.
+    """
 
     lookups: int = 0
     indexed: int = 0
     scans: int = 0
     candidates_returned: int = 0
+    partition_probes: int = 0
+    partition_candidates: int = 0
+    indexes_built: int = 0
+    per_index: dict[str, list[int]] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served by the first-argument index."""
+        """Fraction of lookups served by an argument index."""
         return self.indexed / self.lookups if self.lookups else 0.0
 
-    def snapshot(self) -> tuple[int, int, int, int]:
-        return (self.lookups, self.indexed, self.scans, self.candidates_returned)
+    def record_index(self, name: str, candidates: int) -> None:
+        """One fetch answered by the named multi-argument index."""
+        entry = self.per_index.get(name)
+        if entry is None:
+            self.per_index[name] = [1, candidates]
+        else:
+            entry[0] += 1
+            entry[1] += candidates
 
-    def add_since(self, snapshot: tuple[int, int, int, int], into: "IndexStats") -> None:
+    def index_hit_rate(self, name: str) -> float:
+        """Fraction of all candidate lookups the named index served."""
+        entry = self.per_index.get(name)
+        if entry is None or not self.lookups:
+            return 0.0
+        return entry[0] / self.lookups
+
+    def snapshot(self) -> tuple:
+        return (
+            self.lookups,
+            self.indexed,
+            self.scans,
+            self.candidates_returned,
+            self.partition_probes,
+            self.partition_candidates,
+            self.indexes_built,
+            {name: tuple(entry) for name, entry in self.per_index.items()},
+        )
+
+    def add_since(self, snapshot: tuple, into: "IndexStats") -> None:
         """Accumulate the change since ``snapshot`` into ``into``."""
         into.lookups += self.lookups - snapshot[0]
         into.indexed += self.indexed - snapshot[1]
         into.scans += self.scans - snapshot[2]
         into.candidates_returned += self.candidates_returned - snapshot[3]
+        into.partition_probes += self.partition_probes - snapshot[4]
+        into.partition_candidates += self.partition_candidates - snapshot[5]
+        into.indexes_built += self.indexes_built - snapshot[6]
+        before = snapshot[7]
+        for name, entry in self.per_index.items():
+            old = before.get(name, (0, 0))
+            d_lookups, d_candidates = entry[0] - old[0], entry[1] - old[1]
+            if d_lookups or d_candidates:
+                target = into.per_index.get(name)
+                if target is None:
+                    into.per_index[name] = [d_lookups, d_candidates]
+                else:
+                    target[0] += d_lookups
+                    target[1] += d_candidates
 
     def describe(self) -> str:
-        if not self.lookups:
+        if not self.lookups and not self.partition_probes:
             return "no index lookups"
-        return (
-            f"{self.lookups} lookups, {self.hit_rate * 100:.1f}% first-arg "
+        text = (
+            f"{self.lookups} lookups, {self.hit_rate * 100:.1f}% argument-"
             f"indexed ({self.scans} full scans), "
             f"{self.candidates_returned} candidates returned"
         )
+        if self.partition_probes:
+            text += (
+                f"; {self.partition_probes} partition probes, "
+                f"{self.partition_candidates} delta/old candidates"
+            )
+        return text
+
+    def describe_indexes(self) -> list[str]:
+        """One line per adaptive index, most-used first."""
+        ranked = sorted(
+            self.per_index.items(), key=lambda item: item[1][0], reverse=True
+        )
+        return [
+            f"{name}: {entry[0]} lookups ({self.index_hit_rate(name) * 100:.1f}% "
+            f"of fetches), {entry[1]} candidates"
+            for name, entry in ranked
+        ]
 
 
 @dataclass
@@ -136,6 +210,12 @@ class ExplainReport:
             f"rounds: {self.rounds}   facts in model: {self.facts_total}   "
             f"index: {self.index.describe()}"
         )
+        if self.index.per_index or self.index.indexes_built:
+            lines.append(
+                f"adaptive indexes (built on demand: {self.index.indexes_built})"
+            )
+            for entry in self.index.describe_indexes():
+                lines.append(f"  {entry}")
         for number, stats in enumerate(self._rules.values(), start=1):
             lines.append("")
             lines.append(f"rule {number}: {stats.rule}")

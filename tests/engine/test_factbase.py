@@ -46,14 +46,14 @@ class TestFactBase:
     def test_candidates_by_predicate(self):
         base = FactBase([atom("p", FConst("a")), atom("q", FConst("a"))])
         cands = base.candidates(atom("p", FVar("X")))
-        assert cands == [atom("p", FConst("a"))]
+        assert list(cands) == [atom("p", FConst("a"))]
 
     def test_candidates_by_first_argument(self):
         base = FactBase(
             [atom("src", FConst("p1"), FConst("a")), atom("src", FConst("p2"), FConst("c"))]
         )
         cands = base.candidates(atom("src", FConst("p1"), FVar("S")))
-        assert cands == [atom("src", FConst("p1"), FConst("a"))]
+        assert list(cands) == [atom("src", FConst("p1"), FConst("a"))]
 
     def test_candidates_variable_first_argument_returns_all(self):
         base = FactBase(
@@ -74,7 +74,7 @@ class TestFactBase:
         base.next_round()
         base.add(atom("p", FConst("b")))
         fresh = base.candidates_since(atom("p", FVar("X")), since_round=1)
-        assert fresh == [atom("p", FConst("b"))]
+        assert list(fresh) == [atom("p", FConst("b"))]
 
     def test_count_and_predicates(self):
         base = FactBase([atom("p", FConst("a")), atom("q", FConst("a"), FConst("b"))])
@@ -93,8 +93,69 @@ class TestFactBase:
         assert added == 1
 
 
+class TestAdaptiveIndexes:
+    def _base(self):
+        return FactBase(
+            [
+                atom("edge", FConst("a"), FConst("b")),
+                atom("edge", FConst("b"), FConst("c")),
+                atom("edge", FConst("c"), FConst("b")),
+            ]
+        )
+
+    def test_no_indexes_before_first_fetch(self):
+        assert self._base().index_names() == []
+
+    def test_index_built_on_demand_for_bound_subset(self):
+        base = self._base()
+        cands = base.candidates(atom("edge", FVar("X"), FConst("b")))
+        assert sorted(map(repr, cands)) == sorted(
+            map(
+                repr,
+                [
+                    atom("edge", FConst("a"), FConst("b")),
+                    atom("edge", FConst("c"), FConst("b")),
+                ],
+            )
+        )
+        assert base.index_names() == ["edge/2[2]"]
+
+    def test_distinct_shapes_get_distinct_indexes(self):
+        base = self._base()
+        base.candidates(atom("edge", FConst("a"), FVar("Y")))
+        base.candidates(atom("edge", FVar("X"), FConst("b")))
+        base.candidates(atom("edge", FConst("a"), FConst("b")))
+        assert set(base.index_names()) == {
+            "edge/2[1]",
+            "edge/2[1,2]",
+            "edge/2[2]",
+        }
+
+    def test_index_maintained_across_adds(self):
+        base = self._base()
+        pattern = atom("edge", FVar("X"), FConst("b"))
+        assert len(base.candidates(pattern)) == 2
+        base.add(atom("edge", FConst("d"), FConst("b")))
+        assert len(base.candidates(pattern)) == 3
+
+    def test_factview_is_stable_under_appends(self):
+        # The executor iterates candidate windows while derivation
+        # appends to the same predicate; a view taken earlier must not
+        # grow under its feet.
+        base = self._base()
+        view = base.candidates(atom("edge", FVar("X"), FVar("Y")))
+        assert len(view) == 3
+        base.add(atom("edge", FConst("d"), FConst("e")))
+        assert len(view) == 3
+        assert len(base.candidates(atom("edge", FVar("X"), FVar("Y")))) == 4
+
+
 class TestDeltaHelpers:
-    def test_candidate_count_matches_candidates(self):
+    def test_candidate_count_bounds_candidates(self):
+        # candidate_count is a planner estimate: it never builds an
+        # index, so before the first fetch it is an upper bound; once
+        # candidates() has built the index for a pattern shape, the
+        # count is exact.
         base = FactBase(
             [atom("src", FConst("p1"), FConst("a")), atom("src", FConst("p2"), FConst("c"))]
         )
@@ -103,6 +164,7 @@ class TestDeltaHelpers:
             atom("src", FConst("p1"), FVar("S")),
             atom("zzz", FVar("X")),
         ):
+            assert base.candidate_count(pattern) >= len(base.candidates(pattern))
             assert base.candidate_count(pattern) == len(base.candidates(pattern))
 
     def test_candidates_before(self):
@@ -110,4 +172,4 @@ class TestDeltaHelpers:
         base.next_round()
         base.add(atom("p", FConst("b")))
         old = base.candidates_before(atom("p", FVar("X")), before_round=1)
-        assert old == [atom("p", FConst("a"))]
+        assert list(old) == [atom("p", FConst("a"))]

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.errors import SafetyError
 from repro.engine.factbase import FactBase
-from repro.engine.join import check_range_restricted, join_body
+from repro.engine.join import (
+    JoinPlan,
+    check_range_restricted,
+    compile_body,
+    join_body,
+)
 from repro.fol.atoms import FAtom, FBuiltin, NegAtom
 from repro.fol.subst import Substitution
 from repro.fol.terms import FApp, FConst, FVar
@@ -78,6 +83,49 @@ class TestJoin:
         body = [NegAtom(atom("edge", FVar("X"), FVar("Y")))]
         with pytest.raises(SafetyError):
             list(join_body(body, facts))
+
+
+class TestJoinPlan:
+    def test_compile_body_is_cached(self):
+        body = (atom("edge", FVar("X"), FVar("Y")),)
+        assert compile_body(body) is compile_body(body)
+
+    def test_plan_is_reusable_across_fact_bases(self, facts):
+        plan = compile_body((atom("edge", FVar("X"), FVar("Y")),))
+        assert isinstance(plan, JoinPlan)
+        assert len(list(plan.run(facts))) == 2
+        other = FactBase([atom("edge", FConst("x"), FConst("y"))])
+        assert len(list(plan.run(other))) == 1
+        # the first base is unaffected by runs against the second
+        assert len(list(plan.run(facts))) == 2
+
+    def test_run_delta_rejects_builtin_position(self, facts):
+        plan = compile_body(
+            (
+                atom("n", FVar("X")),
+                FBuiltin(">", (FVar("X"), FConst(1))),
+            )
+        )
+        with pytest.raises(SafetyError):
+            list(plan.run_delta(facts, delta_position=1, delta_round=0))
+
+    def test_run_delta_restricts_earlier_positions_to_old(self):
+        # Both edges are in the delta round; the self-join body must
+        # not produce the (old, new) AND (new, old) pairing twice.
+        base = FactBase([atom("edge", FConst("a"), FConst("b"))])
+        base.next_round()
+        base.add(atom("edge", FConst("b"), FConst("c")))
+        body = (
+            atom("edge", FVar("X"), FVar("Y")),
+            atom("edge", FVar("Y"), FVar("Z")),
+        )
+        plan = compile_body(body)
+        per_position = [
+            set(plan.run_delta(base, position, delta_round=1))
+            for position in (0, 1)
+        ]
+        assert per_position[0] & per_position[1] == set()
+        assert len(per_position[0] | per_position[1]) == 1
 
 
 class TestRangeRestriction:

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate ``BENCH_join_core.json`` against its expected schema.
+
+Hand-rolled (no jsonschema dependency): checks the top-level shape, the
+per-workload rows, and the engine-agreement rows emitted by
+``benchmarks/bench_join_core.py``.  Used by the CI benchmark smoke job;
+also runnable by hand::
+
+    python tools/check_bench_schema.py [BENCH_join_core.json]
+
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EXPECTED_SCHEMA_VERSION = 1
+KNOWN_ENGINES = {"direct", "bottomup", "seminaive", "sld", "tabled"}
+
+
+def _check(errors: list[str], condition: bool, message: str) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def check_workload(row: object, where: str, errors: list[str]) -> None:
+    if not isinstance(row, dict):
+        errors.append(f"{where}: expected an object, got {type(row).__name__}")
+        return
+    _check(errors, isinstance(row.get("name"), str) and row.get("name"),
+           f"{where}: 'name' must be a non-empty string")
+    _check(errors, isinstance(row.get("size"), int) and not isinstance(row.get("size"), bool)
+           and row.get("size", 0) > 0,
+           f"{where}: 'size' must be a positive integer")
+    for key in ("before_ms", "after_ms", "speedup"):
+        value = row.get(key)
+        _check(errors, isinstance(value, (int, float)) and not isinstance(value, bool)
+               and value > 0,
+               f"{where}: '{key}' must be a positive number")
+    checks = row.get("checks")
+    if not isinstance(checks, dict):
+        errors.append(f"{where}: 'checks' must be an object")
+        return
+    for key in ("legacy_facts", "new_facts"):
+        _check(errors, isinstance(checks.get(key), int),
+               f"{where}: checks.'{key}' must be an integer")
+    _check(errors, checks.get("counts_equal") is True,
+           f"{where}: checks.counts_equal must be true "
+           "(legacy and optimized cores disagreed)")
+
+
+def check_agreement(row: object, where: str, errors: list[str]) -> None:
+    if not isinstance(row, dict):
+        errors.append(f"{where}: expected an object, got {type(row).__name__}")
+        return
+    _check(errors, isinstance(row.get("workload"), str) and row.get("workload"),
+           f"{where}: 'workload' must be a non-empty string")
+    _check(errors, isinstance(row.get("size"), int) and row.get("size", 0) > 0,
+           f"{where}: 'size' must be a positive integer")
+    engines = row.get("engines")
+    if not isinstance(engines, dict) or not engines:
+        errors.append(f"{where}: 'engines' must be a non-empty object")
+    else:
+        for engine, count in engines.items():
+            _check(errors, engine in KNOWN_ENGINES,
+                   f"{where}: unknown engine {engine!r}")
+            _check(errors, isinstance(count, int) and count >= 0,
+                   f"{where}: engine {engine!r} answer count must be a "
+                   "non-negative integer")
+    excluded = row.get("engines_excluded")
+    if not isinstance(excluded, dict):
+        errors.append(f"{where}: 'engines_excluded' must be an object")
+    else:
+        for engine, reason in excluded.items():
+            _check(errors, engine in KNOWN_ENGINES,
+                   f"{where}: excluded engine {engine!r} is unknown")
+            _check(errors, isinstance(reason, str) and reason,
+                   f"{where}: exclusion reason for {engine!r} must be a "
+                   "non-empty string")
+    _check(errors, row.get("identical") is True,
+           f"{where}: 'identical' must be true (engines disagreed)")
+
+
+def check_payload(payload: object) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level: expected a JSON object"]
+    _check(errors, payload.get("benchmark") == "join_core",
+           "top level: 'benchmark' must be 'join_core'")
+    _check(errors, payload.get("schema_version") == EXPECTED_SCHEMA_VERSION,
+           f"top level: 'schema_version' must be {EXPECTED_SCHEMA_VERSION}")
+    _check(errors, isinstance(payload.get("smoke"), bool),
+           "top level: 'smoke' must be a boolean")
+    _check(errors, isinstance(payload.get("python"), str),
+           "top level: 'python' must be a string")
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append("top level: 'workloads' must be a non-empty array")
+    else:
+        for index, row in enumerate(workloads):
+            check_workload(row, f"workloads[{index}]", errors)
+    agreement = payload.get("agreement")
+    if not isinstance(agreement, list) or not agreement:
+        errors.append("top level: 'agreement' must be a non-empty array")
+    else:
+        for index, row in enumerate(agreement):
+            check_agreement(row, f"agreement[{index}]", errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else REPO_ROOT / "BENCH_join_core.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"check_bench_schema: {path} not found", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"check_bench_schema: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = check_payload(payload)
+    if errors:
+        for error in errors:
+            print(f"check_bench_schema: {error}", file=sys.stderr)
+        return 1
+    workloads = payload["workloads"]
+    print(
+        f"check_bench_schema: OK — {len(workloads)} workload rows, "
+        f"{len(payload['agreement'])} agreement rows"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
