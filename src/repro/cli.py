@@ -9,6 +9,10 @@ Subcommands::
                         --explain for the per-rule/per-round report,
                         --trace for the span tree, --trace-out for JSONL
     trace FILE          like query, with --explain and --trace implied
+    update FILE         apply --insert/--retract fact batches as one
+                        transaction (incremental maintenance), report
+                        what the maintenance run did, then evaluate
+                        --query queries against the updated base
 
 ``query``/``trace`` accept either a ``.cl`` program in the paper's
 concrete syntax (inline ``:- body.`` queries are run unless ``--query``
@@ -380,6 +384,101 @@ def cmd_trace(argv: list[str], out: TextIO = sys.stdout) -> int:
     return _run_observed(args, out, explain=True, trace=True)
 
 
+def cmd_update(argv: list[str], out: TextIO = sys.stdout) -> int:
+    """Apply fact insertions/retractions as one transaction."""
+    parser = argparse.ArgumentParser(
+        prog="repro update", description=cmd_update.__doc__
+    )
+    parser.add_argument("file", help="a .cl program or a .py TRACE_* module")
+    parser.add_argument(
+        "--insert",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help="fact clause to insert (repeatable)",
+    )
+    parser.add_argument(
+        "--retract",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help="fact clause to retract (repeatable)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None, help="evaluation strategy"
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="QUERY",
+        help="query to evaluate after the commit (repeatable)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the maintenance EXPLAIN report",
+    )
+    parser.add_argument(
+        "--trace", action="store_true", help="print the timed span tree"
+    )
+    args = parser.parse_args(argv)
+    if not args.insert and not args.retract:
+        print("error: nothing to apply; pass --insert/--retract", file=sys.stderr)
+        return 1
+    try:
+        kb, _ = load_workload(args.file)
+    except (OSError, CLogicError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    tracer = Tracer() if args.trace else None
+    report = ExplainReport() if args.explain else None
+    try:
+        txn = kb.transaction()
+        for text in args.insert:
+            txn.insert(text if text.rstrip().endswith(".") else text + ".")
+        for text in args.retract:
+            txn.retract(text if text.rstrip().endswith(".") else text + ".")
+        stats = txn.commit(tracer=tracer, report=report)
+    except CLogicError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"committed (version {kb.version}): "
+        f"+{stats.edb_inserted} -{stats.edb_retracted} asserted fact(s); "
+        f"{stats.facts_new} derived fact(s) added, "
+        f"{stats.facts_deleted} deleted "
+        f"({stats.facts_overdeleted} overdeleted, "
+        f"{stats.facts_rederived} rederived)",
+        file=out,
+    )
+    if stats.retracts_ignored:
+        print(
+            f"  {stats.retracts_ignored} retract(s) ignored (not asserted)",
+            file=out,
+        )
+    if stats.fallback:
+        print(f"  fallback: {stats.fallback}", file=out)
+    if report is not None:
+        print(file=out)
+        print(report.render(), file=out)
+    for query in args.query or ():
+        try:
+            answers = kb.ask(query, engine=args.engine)
+        except CLogicError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"?- {query}", file=out)
+        for answer in answers:
+            rendered = ", ".join(f"{k} = {v}" for k, v in answer.pretty().items())
+            print(f"  {rendered if rendered else 'yes'}", file=out)
+        print(f"  ({len(answers)} answer(s))", file=out)
+    if tracer is not None:
+        print("-- trace --", file=out)
+        print(tracer.format_tree(), file=out)
+    return 0
+
+
 def cmd_repl(argv: list[str], out: TextIO = sys.stdout) -> int:
     """Load any files given, then run the interactive shell."""
     repl = Repl(out=out)
@@ -396,6 +495,7 @@ SUBCOMMANDS: dict[str, Callable[[list[str]], int]] = {
     "repl": cmd_repl,
     "query": cmd_query,
     "trace": cmd_trace,
+    "update": cmd_update,
 }
 
 

@@ -1,0 +1,90 @@
+"""Multiplicity storage for incremental maintenance.
+
+Counting-based view maintenance needs two multisets over ground atoms:
+
+* *assertion counts* — how many times a fact is externally asserted.
+  One C-logic description translates to several first-order conjuncts
+  (typing atoms, label atoms), and distinct descriptions share
+  conjuncts — ``object(mary)`` is contributed by every description
+  mentioning ``mary`` — so retracting one description must only remove
+  the conjuncts no other assertion still supports;
+* *derivation counts* — how many distinct rule instantiations derive a
+  fact of a non-recursive stratum, maintained exactly by the engine in
+  :mod:`repro.incremental.engine`.
+
+Both are a :class:`FactCounts`: a dict-backed multiset whose decrement
+reports when a count reaches zero (the moment a fact's support is
+gone).  Counts never go negative — decrementing an absent fact is a
+:class:`~repro.core.errors.StoreError`, because a silent negative count
+would corrupt every later presence decision.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import StoreError
+from repro.fol.atoms import FAtom
+
+__all__ = ["FactCounts"]
+
+
+class FactCounts:
+    """A multiset of ground atoms with zero-crossing reports."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[FAtom, int] = {}
+
+    def increment(self, atom: FAtom, by: int = 1) -> int:
+        """Raise ``atom``'s count by ``by``; returns the new count."""
+        if by <= 0:
+            raise StoreError(f"increment must be positive, got {by}")
+        new = self._counts.get(atom, 0) + by
+        self._counts[atom] = new
+        return new
+
+    def decrement(self, atom: FAtom, by: int = 1) -> int:
+        """Lower ``atom``'s count by ``by``; returns the new count and
+        drops the entry when it reaches zero.  Decrementing below zero
+        raises — the caller's bookkeeping is broken."""
+        if by <= 0:
+            raise StoreError(f"decrement must be positive, got {by}")
+        current = self._counts.get(atom, 0)
+        if by > current:
+            raise StoreError(
+                f"count of {atom!r} would go negative ({current} - {by})"
+            )
+        new = current - by
+        if new:
+            self._counts[atom] = new
+        else:
+            self._counts.pop(atom, None)
+        return new
+
+    def get(self, atom: FAtom) -> int:
+        return self._counts.get(atom, 0)
+
+    def __contains__(self, atom: FAtom) -> bool:
+        return atom in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[FAtom]:
+        return iter(self._counts)
+
+    def items(self) -> Iterator[tuple[FAtom, int]]:
+        return iter(self._counts.items())
+
+    def discard(self, atom: FAtom) -> None:
+        """Forget ``atom`` entirely (used when a deletion also retires
+        the counter, e.g. a counted fact leaving the model)."""
+        self._counts.pop(atom, None)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"FactCounts({len(self._counts)} facts)"

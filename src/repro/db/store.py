@@ -82,6 +82,9 @@ class ObjectStore:
         self._stamps: dict[tuple, int] = {}
         self._by_round: dict[int, list[tuple]] = {}
         self._round = 0
+        #: Active undo journal (a list of inverse-operation records)
+        #: while a store transaction is open; ``None`` otherwise.
+        self._journal: Optional[list[tuple]] = None
 
     # ------------------------------------------------------------------
     # Assertion
@@ -120,6 +123,8 @@ class ObjectStore:
         if term not in self._clustered_set:
             self._clustered_set.add(term)
             self._clustered.append(term)
+            if self._journal is not None:
+                self._journal.append(("c+", term))
         return changed
 
     def _assert_term(self, term: Term) -> bool:
@@ -128,7 +133,7 @@ class ObjectStore:
         changed = False
         base = term.base if isinstance(term, LTerm) else term
         identity = ground_id(base)
-        changed |= self._add_type(base.type, identity)
+        changed |= self.add_type(base.type, identity)
         if isinstance(base, Func):
             for arg in base.args:
                 changed |= self._assert_term(arg)
@@ -138,7 +143,12 @@ class ObjectStore:
                 changed |= self._add_label(label, identity, ground_id(value))
         return changed
 
-    def _add_type(self, type_name: str, identity: BaseTerm) -> bool:
+    def add_type(self, type_name: str, identity: BaseTerm) -> bool:
+        """Add ``identity`` to ``type_name``'s extent (creating the
+        object in the active domain if needed); returns True iff the
+        membership is new.  This is the atomic type-assertion primitive
+        the update façade builds on."""
+        new_object = identity not in self._all_ids
         self._all_ids.add(identity)
         key = ("t", type_name, identity)
         extent = self._types.setdefault(type_name, set())
@@ -148,7 +158,21 @@ class ObjectStore:
         self._types_of.setdefault(identity, set()).add(type_name)
         self._stamps[key] = self._round
         self._by_round.setdefault(self._round, []).append(key)
+        if self._journal is not None:
+            self._journal.append(("t+", type_name, identity, new_object))
         return True
+
+    def _add_type(self, type_name: str, identity: BaseTerm) -> bool:
+        """Deprecated alias of :meth:`add_type` (kept for callers that
+        reached into the private name)."""
+        import warnings
+
+        warnings.warn(
+            "ObjectStore._add_type is deprecated; use add_type",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.add_type(type_name, identity)
 
     def _add_label(self, label: str, host: BaseTerm, value: BaseTerm) -> bool:
         key = ("l", label, host, value)
@@ -160,6 +184,8 @@ class ObjectStore:
         self._label_pairs[label] = self._label_pairs.get(label, 0) + 1
         self._stamps[key] = self._round
         self._by_round.setdefault(self._round, []).append(key)
+        if self._journal is not None:
+            self._journal.append(("l+", label, host, value))
         return True
 
     def _add_pred(self, pred: str, row: tuple[BaseTerm, ...]) -> bool:
@@ -170,7 +196,128 @@ class ObjectStore:
         rows.add(row)
         self._stamps[key] = self._round
         self._by_round.setdefault(self._round, []).append(key)
+        if self._journal is not None:
+            self._journal.append(("p+", (pred, len(row)), row))
         return True
+
+    # ------------------------------------------------------------------
+    # Undo journal (store-level transactions)
+    # ------------------------------------------------------------------
+
+    def begin_journal(self) -> None:
+        """Start recording inverse operations.  Every atomic mutation —
+        additions here, removals in
+        :class:`~repro.db.updates.UpdatableStore` — appends one record;
+        :meth:`rollback_journal` replays them in reverse."""
+        if self._journal is not None:
+            raise StoreError("a store transaction is already open")
+        self._journal = []
+
+    def commit_journal(self) -> int:
+        """Keep the mutations; returns how many were recorded."""
+        if self._journal is None:
+            raise StoreError("no store transaction is open")
+        recorded = len(self._journal)
+        self._journal = None
+        return recorded
+
+    def rollback_journal(self) -> int:
+        """Undo every journaled mutation, newest first; returns how
+        many records were replayed."""
+        if self._journal is None:
+            raise StoreError("no store transaction is open")
+        journal = self._journal
+        # Replay must not journal its own mutations.
+        self._journal = None
+        for entry in reversed(journal):
+            self._undo(entry)
+        return len(journal)
+
+    def _forget_key(self, key: tuple) -> None:
+        stamp = self._stamps.pop(key, None)
+        if stamp is not None:
+            bucket = self._by_round.get(stamp)
+            if bucket is not None and key in bucket:
+                bucket.remove(key)
+
+    def _undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "t+":
+            _, type_name, identity, new_object = entry
+            extent = self._types.get(type_name)
+            if extent is not None:
+                extent.discard(identity)
+                if not extent:
+                    del self._types[type_name]
+            self._types_of.get(identity, set()).discard(type_name)
+            self._forget_key(("t", type_name, identity))
+            if new_object:
+                self._all_ids.discard(identity)
+                self._types_of.pop(identity, None)
+        elif kind == "l+":
+            _, label, host, value = entry
+            hosts = self._labels.get(label, {})
+            values = hosts.get(host)
+            if values is not None:
+                values.discard(value)
+                if not values:
+                    del hosts[host]
+            inv = self._labels_inv.get(label, {})
+            inv_hosts = inv.get(value)
+            if inv_hosts is not None:
+                inv_hosts.discard(host)
+                if not inv_hosts:
+                    del inv[value]
+            remaining = self._label_pairs.get(label, 1) - 1
+            if remaining:
+                self._label_pairs[label] = remaining
+            else:
+                self._label_pairs.pop(label, None)
+                if not hosts:
+                    self._labels.pop(label, None)
+                if not inv:
+                    self._labels_inv.pop(label, None)
+            self._forget_key(("l", label, host, value))
+        elif kind == "p+":
+            _, signature, row = entry
+            rows = self._preds.get(signature)
+            if rows is not None:
+                rows.discard(row)
+                if not rows:
+                    del self._preds[signature]
+            self._forget_key(("p", signature[0], row))
+        elif kind == "c+":
+            _, term = entry
+            if term in self._clustered_set:
+                self._clustered_set.discard(term)
+                self._clustered.remove(term)
+        elif kind == "t-":
+            _, type_name, identity, stamp = entry
+            self._all_ids.add(identity)
+            self._types.setdefault(type_name, set()).add(identity)
+            self._types_of.setdefault(identity, set()).add(type_name)
+            self._stamps[("t", type_name, identity)] = stamp
+        elif kind == "l-":
+            _, label, host, value, stamp = entry
+            self._labels.setdefault(label, {}).setdefault(host, set()).add(value)
+            self._labels_inv.setdefault(label, {}).setdefault(
+                value, set()
+            ).add(host)
+            self._label_pairs[label] = self._label_pairs.get(label, 0) + 1
+            self._stamps[("l", label, host, value)] = stamp
+        elif kind == "p-":
+            _, signature, row, stamp = entry
+            self._preds.setdefault(signature, set()).add(row)
+            self._stamps[("p", signature[0], row)] = stamp
+        elif kind == "c-":
+            _, index, term = entry
+            self._clustered.insert(index, term)
+            self._clustered_set.add(term)
+        elif kind == "dom-":
+            _, identity = entry
+            self._all_ids.add(identity)
+        else:  # pragma: no cover - journal writers are all in-tree
+            raise StoreError(f"unknown journal record {kind!r}")
 
     # ------------------------------------------------------------------
     # Lookup

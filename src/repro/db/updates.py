@@ -13,6 +13,11 @@ with insert/retract operations that keep every index consistent.
 Retraction removes atomic facts (a type membership, a label pair, a
 predicate row); retracting the last type of an object removes it from
 the active domain unless it still participates in label pairs.
+
+:meth:`UpdatableStore.transaction` scopes a batch of these operations
+under the store's undo journal: every atomic mutation records its
+inverse, commit discards the journal, rollback replays it newest-first
+— so a failed batch leaves the store exactly as it found it.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from repro.core.terms import OBJECT, Term
 from repro.core.types import TypeHierarchy
 from repro.db.store import ObjectStore, ground_id
 
-__all__ = ["UpdatableStore"]
+__all__ = ["StoreTransaction", "UpdatableStore"]
 
 
 class UpdatableStore:
@@ -44,14 +49,29 @@ class UpdatableStore:
 
     def add_to_type(self, identity: Term, type_name: str) -> bool:
         """Add an existing or new object to a type's extent."""
-        return self.store._add_type(type_name, ground_id(identity))
+        return self.store.add_type(type_name, ground_id(identity))
 
     def add_label(self, host: Term, label: str, value: Term) -> bool:
         host_id = ground_id(host)
         value_id = ground_id(value)
-        changed = self.store._add_type(OBJECT, host_id)
-        changed |= self.store._add_type(OBJECT, value_id)
+        changed = self.store.add_type(OBJECT, host_id)
+        changed |= self.store.add_type(OBJECT, value_id)
         return self.store._add_label(label, host_id, value_id) or changed
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> "StoreTransaction":
+        """Scope a batch of updates under the undo journal::
+
+            with updatable.transaction():
+                updatable.insert(term)
+                updatable.remove_label(host, "linkto", value)
+            # committed; an exception inside the block rolls back
+
+        Transactions do not nest (the journal is a single log)."""
+        return StoreTransaction(self.store)
 
     # ------------------------------------------------------------------
     # Retracts
@@ -72,7 +92,9 @@ class UpdatableStore:
             return False
         extent.discard(key)
         store._types_of[key].discard(type_name)
-        store._stamps.pop(("t", type_name, key), None)
+        stamp = store._stamps.pop(("t", type_name, key), 0)
+        if store._journal is not None:
+            store._journal.append(("t-", type_name, key, stamp))
         return True
 
     def remove_label(self, host: Term, label: str, value: Term) -> bool:
@@ -85,7 +107,9 @@ class UpdatableStore:
         values.discard(value_id)
         store._labels_inv[label][value_id].discard(host_id)
         store._label_pairs[label] -= 1
-        store._stamps.pop(("l", label, host_id, value_id), None)
+        stamp = store._stamps.pop(("l", label, host_id, value_id), 0)
+        if store._journal is not None:
+            store._journal.append(("l-", label, host_id, value_id, stamp))
         return True
 
     def remove_object(self, identity: Term) -> bool:
@@ -99,8 +123,11 @@ class UpdatableStore:
             if type_name != OBJECT:
                 self.remove_from_type(identity, type_name)
         store._types_of.pop(key, None)
-        store._types.get(OBJECT, set()).discard(key)
-        store._stamps.pop(("t", OBJECT, key), None)
+        if key in store._types.get(OBJECT, set()):
+            store._types[OBJECT].discard(key)
+            stamp = store._stamps.pop(("t", OBJECT, key), 0)
+            if store._journal is not None:
+                store._journal.append(("t-", OBJECT, key, stamp))
         for label in list(store._labels):
             for value in list(store._labels[label].get(key, ())):
                 self.remove_label(identity, label, value)
@@ -111,17 +138,65 @@ class UpdatableStore:
                 if values and key in values:
                     values.discard(key)
                     store._label_pairs[label] -= 1
-                    store._stamps.pop(("l", label, host, key), None)
+                    stamp = store._stamps.pop(("l", label, host, key), 0)
+                    if store._journal is not None:
+                        store._journal.append(("l-", label, host, key, stamp))
             store._labels_inv[label].pop(key, None)
         for signature in list(store._preds):
             rows = store._preds[signature]
             doomed = [row for row in rows if key in row]
             for row in doomed:
                 rows.discard(row)
-                store._stamps.pop(("p", signature[0], row), None)
+                stamp = store._stamps.pop(("p", signature[0], row), 0)
+                if store._journal is not None:
+                    store._journal.append(("p-", signature, row, stamp))
         store._all_ids.discard(key)
-        store._clustered = [
-            fact for fact in store._clustered if ground_id(fact) != key
-        ]
-        store._clustered_set = set(store._clustered)
+        if store._journal is not None:
+            store._journal.append(("dom-", key))
+        kept: list[Term] = []
+        for index, fact in enumerate(store._clustered):
+            if ground_id(fact) == key:
+                if store._journal is not None:
+                    store._journal.append(("c-", index, fact))
+            else:
+                kept.append(fact)
+        store._clustered = kept
+        store._clustered_set = set(kept)
         return True
+
+
+class StoreTransaction:
+    """Commit/rollback scope over an :class:`ObjectStore`'s undo journal.
+
+    Created by :meth:`UpdatableStore.transaction`.  A clean ``with``
+    exit commits; an exception rolls back (and re-raises).  Explicit
+    :meth:`commit`/:meth:`rollback` work too.
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self._open = False
+
+    def commit(self) -> int:
+        """Keep the batch; returns how many mutations it recorded."""
+        self._open = False
+        return self._store.commit_journal()
+
+    def rollback(self) -> int:
+        """Undo the batch; returns how many mutations were reversed."""
+        self._open = False
+        return self._store.rollback_journal()
+
+    def __enter__(self) -> "StoreTransaction":
+        self._store.begin_journal()
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._open:  # already committed or rolled back explicitly
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

@@ -147,6 +147,62 @@ class _PredStore:
             return len(self.rows)
         return self.seg_starts[cut]
 
+    def remove(self, atom: FAtom) -> None:
+        """Delete one fact: O(predicate size) — row shift plus a
+        decrement of every later segment offset and an index-bucket
+        removal per built index.  Callers must not remove while a join
+        holds :class:`FactView` windows over this predicate."""
+        position = self.rows.index(atom)
+        del self.rows[position]
+        starts = self.seg_starts
+        for cut in range(len(starts)):
+            if starts[cut] > position:
+                starts[cut] -= 1
+        for positions, index in self.indexes.items():
+            key = tuple(principal_functor(atom.args[p]) for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(atom)
+                if not bucket:
+                    del index[key]
+
+    def remove_batch(self, doomed: set[FAtom]) -> None:
+        """Delete many facts in one pass over the predicate: the rows
+        and round segments are rebuilt keeping only survivors (segments
+        left empty disappear), and every index bucket is filtered."""
+        new_rows: list[FAtom] = []
+        new_rounds: list[int] = []
+        new_starts: list[int] = []
+        bounds = self.seg_starts + [len(self.rows)]
+        for segment, round_number in enumerate(self.seg_rounds):
+            start = len(new_rows)
+            for cursor in range(bounds[segment], bounds[segment + 1]):
+                atom = self.rows[cursor]
+                if atom not in doomed:
+                    new_rows.append(atom)
+            if len(new_rows) > start:
+                new_rounds.append(round_number)
+                new_starts.append(start)
+        self.rows = new_rows
+        self.seg_rounds = new_rounds
+        self.seg_starts = new_starts
+        # Filter only the buckets the doomed atoms actually hash into —
+        # O(deletions + affected buckets), not O(index size).
+        for positions, index in self.indexes.items():
+            dead_by_key: dict[tuple, set[FAtom]] = {}
+            for atom in doomed:
+                key = tuple(principal_functor(atom.args[p]) for p in positions)
+                dead_by_key.setdefault(key, set()).add(atom)
+            for key, dead in dead_by_key.items():
+                bucket = index.get(key)
+                if bucket is None:
+                    continue
+                kept = [atom for atom in bucket if atom not in dead]
+                if not kept:
+                    del index[key]
+                elif len(kept) != len(bucket):
+                    index[key] = kept
+
 
 def _bound_positions(pattern: FAtom) -> tuple[tuple[int, ...], tuple]:
     """The pattern's indexable argument positions and their keys."""
@@ -207,6 +263,50 @@ class FactBase:
         self._round += 1
         return self._round
 
+    def remove(self, atom: FAtom) -> bool:
+        """Delete a fact; returns True iff it was present.
+
+        This is the retraction side of incremental maintenance
+        (:mod:`repro.incremental`): the fact leaves the atom set, its
+        stamp, its predicate's row list and segment offsets, and every
+        adaptive index bucket.  Removal costs O(predicate size).  It
+        must only be called *between* joins — live :class:`FactView`
+        windows index the backing row list positionally and would be
+        shifted by a removal.
+        """
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        del self._stamps[atom]
+        store = self._preds[atom.signature]
+        store.remove(atom)
+        if not store.rows:
+            del self._preds[atom.signature]
+        return True
+
+    def remove_all(self, atoms: Iterable[FAtom]) -> int:
+        """Delete many facts; returns how many were present.
+
+        Batched: each affected predicate is rebuilt in one pass
+        (O(predicate size + deletions) total), so retracting k facts
+        does not pay k row scans — the path incremental maintenance
+        takes when a deletion cascade lands."""
+        doomed_by_pred: dict[tuple[str, int], set[FAtom]] = {}
+        for atom in atoms:
+            if atom in self._atoms:
+                doomed_by_pred.setdefault(atom.signature, set()).add(atom)
+        removed = 0
+        for signature, doomed in doomed_by_pred.items():
+            store = self._preds[signature]
+            store.remove_batch(doomed)
+            if not store.rows:
+                del self._preds[signature]
+            for atom in doomed:
+                self._atoms.discard(atom)
+                del self._stamps[atom]
+            removed += len(doomed)
+        return removed
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -263,7 +363,7 @@ class FactBase:
                 self._obs.scans += 1
                 self._obs.candidates_returned += len(result)
             return result
-        result = self._fetch_indexed(store, positions, keys)
+        result = self._fetch_indexed(store, pattern.signature, positions, keys)
         if self._obs is not None:
             self._obs.lookups += 1
             self._obs.indexed += 1
@@ -274,7 +374,11 @@ class FactBase:
         return result
 
     def _fetch_indexed(
-        self, store: _PredStore, positions: tuple[int, ...], keys: tuple
+        self,
+        store: _PredStore,
+        pattern_signature: tuple[str, int],
+        positions: tuple[int, ...],
+        keys: tuple,
     ) -> FactView:
         """The bucket for ``keys`` under the index on ``positions``,
         building that index on first demand."""
@@ -282,7 +386,13 @@ class FactBase:
         if index is None:
             index = store.build_index(positions)
             if self._obs is not None:
-                self._obs.indexes_built += 1
+                # Name the index at build time (not only when a
+                # `candidates` fetch records a hit) so indexes built
+                # during partition probes still appear in EXPLAIN —
+                # with zero lookups, never as a division by zero.
+                self._obs.record_index_built(
+                    _index_name(pattern_signature, positions)
+                )
         bucket = index.get(keys)
         if bucket is None:
             return _EMPTY_VIEW
@@ -366,7 +476,7 @@ class FactBase:
             result: Sequence[FAtom] = FactView(store.rows, 0, end)
         else:
             stamps = self._stamps
-            narrowed = self._fetch_indexed(store, positions, keys)
+            narrowed = self._fetch_indexed(store, pattern.signature, positions, keys)
             result = [atom for atom in narrowed if stamps[atom] < before_round]
         if self._obs is not None:
             self._obs.partition_probes += 1

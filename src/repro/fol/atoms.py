@@ -15,7 +15,7 @@ labels and types alike.  Clauses come in two flavours:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Union
 
 from repro.core.clauses import BUILTIN_OPS
@@ -55,6 +55,7 @@ class FAtom:
 
     pred: str
     args: tuple[FTerm, ...]
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.pred, str) or not self.pred:
@@ -66,6 +67,15 @@ class FAtom:
         for arg in args:
             if not isinstance(arg, (FVar, FConst, FApp)):
                 raise SyntaxKindError(f"atom argument must be an FOL term, got {arg!r}")
+
+    def __hash__(self) -> int:
+        # Ground atoms live in large sets and index buckets; caching
+        # avoids re-hashing the whole term tree on every membership op.
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.pred, self.args)) or 1
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def arity(self) -> int:

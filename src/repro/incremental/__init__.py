@@ -1,0 +1,29 @@
+"""Incremental maintenance of materialized derived facts.
+
+The paper's dynamic notion of types (Section 2.3) makes updates
+first-class: "membership may be changed by database updates".  This
+package keeps a materialized minimal model consistent under fact
+insertions and retractions without recomputing the fixpoint:
+
+* :mod:`repro.incremental.strata` — the stratum scheduler: SCCs of the
+  positive predicate dependency graph in topological order, each
+  flagged recursive or not;
+* :mod:`repro.incremental.engine` — the maintenance engine: semi-naive
+  insertion deltas over compiled :class:`~repro.engine.join.JoinPlan`\\ s,
+  counting-based deletion for non-recursive strata, DRed
+  (delete/rederive) for recursive ones.
+
+The transactional surface lives one layer up, in
+:meth:`repro.interface.kb.KnowledgeBase.transaction`.
+"""
+
+from repro.incremental.engine import IncrementalEngine, MaintenanceStats
+from repro.incremental.strata import Stratum, StratumRule, stratify_rules
+
+__all__ = [
+    "IncrementalEngine",
+    "MaintenanceStats",
+    "Stratum",
+    "StratumRule",
+    "stratify_rules",
+]

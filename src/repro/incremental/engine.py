@@ -1,0 +1,552 @@
+"""The incremental maintenance engine: counting + delete/rederive.
+
+A materialized minimal model is kept consistent under external fact
+insertions *and* retractions in O(change) instead of O(database):
+
+* **Insertions** reuse the semi-naive machinery directly — the update
+  batch is stamped into a fresh :class:`~repro.engine.factbase.FactBase`
+  round and becomes the seed delta, so only rule instantiations that
+  touch a new fact are ever enumerated (via the compiled
+  :class:`~repro.engine.join.JoinPlan` delta partition).
+
+* **Retractions** split by stratum.  Non-recursive strata are repaired
+  by *counting*: the engine maintains the exact number of rule
+  instantiations deriving each fact (the semi-naive partition
+  enumerates each instantiation exactly once, so the counts stay exact
+  for free), and a fact dies when its last derivation — and its last
+  external assertion — is gone.  Recursive strata use *DRed*
+  (delete/rederive): transitively overdelete everything the retracted
+  facts could have supported, then rederive whatever still has a
+  derivation from surviving facts, iterating until stable.
+
+External assertions are multiplicities (:class:`repro.db.counts.FactCounts`):
+one C-logic description translates to several first-order conjuncts and
+distinct descriptions share conjuncts, so presence means *externally
+asserted or derivable*, never just "was inserted once".
+
+The per-round derivation discipline differs from
+:func:`repro.engine.seminaive.seminaive_fixpoint` in one respect: heads
+derived during a sweep are buffered and only enter the fact base when
+the sweep ends.  The eager engine may enumerate an instantiation in the
+round that created its newest fact *and* again in the next round —
+harmless under set semantics, fatal for counting.  Buffering restores
+the textbook exactly-once property the counts rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.core.errors import EngineError
+from repro.db.counts import FactCounts
+from repro.engine.bottomup import ClauseLike, normalize_clauses
+from repro.engine.factbase import FactBase
+from repro.engine.join import compile_body
+from repro.fol.atoms import (
+    FAtom,
+    FBuiltin,
+    FOLProgram,
+    atom_is_ground,
+    substitute_fatom,
+)
+from repro.fol.unify import match_atom
+from repro.incremental.strata import Stratum, StratumRule, stratify_rules
+
+__all__ = ["IncrementalEngine", "MaintenanceStats"]
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters for one maintenance run (materialize or apply).
+
+    Publishes into a :class:`~repro.obs.MetricsRegistry` like the other
+    engines' stats, and doubles as the maintenance section of an
+    :class:`~repro.obs.ExplainReport` (which reads the fields by name).
+    """
+
+    operation: str = ""
+    strata: int = 0
+    recursive_strata: int = 0
+    rounds: int = 0
+    body_evaluations: int = 0
+    edb_inserted: int = 0
+    edb_retracted: int = 0
+    retracts_ignored: int = 0
+    facts_new: int = 0
+    facts_deleted: int = 0
+    facts_overdeleted: int = 0
+    facts_rederived: int = 0
+    counts_incremented: int = 0
+    counts_decremented: int = 0
+    fallback: str = ""
+
+    #: Registry namespace the counters publish under.
+    PREFIX = "maintenance"
+
+    def publish(self, registry, prefix: str = PREFIX) -> None:
+        """Add the numeric counters to a registry as ``{prefix}.{field}``."""
+        from repro.obs.metrics import publish_dataclass
+
+        publish_dataclass(registry, self, prefix)
+
+
+class IncrementalEngine:
+    """A materialized minimal model maintained under updates.
+
+    Build it from the same clause collections the fixpoint engines
+    accept (an :class:`~repro.fol.atoms.FOLProgram`, Horn clauses, or
+    generalized clauses — fact clauses become the initial external
+    assertions), call :meth:`materialize` once, then :meth:`apply`
+    batches of insertions/retractions.  After every call,
+    :attr:`facts` equals what
+    :func:`~repro.engine.seminaive.seminaive_fixpoint` would compute
+    from scratch on the updated assertion set (the property the
+    correctness harness checks on random update sequences).
+    """
+
+    def __init__(
+        self,
+        clauses: Union[FOLProgram, Iterable[ClauseLike]],
+        max_rounds: int = 10_000,
+    ) -> None:
+        generalized = normalize_clauses(clauses)
+        self.max_rounds = max_rounds
+        #: External assertion multiplicities (the EDB as a multiset).
+        self.edb = FactCounts()
+        #: Exact derivation counts for counted (non-recursive) strata.
+        self.counts = FactCounts()
+        rules = []
+        for clause in generalized:
+            if clause.is_fact:
+                for head in clause.heads:
+                    if not atom_is_ground(head):
+                        raise EngineError(
+                            f"fact clause head {head.pred}/{head.arity} is "
+                            "not ground"
+                        )
+                    self.edb.increment(head)
+            else:
+                rules.extend(clause.split())
+        self.strata: list[Stratum] = stratify_rules(rules)
+        self.counted_preds: frozenset = frozenset(
+            signature
+            for stratum in self.strata
+            if not stratum.recursive
+            for signature in stratum.preds
+        )
+        self.recursive_preds: frozenset = frozenset(
+            signature
+            for stratum in self.strata
+            if stratum.recursive
+            for signature in stratum.preds
+        )
+        self._stratum_of = {
+            signature: index
+            for index, stratum in enumerate(self.strata)
+            for signature in stratum.preds
+        }
+        self.facts = FactBase()
+        #: Bumped by :meth:`materialize` and every :meth:`apply` — the
+        #: transactional layer's snapshot counter reads it.
+        self.version = 0
+        #: The stats of the most recent materialize/apply run.
+        self.last_stats: Optional[MaintenanceStats] = None
+        self._materialized = False
+
+    # ------------------------------------------------------------------
+    # Materialization (the from-scratch baseline state)
+    # ------------------------------------------------------------------
+
+    def materialize(self, tracer=None, report=None) -> FactBase:
+        """(Re)compute the model from the current external assertions.
+
+        Uses the same buffered semi-naive sweeps as insertion
+        maintenance, with the whole EDB as the round-0 seed delta — so
+        the derivation counts recorded here are exactly the ones
+        :meth:`apply` later maintains.
+        """
+        stats = MaintenanceStats(
+            operation="materialize",
+            strata=len(self.strata),
+            recursive_strata=sum(1 for s in self.strata if s.recursive),
+        )
+        self.last_stats = stats
+        span = tracer.start("incremental.materialize") if tracer else None
+        self.facts = FactBase()
+        self.counts.clear()
+        self._observe(report, stats)
+        for atom in self.edb:
+            self.facts.add(atom)
+        for stratum in self.strata:
+            self._expand_stratum(stratum, 0, stats)
+        self._materialized = True
+        self.version += 1
+        if span is not None:
+            span.count("facts", len(self.facts))
+            tracer.finish(span)
+        self._finish(report, stats)
+        return self.facts
+
+    # ------------------------------------------------------------------
+    # The transactional entry point
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        inserts: Iterable[FAtom] = (),
+        retracts: Iterable[FAtom] = (),
+        tracer=None,
+        report=None,
+    ) -> MaintenanceStats:
+        """Apply one batch of external insertions and retractions.
+
+        The batch is netted per atom first (inserting and retracting
+        the same fact cancels), retraction effects are propagated
+        before insertion effects, and retracting a fact that was never
+        asserted is ignored (counted in ``retracts_ignored``, matching
+        :meth:`repro.db.updates.UpdatableStore`'s ``False``).
+        """
+        if not self._materialized:
+            self.materialize()
+        stats = MaintenanceStats(
+            operation="apply",
+            strata=len(self.strata),
+            recursive_strata=sum(1 for s in self.strata if s.recursive),
+        )
+        self.last_stats = stats
+        self._observe(report, stats)
+        net: dict[FAtom, int] = {}
+        for atom in inserts:
+            self._check_updatable(atom)
+            net[atom] = net.get(atom, 0) + 1
+        for atom in retracts:
+            self._check_updatable(atom)
+            net[atom] = net.get(atom, 0) - 1
+        batch: list[FAtom] = []
+        certain: set[FAtom] = set()
+        suspects: dict[int, set[FAtom]] = {}
+        for atom, delta in net.items():
+            if delta > 0:
+                had = self.edb.get(atom)
+                self.edb.increment(atom, delta)
+                stats.edb_inserted += delta
+                if had == 0 and atom not in self.facts:
+                    batch.append(atom)
+            elif delta < 0:
+                have = self.edb.get(atom)
+                take = min(-delta, have)
+                stats.retracts_ignored += -delta - take
+                if take == 0:
+                    continue
+                stats.edb_retracted += take
+                if self.edb.decrement(atom, take) == 0:
+                    signature = atom.signature
+                    if signature in self.recursive_preds:
+                        # Maybe rederivable: DRed decides, not us.
+                        suspects.setdefault(
+                            self._stratum_of[signature], set()
+                        ).add(atom)
+                    elif self.counts.get(atom) == 0:
+                        # Counted or purely extensional, with no
+                        # surviving derivation: certainly gone.
+                        certain.add(atom)
+        span = tracer.start("incremental.apply") if tracer else None
+        if certain or suspects:
+            delete_span = tracer.start("incremental.delete") if tracer else None
+            deleted = self._propagate_deletions(certain, suspects, stats)
+            if delete_span is not None:
+                delete_span.count("deleted", len(deleted))
+                delete_span.count("overdeleted", stats.facts_overdeleted)
+                delete_span.count("rederived", stats.facts_rederived)
+                tracer.finish(delete_span)
+        if batch:
+            insert_span = tracer.start("incremental.insert") if tracer else None
+            base = self.facts.next_round()
+            stats.facts_new += self.facts.add_all(batch)
+            for stratum in self.strata:
+                self._expand_stratum(stratum, base, stats)
+            if insert_span is not None:
+                insert_span.count("facts_new", stats.facts_new)
+                tracer.finish(insert_span)
+        self.version += 1
+        if span is not None:
+            span.set("version", self.version)
+            tracer.finish(span)
+        self._finish(report, stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Insertion maintenance: buffered semi-naive sweeps per stratum
+    # ------------------------------------------------------------------
+
+    def _expand_stratum(
+        self, stratum: Stratum, base_round: int, stats: MaintenanceStats
+    ) -> None:
+        """Saturate one stratum, treating every fact stamped at or
+        after ``base_round`` as the seed delta.  With ``base_round=0``
+        this materializes the stratum from scratch; with the current
+        update round it is insertion maintenance.  Derived heads are
+        buffered per sweep (see module docs), so each rule
+        instantiation is enumerated exactly once across the stratum's
+        lifetime — which is what keeps the derivation counts exact.
+        """
+        facts = self.facts
+        counted = not stratum.recursive
+        counts = self.counts
+        delta = base_round
+        first = True
+        for _ in range(self.max_rounds):
+            derived: list[FAtom] = []
+            for rule in stratum.rules:
+                head = rule.clause.head
+                if not rule.positions:
+                    # A pure-builtin body fires once ever, while
+                    # materializing; updates cannot change it.
+                    if first and base_round == 0:
+                        for subst in rule.plan.run(facts):
+                            stats.body_evaluations += 1
+                            fact = substitute_fatom(head, subst)
+                            assert isinstance(fact, FAtom)
+                            if counted:
+                                counts.increment(fact)
+                                stats.counts_incremented += 1
+                            derived.append(fact)
+                    continue
+                for position in rule.positions:
+                    for subst in rule.plan.run_delta(facts, position, delta):
+                        stats.body_evaluations += 1
+                        fact = substitute_fatom(head, subst)
+                        assert isinstance(fact, FAtom)
+                        if counted:
+                            counts.increment(fact)
+                            stats.counts_incremented += 1
+                        derived.append(fact)
+            first = False
+            fresh = [fact for fact in derived if fact not in facts]
+            if not fresh:
+                return
+            stats.rounds += 1
+            delta = facts.next_round()
+            stats.facts_new += facts.add_all(fresh)
+        raise EngineError(
+            f"no fixpoint within {self.max_rounds} rounds "
+            "(non-terminating program?)"
+        )
+
+    # ------------------------------------------------------------------
+    # Retraction maintenance
+    # ------------------------------------------------------------------
+
+    def _propagate_deletions(
+        self,
+        certain: set[FAtom],
+        suspects: dict[int, set[FAtom]],
+        stats: MaintenanceStats,
+    ) -> set[FAtom]:
+        """Drive the deleted set through the strata in dependency
+        order; counted strata decrement, recursive strata run DRed.
+        Facts stay physically in the base until the very end so every
+        join sees the pre-deletion state, then are removed in one
+        batch (no join is live at that point)."""
+        deleted: set[FAtom] = set(certain)
+        for index, stratum in enumerate(self.strata):
+            if stratum.recursive:
+                self._dred_stratum(
+                    stratum, deleted, suspects.get(index, set()), stats
+                )
+            else:
+                self._count_down_stratum(stratum, deleted, stats)
+        removed = self.facts.remove_all(deleted)
+        stats.facts_deleted += removed
+        for fact in deleted:
+            self.counts.discard(fact)
+        return deleted
+
+    def _count_down_stratum(
+        self, stratum: Stratum, deleted: set[FAtom], stats: MaintenanceStats
+    ) -> None:
+        """Counting maintenance for a non-recursive stratum: every rule
+        instantiation that consumed a deleted fact loses one derivation
+        count — each instantiation exactly once, attributed to its
+        *first* deleted body position (the deletion-side mirror of the
+        semi-naive insertion partition)."""
+        by_signature: dict[tuple[str, int], list[FAtom]] = {}
+        for fact in deleted:
+            by_signature.setdefault(fact.signature, []).append(fact)
+        zeroed: list[FAtom] = []
+        for rule in stratum.rules:
+            body = rule.clause.body
+            head = rule.clause.head
+            for position in rule.positions:
+                pattern = body[position]
+                assert isinstance(pattern, FAtom)
+                victims = by_signature.get(pattern.signature)
+                if not victims:
+                    continue
+                rest = _rest_plan(body, position)
+                earlier = [p for p in rule.positions if p < position]
+                for victim in victims:
+                    seed = match_atom(pattern, victim)
+                    if seed is None:
+                        continue
+                    for subst in rest.run(self.facts, initial=seed):
+                        stats.body_evaluations += 1
+                        if any(
+                            substitute_fatom(body[p], subst) in deleted
+                            for p in earlier
+                        ):
+                            continue  # already counted at position p
+                        fact = substitute_fatom(head, subst)
+                        assert isinstance(fact, FAtom)
+                        stats.counts_decremented += 1
+                        if (
+                            self.counts.decrement(fact) == 0
+                            and self.edb.get(fact) == 0
+                        ):
+                            zeroed.append(fact)
+        deleted.update(zeroed)
+
+    def _dred_stratum(
+        self,
+        stratum: Stratum,
+        deleted: set[FAtom],
+        suspects: set[FAtom],
+        stats: MaintenanceStats,
+    ) -> None:
+        """DRed for a recursive stratum: overdelete transitively against
+        the pre-deletion state, rederive from surviving facts until
+        stable, and commit whatever could not be rescued."""
+        facts = self.facts
+        body_signatures = {
+            atom.signature
+            for rule in stratum.rules
+            for atom in rule.clause.body
+            if isinstance(atom, FAtom)
+        }
+        over: set[FAtom] = {s for s in suspects if s in facts}
+        queue: list[FAtom] = [
+            fact for fact in deleted if fact.signature in body_signatures
+        ]
+        queue.extend(over)
+        # Phase 1 — overdeletion closure.  Set semantics: each dead or
+        # doomed fact is expanded once per matching body position; the
+        # joins run against the physically intact pre-state.
+        while queue:
+            victim = queue.pop()
+            for rule in stratum.rules:
+                body = rule.clause.body
+                head = rule.clause.head
+                for position in rule.positions:
+                    pattern = body[position]
+                    assert isinstance(pattern, FAtom)
+                    if pattern.signature != victim.signature:
+                        continue
+                    seed = match_atom(pattern, victim)
+                    if seed is None:
+                        continue
+                    rest = _rest_plan(body, position)
+                    for subst in rest.run(facts, initial=seed):
+                        stats.body_evaluations += 1
+                        fact = substitute_fatom(head, subst)
+                        assert isinstance(fact, FAtom)
+                        if fact in over or fact in deleted:
+                            continue
+                        over.add(fact)
+                        queue.append(fact)
+        stats.facts_overdeleted += len(over)
+        # Phase 2 — rederivation: a doomed fact survives if it is still
+        # externally asserted, or some rule instantiation derives it
+        # from facts that are neither deleted nor themselves doomed.
+        # Each rescue can unlock further rescues, so iterate to a
+        # fixpoint.
+        rules_by_head: dict[tuple[str, int], list[StratumRule]] = {}
+        for rule in stratum.rules:
+            rules_by_head.setdefault(rule.clause.head.signature, []).append(rule)
+        changed = True
+        while changed:
+            changed = False
+            for fact in list(over):
+                if self.edb.get(fact) > 0 or self._rederivable(
+                    fact, rules_by_head, deleted, over, stats
+                ):
+                    over.discard(fact)
+                    stats.facts_rederived += 1
+                    changed = True
+        deleted.update(over)
+
+    def _rederivable(
+        self,
+        fact: FAtom,
+        rules_by_head: dict[tuple[str, int], list[StratumRule]],
+        deleted: set[FAtom],
+        over: set[FAtom],
+        stats: MaintenanceStats,
+    ) -> bool:
+        for rule in rules_by_head.get(fact.signature, ()):
+            seed = match_atom(rule.clause.head, fact)
+            if seed is None:
+                continue
+            body = rule.clause.body
+            if len(body) == 1 and isinstance(body[0], FAtom):
+                # Single-atom body whose head bindings ground it: a
+                # membership probe replaces the join machinery.
+                candidate = substitute_fatom(body[0], seed)
+                if isinstance(candidate, FAtom) and atom_is_ground(candidate):
+                    stats.body_evaluations += 1
+                    if (
+                        candidate in self.facts
+                        and candidate not in deleted
+                        and candidate not in over
+                    ):
+                        return True
+                    continue
+            for subst in rule.plan.run(self.facts, initial=seed):
+                stats.body_evaluations += 1
+                if all(
+                    substitute_fatom(body[p], subst) not in deleted
+                    and substitute_fatom(body[p], subst) not in over
+                    for p in rule.positions
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_updatable(atom: FAtom) -> None:
+        if not isinstance(atom, FAtom):
+            raise EngineError(f"updates carry plain facts, got {atom!r}")
+        if not atom_is_ground(atom):
+            raise EngineError(
+                f"update fact {atom.pred}/{atom.arity} is not ground"
+            )
+
+    def _observe(self, report, stats: MaintenanceStats) -> None:
+        if report is None:
+            return
+        report.engine = report.engine or "incremental"
+        report.maintenance = stats
+        self.facts.observe(report.index)
+
+    def _finish(self, report, stats: MaintenanceStats) -> None:
+        if report is None:
+            return
+        report.rounds += stats.rounds
+        report.facts_total = len(self.facts)
+        self.facts.observe(None)
+
+    def snapshot(self) -> frozenset[FAtom]:
+        """The maintained model as a frozen set (what the correctness
+        harness compares against a from-scratch fixpoint)."""
+        return self.facts.snapshot()
+
+
+def _rest_plan(body: tuple, position: int):
+    """The compiled plan for ``body`` minus the atom at ``position`` —
+    the deletion-side join (seed a doomed fact there, join the rest
+    against the pre-state).  ``compile_body`` caches by body tuple, so
+    repeated maintenance runs reuse these plans like any other."""
+    return compile_body(body[:position] + body[position + 1 :])

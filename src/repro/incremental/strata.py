@@ -1,0 +1,168 @@
+"""Predicate-dependency stratification for incremental maintenance.
+
+The maintenance engine needs to know, per derived predicate, whether a
+deletion can be repaired by *counting* (exact derivation counts — sound
+only when a fact can never participate in its own derivation) or needs
+*DRed* (delete/rederive — the general algorithm for recursion).  The
+boundary is the condensation of the positive predicate dependency
+graph: each strongly connected component becomes one stratum, strata
+are processed in topological order, and a stratum is *recursive* iff
+its component contains a cycle (several mutually dependent predicates,
+or one predicate depending on itself).
+
+Only the positive fragment is handled — the same restriction as the
+positive fixpoint engines; rules with negated atoms are rejected here
+so the engine never maintains something it cannot maintain correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import EngineError
+from repro.engine.join import JoinPlan, check_range_restricted, compile_body
+from repro.fol.atoms import FAtom, FBuiltin, HornClause, NegAtom
+
+__all__ = ["Stratum", "StratumRule", "stratify_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class StratumRule:
+    """One Horn rule prepared for maintenance: its compiled plan and
+    the joinable (positive, non-builtin) body positions."""
+
+    clause: HornClause
+    plan: JoinPlan
+    positions: tuple[int, ...]
+
+
+@dataclass(slots=True)
+class Stratum:
+    """One SCC of the predicate dependency graph, in topological order."""
+
+    preds: frozenset[tuple[str, int]]
+    recursive: bool
+    rules: list[StratumRule] = field(default_factory=list)
+
+
+def _dependencies(
+    rules: list[HornClause],
+) -> tuple[dict[tuple[str, int], set[tuple[str, int]]], set[tuple[str, int]]]:
+    """``head signature -> positive body signatures`` plus every
+    signature mentioned anywhere (EDB-only predicates become isolated
+    nodes so each gets a stratum of its own)."""
+    graph: dict[tuple[str, int], set[tuple[str, int]]] = {}
+    nodes: set[tuple[str, int]] = set()
+    for rule in rules:
+        head = rule.head.signature
+        nodes.add(head)
+        edges = graph.setdefault(head, set())
+        for atom in rule.body:
+            if isinstance(atom, NegAtom):
+                raise EngineError(
+                    "incremental maintenance handles the positive fragment "
+                    "only; the program negates "
+                    f"{atom.signature[0]}/{atom.signature[1]}"
+                )
+            if isinstance(atom, FBuiltin):
+                continue
+            assert isinstance(atom, FAtom)
+            edges.add(atom.signature)
+            nodes.add(atom.signature)
+    return graph, nodes
+
+
+def _tarjan(
+    graph: dict[tuple[str, int], set[tuple[str, int]]],
+    nodes: set[tuple[str, int]],
+) -> list[list[tuple[str, int]]]:
+    """Tarjan's SCC algorithm, iterative.  Components come out in
+    reverse topological order of the condensation (a component is
+    emitted only after everything it depends on... depends on *it*);
+    since our edges point head -> body, the emission order is exactly
+    dependencies-first, which is the evaluation order we want."""
+    index_of: dict[tuple[str, int], int] = {}
+    low: dict[tuple[str, int], int] = {}
+    on_stack: set[tuple[str, int]] = set()
+    stack: list[tuple[str, int]] = []
+    components: list[list[tuple[str, int]]] = []
+    counter = 0
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work: list[tuple[tuple[str, int], list]] = [
+            (root, sorted(graph.get(root, ())))
+        ]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            while edges:
+                successor = edges.pop()
+                if successor not in index_of:
+                    index_of[successor] = low[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, sorted(graph.get(successor, ()))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def stratify_rules(rules: list[HornClause]) -> list[Stratum]:
+    """Partition ``rules`` into maintenance strata.
+
+    Each returned :class:`Stratum` owns the rules whose head predicate
+    lies in its component, carries compiled :class:`JoinPlan`\\ s, and
+    is flagged recursive when the component has a cycle.  The list is
+    in dependency order: by the time a stratum is maintained, every
+    predicate its rule bodies read from has already been repaired.
+    """
+    for rule in rules:
+        check_range_restricted((rule.head,), rule.body)
+    graph, nodes = _dependencies(rules)
+    components = _tarjan(graph, nodes)
+    member_of: dict[tuple[str, int], int] = {}
+    strata: list[Stratum] = []
+    for component in components:
+        signatures = frozenset(component)
+        recursive = len(component) > 1 or any(
+            member in graph.get(member, ()) for member in component
+        )
+        for member in component:
+            member_of[member] = len(strata)
+        strata.append(Stratum(preds=signatures, recursive=recursive))
+    for rule in rules:
+        stratum = strata[member_of[rule.head.signature]]
+        positions = tuple(
+            index
+            for index, atom in enumerate(rule.body)
+            if not isinstance(atom, FBuiltin)
+        )
+        stratum.rules.append(
+            StratumRule(
+                clause=rule, plan=compile_body(rule.body), positions=positions
+            )
+        )
+    return [stratum for stratum in strata if stratum.rules]

@@ -39,10 +39,14 @@ from repro.engine.topdown import SLDEngine
 from repro.engine.tabling import TabledEngine
 from repro.fol.subst import Substitution
 from repro.lang.parser import parse_program, parse_query
-from repro.transform.clauses import program_to_fol, query_to_fol
+from repro.transform.clauses import (
+    clause_to_generalized,
+    program_to_fol,
+    query_to_fol,
+)
 from repro.transform.terms import fol_to_identity
 
-__all__ = ["Answer", "KnowledgeBase", "ENGINES"]
+__all__ = ["Answer", "KnowledgeBase", "Transaction", "ENGINES"]
 
 #: The evaluation strategies `ask` accepts.
 ENGINES = ("direct", "bottomup", "seminaive", "sld", "tabled")
@@ -94,6 +98,9 @@ class KnowledgeBase:
         self._direct: Optional[DirectEngine] = None
         self._fol_cache = None
         self._fol_facts = {}
+        self._incremental = None
+        self._incremental_rules = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -155,6 +162,16 @@ class KnowledgeBase:
         self._direct = None
         self._fol_cache = None
         self._fol_facts = {}
+        self._incremental = None
+        self._incremental_rules = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic snapshot counter: bumped by every program change —
+        committed transactions included — never by queries.  Two reads
+        seeing the same version saw the same knowledge base."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Identity declarations (the Section 2.1 high-level interface)
@@ -212,6 +229,172 @@ class KnowledgeBase:
             if head_only:
                 out.append((index, frozenset(head_only)))
         return out
+
+    # ------------------------------------------------------------------
+    # Transactional updates (incremental maintenance)
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> "Transaction":
+        """Open a batched update: buffer fact insertions/retractions,
+        then commit them in one maintenance run.
+
+        As a context manager it commits on clean exit and rolls back if
+        the block raises::
+
+            with kb.transaction() as txn:
+                txn.insert("node: d[linkto => a].")
+                txn.retract("node: a[linkto => b].")
+            # committed here; kb.version has advanced by one
+
+        Commit keeps the materialized model consistent *incrementally*
+        (counting + delete/rederive over the compiled join plans) —
+        O(change), not O(database) — falling back to a full
+        re-materialization only when the update changes the translated
+        rule set (e.g. a fact introduces a new type symbol, adding a
+        type axiom) or the program uses negation.  The returned
+        :class:`~repro.incremental.engine.MaintenanceStats` says which
+        path ran and what it did.
+        """
+        return Transaction(self)
+
+    def incremental_engine(self):
+        """The maintained materialized model (built and materialized on
+        first use).  Raises for negated programs — maintenance covers
+        the positive fragment, like the positive fixpoint engines."""
+        if self._uses_negation():
+            from repro.core.errors import UnsupportedFeatureError
+
+            raise UnsupportedFeatureError(
+                "incremental maintenance handles the positive fragment "
+                "only; negated programs fall back to full recomputation"
+            )
+        if self._incremental is None:
+            from repro.incremental import IncrementalEngine
+
+            fol = self._fol_program()
+            engine = IncrementalEngine(fol)
+            engine.materialize()
+            self._incremental = engine
+            self._incremental_rules = self._rule_key(fol)
+        return self._incremental
+
+    @staticmethod
+    def _rule_key(fol_program) -> tuple:
+        return tuple(
+            clause for clause in fol_program.clauses if not clause.is_fact
+        )
+
+    @staticmethod
+    def _fact_atoms(clause: DefiniteClause) -> list:
+        """The ground first-order conjuncts of one fact clause — what a
+        transactional insert/retract of that clause means to the
+        maintenance engine."""
+        from repro.fol.atoms import atom_is_ground
+
+        generalized = clause_to_generalized(clause)
+        if generalized.body:
+            raise EngineError(
+                "transactions update facts only; add rules with "
+                "add_source (rule changes re-materialize)"
+            )
+        bad = [h for h in generalized.heads if not atom_is_ground(h)]
+        if bad:
+            raise EngineError(
+                "update fact is not ground — declare_identity any "
+                f"existential variable first (offending atom: {bad[0]!r})"
+            )
+        return list(generalized.heads)
+
+    def _commit_update(
+        self, inserts, retracts, tracer=None, report=None
+    ):
+        """Apply one committed transaction.  Retracts are matched
+        against pending inserts first (same-transaction cancellation),
+        then against the program (first structurally equal fact clause);
+        unmatched retracts are ignored, mirroring
+        :meth:`repro.db.updates.UpdatableStore.retract` returning
+        ``False``."""
+        from repro.incremental import IncrementalEngine, MaintenanceStats
+
+        pending = list(inserts)
+        current = list(self._program.clauses)
+        effective_retracts = []
+        ignored = 0
+        for clause in retracts:
+            if clause in pending:
+                pending.remove(clause)
+            elif clause in current:
+                current.remove(clause)
+                effective_retracts.append(clause)
+            else:
+                ignored += 1
+        new_program = Program(
+            tuple(current) + tuple(pending), self._program.subtypes
+        )
+        if self._uses_negation():
+            # No maintained model exists for negated programs; swap the
+            # program and let the stratified engine recompute lazily.
+            self._program = new_program
+            self._invalidate()
+            stats = MaintenanceStats(
+                operation="apply",
+                retracts_ignored=ignored,
+                fallback=(
+                    "program uses negation; the stratified engine "
+                    "recomputes on the next query"
+                ),
+            )
+            if report is not None:
+                report.engine = report.engine or "incremental"
+                report.maintenance = stats
+            return stats
+        engine = self.incremental_engine()  # warm on the pre-state
+        new_fol = program_to_fol(new_program)
+        rule_key = self._rule_key(new_fol)
+        if rule_key != self._incremental_rules:
+            # The translated rule set changed (new type symbols add
+            # type axioms; rules may have been edited through another
+            # door): counting/DRed bookkeeping no longer matches, so
+            # re-materialize from scratch and say so.
+            engine = IncrementalEngine(new_fol)
+            engine.materialize(tracer=tracer, report=report)
+            stats = engine.last_stats
+            stats.fallback = (
+                "translated rule set changed; model re-materialized "
+                "from scratch"
+            )
+            stats.edb_inserted = sum(
+                len(self._fact_atoms(clause)) for clause in pending
+            )
+            stats.edb_retracted = sum(
+                len(self._fact_atoms(clause)) for clause in effective_retracts
+            )
+            stats.retracts_ignored += ignored
+            self._program = new_program
+            self._invalidate()
+            self._incremental = engine
+            self._incremental_rules = rule_key
+            return stats
+        insert_atoms = [
+            atom for clause in pending for atom in self._fact_atoms(clause)
+        ]
+        retract_atoms = [
+            atom
+            for clause in effective_retracts
+            for atom in self._fact_atoms(clause)
+        ]
+        stats = engine.apply(
+            insert_atoms, retract_atoms, tracer=tracer, report=report
+        )
+        stats.retracts_ignored += ignored
+        self._program = new_program
+        # Derived caches restate the program; the maintained model IS
+        # the new state, so it survives the invalidation.
+        self._direct = None
+        self._fol_cache = new_fol
+        self._fol_facts = {}
+        self._version += 1
+        return stats
 
     # ------------------------------------------------------------------
     # Querying
@@ -357,6 +540,13 @@ class KnowledgeBase:
     def _fol_minimal_model(self, engine: str, tracer=None, report=None):
         observed = tracer is not None or report is not None
         cached = self._fol_facts.get(engine)
+        if cached is None and not observed and self._incremental is not None:
+            # A maintained model is warm (some transaction committed):
+            # it equals the from-scratch fixpoint, so serve it instead
+            # of recomputing.  Observed runs still recompute — the
+            # report must describe an actual evaluation.
+            cached = self._fol_facts[engine] = self._incremental.facts
+            return cached
         if cached is None or observed:
             # An observed run recomputes even over a warm cache: the
             # report must describe the evaluation actually performed.
@@ -397,3 +587,91 @@ class KnowledgeBase:
         lines = [pretty_generalized(clause) for clause in generalized.clauses]
         lines.extend(pretty_horn(axiom) for axiom in generalized.axioms)
         return "\n".join(lines)
+
+
+class Transaction:
+    """A batched knowledge-base update with commit/rollback.
+
+    Created by :meth:`KnowledgeBase.transaction`.  Inserts and retracts
+    are buffered (and validated — fact clauses only, ground after
+    translation) until :meth:`commit` applies the whole batch in one
+    maintenance run; :meth:`rollback` discards it.  Used as a context
+    manager, a clean exit commits and an exception rolls back.
+    """
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self._kb = kb
+        self._inserts: list[DefiniteClause] = []
+        self._retracts: list[DefiniteClause] = []
+        self._closed = False
+        #: The :class:`~repro.incremental.engine.MaintenanceStats` of
+        #: the commit, for inspection after the ``with`` block.
+        self.stats = None
+
+    # -- buffering -----------------------------------------------------
+
+    def insert(self, facts: Union[str, DefiniteClause]) -> int:
+        """Buffer fact clauses for insertion; returns how many."""
+        clauses = self._parse(facts)
+        self._inserts.extend(clauses)
+        return len(clauses)
+
+    def retract(self, facts: Union[str, DefiniteClause]) -> int:
+        """Buffer fact clauses for retraction; returns how many.
+        Retracting a fact the program does not contain is ignored at
+        commit (counted in the stats' ``retracts_ignored``)."""
+        clauses = self._parse(facts)
+        self._retracts.extend(clauses)
+        return len(clauses)
+
+    def _parse(self, facts: Union[str, DefiniteClause]) -> list[DefiniteClause]:
+        self._ensure_open()
+        if isinstance(facts, DefiniteClause):
+            clauses = [facts]
+        else:
+            unit = parse_program(facts)
+            if unit.program.subtypes:
+                raise EngineError(
+                    "subtype declarations change the type hierarchy; "
+                    "use add_subtype, not a transaction"
+                )
+            clauses = list(unit.program.clauses)
+        for clause in clauses:
+            KnowledgeBase._fact_atoms(clause)  # validates: fact, ground
+        return clauses
+
+    # -- lifecycle -----------------------------------------------------
+
+    def commit(self, tracer=None, report=None):
+        """Apply the buffered batch; returns the
+        :class:`~repro.incremental.engine.MaintenanceStats` of the run
+        (``tracer``/``report`` are the usual :mod:`repro.obs` hooks)."""
+        self._ensure_open()
+        self._closed = True
+        self.stats = self._kb._commit_update(
+            self._inserts, self._retracts, tracer=tracer, report=report
+        )
+        return self.stats
+
+    def rollback(self) -> None:
+        """Discard the buffered batch; the knowledge base is untouched."""
+        self._ensure_open()
+        self._closed = True
+        self._inserts.clear()
+        self._retracts.clear()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineError("transaction already committed or rolled back")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._closed:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

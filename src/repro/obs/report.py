@@ -66,10 +66,24 @@ class IndexStats:
             entry[0] += 1
             entry[1] += candidates
 
+    def record_index_built(self, name: str) -> None:
+        """An index was built on demand.  The per-index entry is seeded
+        at zero lookups so an index built during a partition probe (and
+        possibly never probed by :meth:`FactBase.candidates` at all)
+        still shows up in EXPLAIN instead of silently vanishing — or
+        worse, dividing by its zero probe count."""
+        self.indexes_built += 1
+        self.per_index.setdefault(name, [0, 0])
+
     def index_hit_rate(self, name: str) -> float:
-        """Fraction of all candidate lookups the named index served."""
+        """Fraction of all candidate lookups the named index served.
+
+        Zero-probe safe: an index that exists but never answered a
+        lookup — or a run with no lookups at all — rates 0.0 rather
+        than raising ``ZeroDivisionError`` or propagating ``nan``.
+        """
         entry = self.per_index.get(name)
-        if entry is None or not self.lookups:
+        if entry is None or not entry[0] or not self.lookups:
             return 0.0
         return entry[0] / self.lookups
 
@@ -122,15 +136,22 @@ class IndexStats:
         return text
 
     def describe_indexes(self) -> list[str]:
-        """One line per adaptive index, most-used first."""
+        """One line per adaptive index, most-used first; indexes that
+        were built but never probed say so explicitly."""
         ranked = sorted(
             self.per_index.items(), key=lambda item: item[1][0], reverse=True
         )
-        return [
-            f"{name}: {entry[0]} lookups ({self.index_hit_rate(name) * 100:.1f}% "
-            f"of fetches), {entry[1]} candidates"
-            for name, entry in ranked
-        ]
+        lines = []
+        for name, entry in ranked:
+            if not entry[0]:
+                lines.append(f"{name}: built, never probed")
+                continue
+            lines.append(
+                f"{name}: {entry[0]} lookups "
+                f"({self.index_hit_rate(name) * 100:.1f}% of fetches), "
+                f"{entry[1]} candidates"
+            )
+        return lines
 
 
 @dataclass
@@ -173,11 +194,29 @@ class RuleStats:
 class ExplainReport:
     """A fixpoint run's per-rule, per-round account (see module doc)."""
 
+    #: Maintenance counters shown when :attr:`maintenance` is set, as
+    #: ``(label, attribute)`` pairs read off the stats object (the
+    #: incremental engine's ``MaintenanceStats`` — duck-typed so this
+    #: module stays dependency-free).
+    MAINTENANCE_FIELDS = (
+        ("edb inserted", "edb_inserted"),
+        ("edb retracted", "edb_retracted"),
+        ("derived new", "facts_new"),
+        ("deleted", "facts_deleted"),
+        ("overdeleted", "facts_overdeleted"),
+        ("rederived", "facts_rederived"),
+        ("count decrements", "counts_decremented"),
+    )
+
     def __init__(self, engine: str = "") -> None:
         self.engine = engine
         self.rounds = 0
         self.index = IndexStats()
         self.facts_total = 0
+        #: Set by the incremental maintenance engine: an object carrying
+        #: the counters named in :data:`MAINTENANCE_FIELDS` plus
+        #: ``operation``/``strata``/``recursive_strata``/``fallback``.
+        self.maintenance = None
         self._rules: dict[Hashable, RuleStats] = {}
 
     # ------------------------------------------------------------------
@@ -216,6 +255,27 @@ class ExplainReport:
             )
             for entry in self.index.describe_indexes():
                 lines.append(f"  {entry}")
+        if self.maintenance is not None:
+            stats = self.maintenance
+            lines.append("")
+            operation = getattr(stats, "operation", "") or "update"
+            lines.append(f"maintenance — {operation}")
+            fallback = getattr(stats, "fallback", "")
+            if fallback:
+                lines.append(f"  full recompute fallback: {fallback}")
+            counters = "   ".join(
+                f"{label}: {getattr(stats, attr, 0)}"
+                for label, attr in self.MAINTENANCE_FIELDS
+            )
+            lines.append(f"  {counters}")
+            strata = getattr(stats, "strata", 0)
+            if strata:
+                lines.append(
+                    f"  strata: {strata} "
+                    f"({getattr(stats, 'recursive_strata', 0)} recursive, "
+                    f"maintained by delete/rederive; the rest by "
+                    f"derivation counting)"
+                )
         for number, stats in enumerate(self._rules.values(), start=1):
             lines.append("")
             lines.append(f"rule {number}: {stats.rule}")

@@ -88,3 +88,123 @@ class TestRetracts:
         db.remove_object(Const("john"))
         identities = {repr(f) for f in db.store.clustered_facts()}
         assert not any("john" in i for i in identities)
+
+
+class TestRetractEdgeCases:
+    def test_last_type_retracted_object_still_in_label_pairs(self, db):
+        """Retracting bob's last proper type must not tear him out of
+        the active domain: john's ``children`` pairs still reference
+        him, and those pairs must survive."""
+        db.add_to_type(Const("bob"), "boy")
+        assert db.remove_from_type(Const("bob"), "boy")
+        assert db.store.asserted_types(Const("bob")) == {"object"}
+        assert Const("bob") in db.store.all_ids()
+        assert db.store.holds_label("children", Const("john"), Const("bob"))
+
+    def test_double_retract_type_is_idempotent_false(self, db):
+        db.add_to_type(Const("mary"), "parent")
+        assert db.remove_from_type(Const("mary"), "parent")
+        assert not db.remove_from_type(Const("mary"), "parent")
+
+    def test_double_retract_label_is_idempotent_false(self, db):
+        assert db.remove_label(Const("john"), "children", Const("bob"))
+        assert not db.remove_label(Const("john"), "children", Const("bob"))
+        # the surviving pair is untouched by the second attempt
+        assert db.store.holds_label("children", Const("john"), Const("bill"))
+
+    def test_double_retract_object_is_idempotent_false(self, db):
+        assert db.remove_object(Const("john"))
+        assert not db.remove_object(Const("john"))
+
+
+def _state(db):
+    """Deep copy of every index — for exact-restoration assertions."""
+    import copy
+
+    s = db.store
+    return copy.deepcopy(
+        {
+            "all_ids": s._all_ids,
+            "types": s._types,
+            "types_of": s._types_of,
+            "labels": s._labels,
+            "labels_inv": s._labels_inv,
+            "pairs": s._label_pairs,
+            "preds": s._preds,
+            "clustered": s._clustered,
+            "stamps": s._stamps,
+        }
+    )
+
+
+class TestStoreTransaction:
+    def test_commit_keeps_mutations(self, db):
+        with db.transaction():
+            db.insert(parse_term("person: ann"))
+        assert db.store.has_type(Const("ann"), "person")
+        assert db.store._journal is None
+
+    def test_exception_rolls_back_exactly(self, db):
+        before = _state(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert(parse_term("person: ann[children => {zed}]"))
+                db.remove_label(Const("john"), "children", Const("bob"))
+                db.remove_object(Const("mary"))
+                raise RuntimeError("abort")
+        assert _state(db) == before
+
+    def test_rollback_to_empty_store(self):
+        db = UpdatableStore()
+        before = _state(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert(parse_term("person: ann[children => {zed}]"))
+                raise RuntimeError("abort")
+        assert _state(db) == before
+
+    def test_explicit_rollback(self, db):
+        before = _state(db)
+        txn = db.transaction().__enter__()
+        db.remove_object(Const("john"))
+        assert txn.rollback() > 0
+        assert _state(db) == before
+
+    def test_add_then_remove_same_fact_rolls_back_clean(self, db):
+        before = _state(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.add_to_type(Const("mary"), "parent")
+                db.remove_from_type(Const("mary"), "parent")
+                raise RuntimeError("abort")
+        assert _state(db) == before
+
+    def test_nested_transaction_rejected(self, db):
+        with db.transaction():
+            with pytest.raises(StoreError):
+                db.store.begin_journal()
+
+    def test_predicate_rows_roll_back(self):
+        from repro.lang.parser import parse_atom
+
+        db = UpdatableStore()
+        db.store.assert_atom(parse_atom("edge(a, b)"))
+        before = _state(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.store.assert_atom(parse_atom("edge(b, c)"))
+                db.remove_object(Const("a"))
+                raise RuntimeError("abort")
+        assert _state(db) == before
+
+
+class TestAddTypePromotion:
+    def test_public_add_type(self, db):
+        assert db.store.add_type("parent", Const("mary"))
+        assert db.store.has_type(Const("mary"), "parent")
+        assert not db.store.add_type("parent", Const("mary"))
+
+    def test_private_alias_warns_but_works(self, db):
+        with pytest.warns(DeprecationWarning):
+            assert db.store._add_type("parent", Const("mary"))
+        assert db.store.has_type(Const("mary"), "parent")

@@ -173,3 +173,84 @@ class TestDeltaHelpers:
         base.add(atom("p", FConst("b")))
         old = base.candidates_before(atom("p", FVar("X")), before_round=1)
         assert list(old) == [atom("p", FConst("a"))]
+
+
+class TestRemoval:
+    """remove / remove_all keep rows, segments, stamps and index
+    buckets consistent — the incremental engine's physical deletion."""
+
+    def base(self):
+        base = FactBase()
+        base.add(atom("edge", FConst("a"), FConst("b")))
+        base.add(atom("edge", FConst("b"), FConst("c")))
+        base.next_round()
+        base.add(atom("edge", FConst("c"), FConst("d")))
+        return base
+
+    def test_remove_present(self):
+        base = self.base()
+        victim = atom("edge", FConst("b"), FConst("c"))
+        assert base.remove(victim)
+        assert victim not in base
+        assert len(base) == 2
+
+    def test_remove_absent_returns_false(self):
+        base = self.base()
+        assert not base.remove(atom("edge", FConst("x"), FConst("y")))
+        assert len(base) == 3
+
+    def test_remove_updates_candidates(self):
+        base = self.base()
+        victim = atom("edge", FConst("b"), FConst("c"))
+        base.remove(victim)
+        pattern = atom("edge", FVar("X"), FVar("Y"))
+        assert victim not in list(base.candidates(pattern))
+        assert len(list(base.candidates(pattern))) == 2
+
+    def test_remove_updates_index_buckets(self):
+        base = self.base()
+        pattern = atom("edge", FConst("b"), FVar("Y"))
+        assert len(list(base.candidates(pattern))) == 1  # builds an index
+        base.remove(atom("edge", FConst("b"), FConst("c")))
+        assert list(base.candidates(pattern)) == []
+
+    def test_remove_preserves_round_partition(self):
+        base = self.base()
+        base.remove(atom("edge", FConst("a"), FConst("b")))
+        pattern = atom("edge", FVar("X"), FVar("Y"))
+        since_1 = list(base.candidates_since(pattern, 1))
+        assert since_1 == [atom("edge", FConst("c"), FConst("d"))]
+        old = list(base.candidates_before(pattern, 1))
+        assert old == [atom("edge", FConst("b"), FConst("c"))]
+
+    def test_remove_all_batch(self):
+        base = self.base()
+        doomed = [
+            atom("edge", FConst("a"), FConst("b")),
+            atom("edge", FConst("c"), FConst("d")),
+            atom("edge", FConst("x"), FConst("y")),  # absent: skipped
+        ]
+        assert base.remove_all(doomed) == 2
+        assert len(base) == 1
+        pattern = atom("edge", FVar("X"), FVar("Y"))
+        assert list(base.candidates(pattern)) == [
+            atom("edge", FConst("b"), FConst("c"))
+        ]
+
+    def test_remove_all_with_live_index(self):
+        base = self.base()
+        pattern = atom("edge", FConst("c"), FVar("Y"))
+        assert len(list(base.candidates(pattern))) == 1
+        base.remove_all([atom("edge", FConst("c"), FConst("d"))])
+        assert list(base.candidates(pattern)) == []
+
+    def test_remove_last_fact_of_predicate(self):
+        base = FactBase()
+        fact = atom("p", FConst("a"))
+        base.add(fact)
+        base.remove(fact)
+        assert len(base) == 0
+        assert list(base.candidates(atom("p", FVar("X")))) == []
+        # re-adding works after the store was cleaned up
+        base.add(fact)
+        assert fact in base

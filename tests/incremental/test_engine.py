@@ -1,0 +1,246 @@
+"""Maintenance engine tests: materialize equals the from-scratch
+semi-naive fixpoint, and stays equal under insertions and retractions —
+including multi-derivation counting and DRed rederivation cases."""
+
+import pytest
+
+from repro.core.errors import EngineError, StoreError
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.fol.atoms import FAtom, FBuiltin, HornClause
+from repro.fol.terms import FConst, FVar
+from repro.incremental import IncrementalEngine
+from repro.obs import ExplainReport, Tracer
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+def const_atom(pred, *args):
+    return FAtom(pred, tuple(FConst(a) for a in args))
+
+
+X, Y, Z = FVar("X"), FVar("Y"), FVar("Z")
+
+TC_RULES = [
+    HornClause(atom("tc", X, Y), (atom("edge", X, Y),)),
+    HornClause(atom("tc", X, Z), (atom("edge", X, Y), atom("tc", Y, Z))),
+]
+
+
+def chain(n):
+    return [const_atom("edge", i, i + 1) for i in range(n)]
+
+
+def chain_engine(n):
+    clauses = [HornClause(fact) for fact in chain(n)] + TC_RULES
+    engine = IncrementalEngine(clauses)
+    engine.materialize()
+    return engine
+
+
+def recompute(engine):
+    """From-scratch semi-naive state for the engine's current EDB."""
+    clauses = [HornClause(fact) for fact in engine.edb]
+    for stratum in engine.strata:
+        clauses.extend(rule.clause for rule in stratum.rules)
+    return seminaive_fixpoint(clauses).snapshot()
+
+
+class TestMaterialize:
+    def test_equals_seminaive(self):
+        engine = chain_engine(6)
+        assert engine.snapshot() == recompute(engine)
+
+    def test_version_advances(self):
+        engine = chain_engine(3)
+        v = engine.version
+        engine.apply(inserts=[const_atom("edge", 3, 4)])
+        assert engine.version == v + 1
+
+    def test_lazy_materialize_on_first_apply(self):
+        clauses = [HornClause(fact) for fact in chain(3)] + TC_RULES
+        engine = IncrementalEngine(clauses)
+        engine.apply(inserts=[const_atom("edge", 3, 4)])
+        assert engine.snapshot() == recompute(engine)
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(EngineError, match="not ground"):
+            IncrementalEngine([HornClause(atom("p", X))])
+
+
+class TestInsertions:
+    def test_single_insert(self):
+        engine = chain_engine(5)
+        stats = engine.apply(inserts=[const_atom("edge", 5, 6)])
+        assert stats.facts_new > 0
+        assert engine.snapshot() == recompute(engine)
+
+    def test_batch_insert(self):
+        engine = chain_engine(4)
+        engine.apply(
+            inserts=[const_atom("edge", 4, 5), const_atom("edge", 9, 10)]
+        )
+        assert engine.snapshot() == recompute(engine)
+
+    def test_duplicate_insert_only_counts_edb(self):
+        engine = chain_engine(3)
+        before = engine.snapshot()
+        stats = engine.apply(inserts=[const_atom("edge", 0, 1)])
+        assert stats.facts_new == 0
+        assert engine.edb.get(const_atom("edge", 0, 1)) == 2
+        assert engine.snapshot() == before
+
+    def test_insert_of_derivable_fact_keeps_it_on_later_retract(self):
+        """Asserting a fact that is also derived: retracting the
+        assertion must not delete it while a derivation stands."""
+        engine = chain_engine(3)
+        derived = const_atom("tc", 0, 2)
+        engine.apply(inserts=[derived])
+        engine.apply(retracts=[derived])
+        assert derived in engine.facts
+        assert engine.snapshot() == recompute(engine)
+
+
+class TestRetractions:
+    def test_retract_last_edge(self):
+        engine = chain_engine(5)
+        stats = engine.apply(retracts=[const_atom("edge", 4, 5)])
+        assert stats.facts_deleted > 0
+        assert engine.snapshot() == recompute(engine)
+
+    def test_retract_middle_edge(self):
+        engine = chain_engine(6)
+        engine.apply(retracts=[const_atom("edge", 3, 4)])
+        assert engine.snapshot() == recompute(engine)
+
+    def test_rederivation_rescues_alternate_support(self):
+        """Diamond: a->b, a->c, b->d, c->d.  Retracting a->b kills
+        tc(a,b) but tc(a,d) must be rederived through c."""
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        clauses = [
+            HornClause(const_atom("edge", s, t)) for s, t in edges
+        ] + TC_RULES
+        engine = IncrementalEngine(clauses)
+        engine.materialize()
+        stats = engine.apply(retracts=[const_atom("edge", "a", "b")])
+        assert const_atom("tc", "a", "d") in engine.facts
+        assert const_atom("tc", "a", "b") not in engine.facts
+        assert stats.facts_rederived > 0
+        assert engine.snapshot() == recompute(engine)
+
+    def test_retract_unasserted_is_ignored(self):
+        engine = chain_engine(3)
+        before = engine.snapshot()
+        stats = engine.apply(retracts=[const_atom("edge", 7, 8)])
+        assert stats.retracts_ignored == 1
+        assert engine.snapshot() == before
+
+    def test_multiset_edb_survives_one_retract(self):
+        engine = chain_engine(3)
+        engine.apply(inserts=[const_atom("edge", 0, 1)])  # second assertion
+        engine.apply(retracts=[const_atom("edge", 0, 1)])
+        assert const_atom("edge", 0, 1) in engine.facts
+        engine.apply(retracts=[const_atom("edge", 0, 1)])
+        assert const_atom("edge", 0, 1) not in engine.facts
+        assert engine.snapshot() == recompute(engine)
+
+    def test_insert_and_retract_same_fact_nets_out(self):
+        engine = chain_engine(3)
+        before = engine.snapshot()
+        stats = engine.apply(
+            inserts=[const_atom("edge", 9, 10)],
+            retracts=[const_atom("edge", 9, 10)],
+        )
+        assert engine.snapshot() == before
+        assert stats.facts_new == 0 and stats.facts_deleted == 0
+
+
+class TestCounting:
+    """Non-recursive strata keep exact derivation counts."""
+
+    def counted_engine(self):
+        rules = [
+            HornClause(atom("reach", Y), (atom("edge", X, Y),)),
+        ]
+        facts = [
+            const_atom("edge", "a", "c"),
+            const_atom("edge", "b", "c"),
+        ]
+        engine = IncrementalEngine([HornClause(f) for f in facts] + rules)
+        engine.materialize()
+        return engine
+
+    def test_two_derivations_survive_one_loss(self):
+        engine = self.counted_engine()
+        reach_c = const_atom("reach", "c")
+        assert engine.counts.get(reach_c) == 2
+        engine.apply(retracts=[const_atom("edge", "a", "c")])
+        assert reach_c in engine.facts
+        assert engine.counts.get(reach_c) == 1
+        engine.apply(retracts=[const_atom("edge", "b", "c")])
+        assert reach_c not in engine.facts
+        assert engine.snapshot() == recompute(engine)
+
+    def test_counted_and_recursive_strata_compose(self):
+        rules = TC_RULES + [
+            HornClause(atom("reach", Y), (atom("tc", X, Y),)),
+        ]
+        clauses = [HornClause(f) for f in chain(4)] + rules
+        engine = IncrementalEngine(clauses)
+        engine.materialize()
+        engine.apply(retracts=[const_atom("edge", 1, 2)])
+        assert engine.snapshot() == recompute(engine)
+        engine.apply(inserts=[const_atom("edge", 1, 2)])
+        assert engine.snapshot() == recompute(engine)
+
+    def test_builtin_rule_maintained(self):
+        rules = [
+            HornClause(
+                atom("succ", X, Y),
+                (atom("num", X), FBuiltin("is", (Y, X))),
+            )
+        ]
+        clauses = [HornClause(const_atom("num", 1))] + rules
+        engine = IncrementalEngine(clauses)
+        engine.materialize()
+        engine.apply(inserts=[const_atom("num", 2)])
+        assert const_atom("succ", 2, 2) in engine.facts
+        engine.apply(retracts=[const_atom("num", 1)])
+        assert const_atom("succ", 1, 1) not in engine.facts
+        assert engine.snapshot() == recompute(engine)
+
+
+class TestObservability:
+    def test_report_maintenance_section(self):
+        engine = chain_engine(4)
+        report = ExplainReport()
+        engine.apply(retracts=[const_atom("edge", 3, 4)], report=report)
+        assert report.engine == "incremental"
+        assert report.maintenance is not None
+        rendered = report.render()
+        assert "maintenance — apply" in rendered
+        assert "deleted" in rendered
+
+    def test_tracer_spans(self):
+        engine = chain_engine(4)
+        tracer = Tracer()
+        engine.apply(
+            inserts=[const_atom("edge", 4, 5)],
+            retracts=[const_atom("edge", 0, 1)],
+            tracer=tracer,
+        )
+        names = {span.name for span in tracer.spans()}
+        assert "incremental.apply" in names
+        assert "incremental.insert" in names
+        assert "incremental.delete" in names
+
+    def test_stats_publish(self):
+        from repro.obs import MetricsRegistry
+
+        engine = chain_engine(3)
+        stats = engine.apply(inserts=[const_atom("edge", 3, 4)])
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["maintenance.facts_new"] == stats.facts_new

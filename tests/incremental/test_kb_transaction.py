@@ -1,0 +1,199 @@
+"""The transactional knowledge-base API: batched commit/rollback,
+snapshot versioning, fallback paths, and agreement with from-scratch
+evaluation after updates."""
+
+import io
+
+import pytest
+
+from repro.core.errors import EngineError, UnsupportedFeatureError
+from repro.interface.kb import KnowledgeBase
+
+PATH_SOURCE = """
+node: a[linkto => b].
+node: b[linkto => c].
+node: c[linkto => d].
+path: C[src => X, dest => Y, length => 1] :- node: X[linkto => Y].
+path: C[src => X, dest => Y, length => L] :-
+    node: X[linkto => Z],
+    path: C0[src => Z, dest => Y, length => L0],
+    L is L0 + 1.
+"""
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase.from_source(PATH_SOURCE)
+    kb.declare_identity("C", depends_on=("X", "Y"))
+    return kb
+
+
+def answers(kb, query="path: P[src => a, dest => Y]", engine="seminaive"):
+    return kb.ask(query, engine=engine)
+
+
+def fresh_answers(kb, **kwargs):
+    """What a KB built from scratch over the same program would say."""
+    return answers(KnowledgeBase(kb.program), **kwargs)
+
+
+class TestCommit:
+    def test_insert_extends_answers(self, kb):
+        before = len(answers(kb))
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+        assert txn.stats.fallback == ""
+        assert len(answers(kb)) == before + 1
+        assert answers(kb) == fresh_answers(kb)
+
+    def test_retract_shrinks_answers(self, kb):
+        with kb.transaction() as txn:
+            txn.retract("node: c[linkto => d].")
+        assert txn.stats.facts_deleted > 0
+        assert answers(kb) == fresh_answers(kb)
+
+    def test_program_reflects_commit(self, kb):
+        size = len(kb.program)
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+            txn.retract("node: a[linkto => b].")
+        assert len(kb.program) == size  # one in, one out
+
+    def test_version_advances_once_per_commit(self, kb):
+        v = kb.version
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+            txn.insert("node: e[linkto => f].")
+        assert kb.version == v + 1
+
+    def test_all_engines_agree_after_commit(self, kb):
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+            txn.retract("node: a[linkto => b].")
+        results = {
+            engine: answers(kb, engine=engine)
+            for engine in ("direct", "bottomup", "seminaive")
+        }
+        assert results["direct"] == results["bottomup"] == results["seminaive"]
+        assert results["seminaive"] == fresh_answers(kb)
+
+    def test_commit_returns_stats(self, kb):
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+        assert txn.stats.operation == "apply"
+        assert txn.stats.edb_inserted > 0
+
+
+class TestRollback:
+    def test_exception_rolls_back(self, kb):
+        before = answers(kb)
+        v = kb.version
+        with pytest.raises(RuntimeError):
+            with kb.transaction() as txn:
+                txn.insert("node: z[linkto => a].")
+                raise RuntimeError("abort")
+        assert kb.version == v
+        assert answers(kb) == before
+
+    def test_explicit_rollback(self, kb):
+        v = kb.version
+        txn = kb.transaction()
+        txn.insert("node: z[linkto => a].")
+        txn.rollback()
+        assert kb.version == v
+        with pytest.raises(EngineError, match="already"):
+            txn.insert("node: q[linkto => a].")
+
+    def test_closed_transaction_rejects_commit(self, kb):
+        txn = kb.transaction()
+        txn.rollback()
+        with pytest.raises(EngineError, match="already"):
+            txn.commit()
+
+
+class TestValidation:
+    def test_rule_insert_rejected(self, kb):
+        with kb.transaction() as txn:
+            with pytest.raises(EngineError, match="facts only"):
+                txn.insert("p: X :- node: X[linkto => Y].")
+            txn.rollback()
+
+    def test_subtype_insert_rejected(self, kb):
+        with kb.transaction() as txn:
+            with pytest.raises(EngineError, match="subtype"):
+                txn.insert("node < vertex.")
+            txn.rollback()
+
+    def test_nonground_fact_rejected(self, kb):
+        with kb.transaction() as txn:
+            with pytest.raises(EngineError, match="not ground"):
+                txn.insert("node: X[linkto => a].")
+            txn.rollback()
+
+
+class TestFallbacks:
+    def test_new_type_symbol_rematerializes(self, kb):
+        answers(kb)  # warm the maintained model
+        with kb.transaction() as txn:
+            txn.insert("color: red.")
+        assert "rule set changed" in txn.stats.fallback
+        assert kb.holds("color: red", engine="seminaive")
+        assert answers(kb) == fresh_answers(kb)
+
+    def test_negated_program_falls_back(self):
+        kb = KnowledgeBase.from_source(
+            """
+            person: ann.
+            person: bob.
+            employee: bob.
+            idle: X :- person: X, \\+ employee: X.
+            """
+        )
+        with kb.transaction() as txn:
+            txn.insert("person: cal.")
+        assert "negation" in txn.stats.fallback
+        assert kb.holds("idle: cal", engine="seminaive")
+        assert not kb.holds("idle: bob", engine="seminaive")
+
+    def test_retract_absent_fact_ignored(self, kb):
+        before = answers(kb)
+        with kb.transaction() as txn:
+            txn.retract("node: q[linkto => q].")
+        assert txn.stats.retracts_ignored >= 1
+        assert answers(kb) == before
+
+    def test_incremental_engine_rejects_negation(self):
+        kb = KnowledgeBase.from_source(
+            r"p: a. q: X :- p: X, \+ r: X."
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            kb.incremental_engine()
+
+
+class TestMaintainedModelServing:
+    def test_seminaive_serves_maintained_model(self, kb):
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+        engine = kb.incremental_engine()
+        assert kb._fol_minimal_model("seminaive") is engine.facts
+
+    def test_observed_ask_still_recomputes(self, kb):
+        from repro.obs import ExplainReport
+
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+        report = ExplainReport()
+        observed = answers(kb)
+        reported = kb.ask(
+            "path: P[src => a, dest => Y]", engine="seminaive", report=report
+        )
+        assert reported == observed
+        assert report.engine == "seminaive"
+
+    def test_add_source_drops_maintained_model(self, kb):
+        with kb.transaction() as txn:
+            txn.insert("node: d[linkto => e].")
+        assert kb._incremental is not None
+        kb.add_source("node: e[linkto => f].")
+        assert kb._incremental is None
+        assert answers(kb) == fresh_answers(kb)

@@ -1,0 +1,90 @@
+"""Stratum scheduler tests: SCC condensation of the positive predicate
+dependency graph, dependency order, and positive-fragment enforcement."""
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.fol.atoms import FAtom, HornClause, NegAtom
+from repro.fol.terms import FConst, FVar
+from repro.incremental.strata import stratify_rules
+
+
+def atom(pred, *args):
+    return FAtom(pred, tuple(args))
+
+
+X, Y, Z = FVar("X"), FVar("Y"), FVar("Z")
+
+TC_RULES = [
+    HornClause(atom("tc", X, Y), (atom("edge", X, Y),)),
+    HornClause(atom("tc", X, Z), (atom("edge", X, Y), atom("tc", Y, Z))),
+]
+
+
+class TestStratify:
+    def test_recursive_predicate_flagged(self):
+        strata = stratify_rules(TC_RULES)
+        assert len(strata) == 1
+        (stratum,) = strata
+        assert stratum.recursive
+        assert stratum.preds == frozenset({("tc", 2)})
+        assert len(stratum.rules) == 2
+
+    def test_nonrecursive_stratum(self):
+        rules = [HornClause(atom("p", X), (atom("q", X),))]
+        strata = stratify_rules(rules)
+        assert len(strata) == 1
+        assert not strata[0].recursive
+
+    def test_dependency_order(self):
+        """A stratum is emitted only after the strata it reads from."""
+        rules = TC_RULES + [
+            HornClause(atom("reach", Y), (atom("tc", X, Y),)),
+            HornClause(atom("top", X), (atom("reach", X),)),
+        ]
+        strata = stratify_rules(rules)
+        order = [stratum.preds for stratum in strata]
+        assert order.index(frozenset({("tc", 2)})) < order.index(
+            frozenset({("reach", 1)})
+        )
+        assert order.index(frozenset({("reach", 1)})) < order.index(
+            frozenset({("top", 1)})
+        )
+        assert all(not s.recursive for s in strata[1:])
+
+    def test_mutual_recursion_one_stratum(self):
+        rules = [
+            HornClause(atom("even", X), (atom("odd", X),)),
+            HornClause(atom("odd", X), (atom("even", X),)),
+        ]
+        strata = stratify_rules(rules)
+        assert len(strata) == 1
+        assert strata[0].recursive
+        assert strata[0].preds == frozenset({("even", 1), ("odd", 1)})
+
+    def test_edb_only_predicates_get_no_stratum(self):
+        strata = stratify_rules(TC_RULES)
+        assert all(("edge", 2) not in s.preds for s in strata)
+
+    def test_negation_rejected(self):
+        rules = [
+            HornClause(atom("p", X), (atom("q", X), NegAtom(atom("r", X)))),
+        ]
+        with pytest.raises(EngineError, match="positive fragment"):
+            stratify_rules(rules)
+
+    def test_rules_carry_joinable_positions(self):
+        from repro.fol.atoms import FBuiltin
+
+        rules = [
+            HornClause(
+                atom("p", X, Y),
+                (
+                    atom("q", X, Z),
+                    FBuiltin("is", (Y, Z)),
+                    atom("r", Z),
+                ),
+            )
+        ]
+        (stratum,) = stratify_rules(rules)
+        assert stratum.rules[0].positions == (0, 2)

@@ -154,4 +154,71 @@ class TestKnowledgeBaseHooks:
             assert report.rules, engine
 
     def test_subcommand_registry_names(self):
-        assert set(SUBCOMMANDS) == {"repl", "query", "trace"}
+        assert set(SUBCOMMANDS) == {"repl", "query", "trace", "update"}
+
+
+class TestUpdateSubcommand:
+    def test_registered(self):
+        assert "update" in SUBCOMMANDS
+
+    def test_insert_then_query(self, tc_file):
+        from repro.cli import cmd_update
+
+        out = io.StringIO()
+        code = cmd_update(
+            [
+                tc_file,
+                "--insert",
+                "edge(d, e)",
+                "--query",
+                "tc(a, X)",
+                "--engine",
+                "seminaive",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "committed (version" in text
+        assert "X = e" in text
+
+    def test_retract_with_explain(self, tc_file):
+        from repro.cli import cmd_update
+
+        out = io.StringIO()
+        code = cmd_update(
+            [tc_file, "--retract", "edge(c, d)", "--explain"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "maintenance — apply" in text
+        assert "deleted" in text
+
+    def test_trailing_period_optional(self, tc_file):
+        from repro.cli import cmd_update
+
+        out = io.StringIO()
+        assert cmd_update([tc_file, "--insert", "edge(d, e)."], out=out) == 0
+
+    def test_no_operations_errors(self, tc_file):
+        from repro.cli import cmd_update
+
+        assert cmd_update([tc_file], out=io.StringIO()) == 1
+
+    def test_rule_insert_errors(self, tc_file):
+        from repro.cli import cmd_update
+
+        code = cmd_update(
+            [tc_file, "--insert", "p(X) :- tc(X, Y)"], out=io.StringIO()
+        )
+        assert code == 1
+
+    def test_trace_prints_spans(self, tc_file):
+        from repro.cli import cmd_update
+
+        out = io.StringIO()
+        code = cmd_update(
+            [tc_file, "--insert", "edge(d, e)", "--trace"], out=out
+        )
+        assert code == 0
+        assert "incremental.apply" in out.getvalue()

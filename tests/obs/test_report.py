@@ -134,3 +134,64 @@ class TestEngineFilling:
         assert sum(s.instantiations for s in naive_report.rules) > sum(
             s.instantiations for s in semi_report.rules
         )
+
+
+class TestZeroProbeIndexes:
+    """An index built on demand but never probed must not divide by
+    zero or render nonsense rates."""
+
+    def test_hit_rate_zero_without_probes(self):
+        stats = IndexStats()
+        stats.record_index_built("edge/2[1]")
+        assert stats.index_hit_rate("edge/2[1]") == 0.0
+        assert stats.indexes_built == 1
+
+    def test_hit_rate_unknown_index(self):
+        assert IndexStats().index_hit_rate("ghost/1[1]") == 0.0
+
+    def test_describe_marks_never_probed(self):
+        stats = IndexStats(lookups=4, indexed=3, scans=1)
+        stats.record_index_built("edge/2[1]")
+        lines = stats.describe_indexes()
+        assert any("built, never probed" in line for line in lines)
+
+    def test_render_survives_zero_probe_index(self):
+        report = ExplainReport()
+        seminaive_fixpoint(tc_clauses(3), report=report)
+        report.index.record_index_built("phantom/3[2]")
+        text = report.render()
+        assert "phantom/3[2]: built, never probed" in text
+
+
+class TestMaintenanceSection:
+    def test_render_includes_maintenance(self):
+        from repro.incremental import MaintenanceStats
+
+        report = ExplainReport()
+        report.engine = "incremental"
+        report.maintenance = MaintenanceStats(
+            operation="apply",
+            strata=2,
+            recursive_strata=1,
+            facts_deleted=4,
+            facts_overdeleted=6,
+            facts_rederived=2,
+        )
+        text = report.render()
+        assert "maintenance — apply" in text
+        assert "overdeleted: 6" in text
+        assert "rederived: 2" in text
+        assert "1 recursive" in text
+
+    def test_fallback_line_rendered(self):
+        from repro.incremental import MaintenanceStats
+
+        report = ExplainReport()
+        report.maintenance = MaintenanceStats(
+            operation="apply", fallback="rule set changed"
+        )
+        assert "full recompute fallback: rule set changed" in report.render()
+
+    def test_no_maintenance_section_by_default(self):
+        report = ExplainReport()
+        assert "maintenance" not in report.render()

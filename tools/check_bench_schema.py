@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Validate ``BENCH_join_core.json`` against its expected schema.
+"""Validate benchmark JSON artifacts against their expected schemas.
 
-Hand-rolled (no jsonschema dependency): checks the top-level shape, the
-per-workload rows, and the engine-agreement rows emitted by
-``benchmarks/bench_join_core.py``.  Used by the CI benchmark smoke job;
-also runnable by hand::
+Hand-rolled (no jsonschema dependency).  Dispatches on the top-level
+``benchmark`` field: ``join_core`` payloads (from
+``benchmarks/bench_join_core.py``) get workload + engine-agreement row
+checks; ``incremental`` payloads (from
+``benchmarks/bench_incremental.py``) get maintenance-vs-recompute row
+checks.  Used by the CI benchmark smoke job; also runnable by hand::
 
-    python tools/check_bench_schema.py [BENCH_join_core.json]
+    python tools/check_bench_schema.py [BENCH_join_core.json ...]
 
+With no arguments it checks the repo-root ``BENCH_join_core.json``.
 Exits non-zero with one line per violation.
 """
 
@@ -28,7 +31,13 @@ def _check(errors: list[str], condition: bool, message: str) -> None:
         errors.append(message)
 
 
-def check_workload(row: object, where: str, errors: list[str]) -> None:
+def check_workload(
+    row: object,
+    where: str,
+    errors: list[str],
+    count_keys: tuple[str, str] = ("legacy_facts", "new_facts"),
+    disagreement: str = "legacy and optimized cores disagreed",
+) -> None:
     if not isinstance(row, dict):
         errors.append(f"{where}: expected an object, got {type(row).__name__}")
         return
@@ -46,12 +55,11 @@ def check_workload(row: object, where: str, errors: list[str]) -> None:
     if not isinstance(checks, dict):
         errors.append(f"{where}: 'checks' must be an object")
         return
-    for key in ("legacy_facts", "new_facts"):
+    for key in count_keys:
         _check(errors, isinstance(checks.get(key), int),
                f"{where}: checks.'{key}' must be an integer")
     _check(errors, checks.get("counts_equal") is True,
-           f"{where}: checks.counts_equal must be true "
-           "(legacy and optimized cores disagreed)")
+           f"{where}: checks.counts_equal must be true ({disagreement})")
 
 
 def check_agreement(row: object, where: str, errors: list[str]) -> None:
@@ -86,18 +94,18 @@ def check_agreement(row: object, where: str, errors: list[str]) -> None:
            f"{where}: 'identical' must be true (engines disagreed)")
 
 
-def check_payload(payload: object) -> list[str]:
-    errors: list[str] = []
-    if not isinstance(payload, dict):
-        return ["top level: expected a JSON object"]
-    _check(errors, payload.get("benchmark") == "join_core",
-           "top level: 'benchmark' must be 'join_core'")
+def _check_common_top_level(payload: dict, errors: list[str]) -> None:
     _check(errors, payload.get("schema_version") == EXPECTED_SCHEMA_VERSION,
            f"top level: 'schema_version' must be {EXPECTED_SCHEMA_VERSION}")
     _check(errors, isinstance(payload.get("smoke"), bool),
            "top level: 'smoke' must be a boolean")
     _check(errors, isinstance(payload.get("python"), str),
            "top level: 'python' must be a string")
+
+
+def check_join_core_payload(payload: dict) -> list[str]:
+    errors: list[str] = []
+    _check_common_top_level(payload, errors)
     workloads = payload.get("workloads")
     if not isinstance(workloads, list) or not workloads:
         errors.append("top level: 'workloads' must be a non-empty array")
@@ -113,9 +121,39 @@ def check_payload(payload: object) -> list[str]:
     return errors
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    path = Path(argv[0]) if argv else REPO_ROOT / "BENCH_join_core.json"
+def check_incremental_payload(payload: dict) -> list[str]:
+    errors: list[str] = []
+    _check_common_top_level(payload, errors)
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append("top level: 'workloads' must be a non-empty array")
+    else:
+        for index, row in enumerate(workloads):
+            check_workload(
+                row, f"workloads[{index}]", errors,
+                count_keys=("maintained_facts", "recomputed_facts"),
+                disagreement="maintained model diverged from the recomputed fixpoint",
+            )
+    return errors
+
+
+CHECKERS = {
+    "join_core": check_join_core_payload,
+    "incremental": check_incremental_payload,
+}
+
+
+def check_payload(payload: object) -> list[str]:
+    if not isinstance(payload, dict):
+        return ["top level: expected a JSON object"]
+    checker = CHECKERS.get(payload.get("benchmark"))
+    if checker is None:
+        known = ", ".join(sorted(CHECKERS))
+        return [f"top level: 'benchmark' must be one of: {known}"]
+    return checker(payload)
+
+
+def check_file(path: Path) -> int:
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
@@ -127,14 +165,19 @@ def main(argv: list[str] | None = None) -> int:
     errors = check_payload(payload)
     if errors:
         for error in errors:
-            print(f"check_bench_schema: {error}", file=sys.stderr)
+            print(f"check_bench_schema: {path.name}: {error}", file=sys.stderr)
         return 1
-    workloads = payload["workloads"]
-    print(
-        f"check_bench_schema: OK — {len(workloads)} workload rows, "
-        f"{len(payload['agreement'])} agreement rows"
-    )
+    summary = f"{len(payload['workloads'])} workload rows"
+    if "agreement" in payload:
+        summary += f", {len(payload['agreement'])} agreement rows"
+    print(f"check_bench_schema: {path.name} OK — {summary}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(arg) for arg in argv] or [REPO_ROOT / "BENCH_join_core.json"]
+    return max(check_file(path) for path in paths)
 
 
 if __name__ == "__main__":
