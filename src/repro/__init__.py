@@ -31,16 +31,29 @@ Quickstart::
 
 from repro.version import __version__
 
-__all__ = ["__version__", "KnowledgeBase", "ExplainReport", "MetricsRegistry", "Tracer"]
+__all__ = [
+    "__version__",
+    "KnowledgeBase",
+    "QueryResult",
+    "Governor",
+    "PartialResult",
+    "ExplainReport",
+    "MetricsRegistry",
+    "Tracer",
+]
 
 
 def __getattr__(name: str):
     # Lazy import so `import repro` stays light and avoids import cycles
     # while submodules are loaded directly.
-    if name == "KnowledgeBase":
-        from repro.interface import KnowledgeBase
+    if name in ("KnowledgeBase", "QueryResult"):
+        import repro.interface as interface
 
-        return KnowledgeBase
+        return getattr(interface, name)
+    if name in ("Governor", "PartialResult"):
+        import repro.runtime as runtime
+
+        return getattr(runtime, name)
     if name in ("ExplainReport", "MetricsRegistry", "Tracer"):
         import repro.obs as obs
 

@@ -53,12 +53,68 @@ import argparse
 import sys
 from typing import Callable, Optional, TextIO
 
-from repro.core.errors import CLogicError
+from repro.core.errors import (
+    CLogicError,
+    ConsistencyError,
+    EngineError,
+    LexError,
+    ParseError,
+    ResourceExhausted,
+    SemanticsError,
+    StoreError,
+    SyntaxKindError,
+    TransformError,
+    TypeOrderError,
+    UnsupportedFeatureError,
+)
 from repro.core.pretty import pretty_program, pretty_query, pretty_term
 from repro.interface.kb import ENGINES, KnowledgeBase
 from repro.obs import ExplainReport, Tracer
+from repro.runtime.governor import Governor
 
-__all__ = ["Repl", "SUBCOMMANDS", "main"]
+__all__ = ["Repl", "SUBCOMMANDS", "error_exit_code", "main"]
+
+# ----------------------------------------------------------------------
+# Error families -> exit codes.  One nonzero code per family so shell
+# scripts can branch on `$?` without parsing stderr; stderr always gets
+# exactly one diagnostic line, `error [FamilyError]: message`.
+# ----------------------------------------------------------------------
+
+EXIT_SYNTAX = 2  #: lexer/parser/grammar violations (argparse also uses 2)
+EXIT_SEMANTIC = 3  #: type order, semantics, transformation, consistency
+EXIT_ENGINE = 4  #: evaluation failures other than resource limits
+EXIT_RESOURCE = 5  #: a governor limit tripped in strict mode
+EXIT_STORE = 6  #: object-store misuse (non-ground facts, bad journal)
+
+_SYNTAX_ERRORS = (LexError, ParseError, SyntaxKindError)
+_SEMANTIC_ERRORS = (
+    TypeOrderError,
+    SemanticsError,
+    TransformError,
+    ConsistencyError,
+    UnsupportedFeatureError,
+)
+
+
+def error_exit_code(error: CLogicError) -> int:
+    """The exit code for one error's family (most specific first)."""
+    if isinstance(error, ResourceExhausted):
+        return EXIT_RESOURCE
+    if isinstance(error, EngineError):
+        return EXIT_ENGINE
+    if isinstance(error, _SYNTAX_ERRORS):
+        return EXIT_SYNTAX
+    if isinstance(error, _SEMANTIC_ERRORS):
+        return EXIT_SEMANTIC
+    if isinstance(error, StoreError):
+        return EXIT_STORE
+    return 1
+
+
+def _fail(error: CLogicError) -> int:
+    """One-line stderr diagnostic; returns the family's exit code."""
+    print(f"error [{type(error).__name__}]: {error}", file=sys.stderr)
+    return error_exit_code(error)
 
 PROMPT = "c-logic> "
 BANNER = (
@@ -323,7 +379,43 @@ def _observe_args(prog: str, description: str) -> argparse.ArgumentParser:
         default=None,
         help="write the spans as JSONL to PATH",
     )
+    _governance_args(parser)
     return parser
+
+
+def _governance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit; on overrun the partial answers found "
+        "so far are printed and marked incomplete",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="evaluation-step limit (body evaluations / resolution "
+        "attempts); degrades to a partial result like --deadline",
+    )
+    parser.add_argument(
+        "--strict-limits",
+        action="store_true",
+        help="fail (exit code 5) when a limit trips instead of "
+        "degrading to a partial result",
+    )
+
+
+def _governor_from(args: argparse.Namespace) -> Optional[Governor]:
+    if args.deadline is None and args.budget is None:
+        return None
+    return Governor(
+        deadline=args.deadline,
+        budget=args.budget,
+        strict=args.strict_limits,
+    )
 
 
 def _run_observed(
@@ -331,9 +423,11 @@ def _run_observed(
 ) -> int:
     try:
         kb, queries = load_workload(args.file)
-    except (OSError, CLogicError) as error:
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except CLogicError as error:
+        return _fail(error)
     if args.query:
         queries = list(args.query)
     if not queries:
@@ -341,19 +435,39 @@ def _run_observed(
             f"error: {args.file} has no queries; pass --query", file=sys.stderr
         )
         return 1
+    governed = args.deadline is not None or args.budget is not None
     tracer = Tracer() if trace or args.trace_out else None
     for query in queries:
         report = ExplainReport() if explain else None
         try:
-            answers = kb.ask(query, engine=args.engine, tracer=tracer, report=report)
+            if governed:
+                result = kb.query(
+                    query,
+                    engine=args.engine,
+                    deadline=args.deadline,
+                    budget=args.budget,
+                    strict=args.strict_limits,
+                    tracer=tracer,
+                    report=report,
+                )
+                answers = result.answers
+            else:
+                result = None
+                answers = kb.ask(
+                    query, engine=args.engine, tracer=tracer, report=report
+                )
         except CLogicError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 1
+            return _fail(error)
         print(f"?- {query}", file=out)
         for answer in answers:
             rendered = ", ".join(f"{k} = {v}" for k, v in answer.pretty().items())
             print(f"  {rendered if rendered else 'yes'}", file=out)
         print(f"  ({len(answers)} answer(s))", file=out)
+        if result is not None and result.incomplete:
+            print(
+                f"  INCOMPLETE — {result.limit} limit: {result.reason}",
+                file=out,
+            )
         if report is not None:
             print(file=out)
             print(report.render(), file=out)
@@ -422,15 +536,18 @@ def cmd_update(argv: list[str], out: TextIO = sys.stdout) -> int:
     parser.add_argument(
         "--trace", action="store_true", help="print the timed span tree"
     )
+    _governance_args(parser)
     args = parser.parse_args(argv)
     if not args.insert and not args.retract:
         print("error: nothing to apply; pass --insert/--retract", file=sys.stderr)
         return 1
     try:
         kb, _ = load_workload(args.file)
-    except (OSError, CLogicError) as error:
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except CLogicError as error:
+        return _fail(error)
     tracer = Tracer() if args.trace else None
     report = ExplainReport() if args.explain else None
     try:
@@ -439,10 +556,27 @@ def cmd_update(argv: list[str], out: TextIO = sys.stdout) -> int:
             txn.insert(text if text.rstrip().endswith(".") else text + ".")
         for text in args.retract:
             txn.retract(text if text.rstrip().endswith(".") else text + ".")
-        stats = txn.commit(tracer=tracer, report=report)
+        stats = txn.commit(
+            tracer=tracer, report=report, governor=_governor_from(args)
+        )
     except CLogicError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(error)
+    from repro.runtime.governor import PartialResult
+
+    if isinstance(stats, PartialResult):
+        # A limit tripped mid-maintenance: the commit rolled back; the
+        # knowledge base is exactly its pre-transaction self.
+        print(
+            f"NOT committed (version {kb.version} unchanged): "
+            f"{stats.limit} limit tripped after {stats.elapsed:.3f}s, "
+            f"{stats.steps} step(s) — the transaction rolled back",
+            file=out,
+        )
+        print(f"  {stats.reason}", file=out)
+        if report is not None:
+            print(file=out)
+            print(report.render(), file=out)
+        return EXIT_RESOURCE
     print(
         f"committed (version {kb.version}): "
         f"+{stats.edb_inserted} -{stats.edb_retracted} asserted fact(s); "
@@ -466,8 +600,7 @@ def cmd_update(argv: list[str], out: TextIO = sys.stdout) -> int:
         try:
             answers = kb.ask(query, engine=args.engine)
         except CLogicError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 1
+            return _fail(error)
         print(f"?- {query}", file=out)
         for answer in answers:
             rendered = ", ".join(f"{k} = {v}" for k, v in answer.pretty().items())
@@ -503,12 +636,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     """Entry point.  ``repro SUBCOMMAND ...`` dispatches; no arguments,
     or bare file arguments (back-compat), start the REPL."""
     argv = argv if argv is not None else sys.argv[1:]
-    if argv and argv[0] in SUBCOMMANDS:
-        return SUBCOMMANDS[argv[0]](argv[1:])
-    if argv and argv[0] in ("-h", "--help"):
-        print(__doc__.split("The REPL reads")[0])
-        return 0
-    return cmd_repl(argv)
+    try:
+        if argv and argv[0] in SUBCOMMANDS:
+            return SUBCOMMANDS[argv[0]](argv[1:])
+        if argv and argv[0] in ("-h", "--help"):
+            print(__doc__.split("The REPL reads")[0])
+            return 0
+        return cmd_repl(argv)
+    except CLogicError as error:
+        # The last-resort boundary: subcommands handle their own errors
+        # at the call sites above; anything that escapes still exits
+        # with its family's code and a single diagnostic line.
+        return _fail(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

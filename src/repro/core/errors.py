@@ -16,6 +16,12 @@ __all__ = [
     "SemanticsError",
     "TransformError",
     "EngineError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "BudgetExceeded",
+    "DepthExceeded",
+    "FactLimitExceeded",
+    "EvaluationCancelled",
     "SafetyError",
     "BuiltinError",
     "StoreError",
@@ -81,6 +87,68 @@ class TransformError(CLogicError):
 
 class EngineError(CLogicError):
     """A deduction engine failed (resource limits, malformed input)."""
+
+
+class ResourceExhausted(EngineError):
+    """An evaluation ran into a resource limit.
+
+    The common ancestor of every limit the runtime governor
+    (:class:`repro.runtime.Governor`) enforces: wall-clock deadlines,
+    step budgets, recursion-depth caps, fact-count caps and cooperative
+    cancellation.  Engines raise these in *strict* mode (and whenever a
+    hard parameter such as ``max_rounds`` overruns without a governor);
+    in the default governed mode they are caught at the engine boundary
+    and turned into a :class:`repro.runtime.PartialResult` carrying the
+    work completed so far.
+
+    ``limit`` names the limit family (``"deadline"``, ``"budget"``,
+    ``"depth"``, ``"facts"``, ``"cancelled"``); ``elapsed``/``steps``
+    carry the governor's counters at the moment of interruption when a
+    governor raised the error.
+    """
+
+    limit = "resource"
+
+    def __init__(
+        self,
+        message: str,
+        elapsed: "float | None" = None,
+        steps: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.steps = steps
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed before evaluation finished."""
+
+    limit = "deadline"
+
+
+class BudgetExceeded(ResourceExhausted):
+    """The derivation/step budget (or a round/iteration cap) ran out."""
+
+    limit = "budget"
+
+
+class DepthExceeded(ResourceExhausted):
+    """A recursion-depth cap was hit (SLD depth, iterative-deepening
+    ceiling, or the governor's ``max_depth``)."""
+
+    limit = "depth"
+
+
+class FactLimitExceeded(ResourceExhausted):
+    """The derived model grew past the governor's fact-count cap."""
+
+    limit = "facts"
+
+
+class EvaluationCancelled(ResourceExhausted):
+    """The run was cooperatively cancelled via the governor's token."""
+
+    limit = "cancelled"
 
 
 class SafetyError(EngineError):

@@ -74,31 +74,77 @@ def _const_text(value: object) -> str:
 
 
 def pretty_term(term: Term) -> str:
-    """Render a term in paper syntax."""
-    if isinstance(term, Var):
-        return f"{_type_prefix(term.type)}{term.name}"
-    if isinstance(term, Const):
-        return f"{_type_prefix(term.type)}{_const_text(term.value)}"
-    if isinstance(term, Func):
-        if term.functor in _ARITH_INFIX and len(term.args) == 2:
-            lhs, rhs = term.args
-            return f"({pretty_term(lhs)} {term.functor} {pretty_term(rhs)})"
-        args = ", ".join(pretty_term(arg) for arg in term.args)
-        return f"{_type_prefix(term.type)}{term.functor}({args})"
-    if isinstance(term, LTerm):
-        specs = ", ".join(
-            f"{spec.label} {ARROW} {pretty_value(spec.value)}" for spec in term.specs
-        )
-        return f"{pretty_term(term.base)}[{specs}]"
-    raise SyntaxKindError(f"not a term: {term!r}")
+    """Render a term in paper syntax.
+
+    Iterative (explicit work stack) rather than recursive: governed
+    partial models legitimately hold terms nested thousands of levels
+    deep — e.g. a successor tower cut off by a deadline — and printing
+    one must not blow Python's recursion limit.
+    """
+    return _render(term, _TERM)
 
 
 def pretty_value(value: object) -> str:
     """Render a label value (a term or a ``{...}`` collection)."""
-    if isinstance(value, Collection):
-        return "{" + ", ".join(pretty_term(item) for item in value.items) + "}"
-    assert isinstance(value, (Var, Const, Func, LTerm))
-    return pretty_term(value)
+    return _render(value, _VALUE)
+
+
+_TERM = 0
+_VALUE = 1
+
+
+def _render(root: object, root_kind: int) -> str:
+    out: list[str] = []
+    # Work items are either literal strings or (kind, node) pairs; pairs
+    # expand into their pieces pushed in reverse so pops emit in order.
+    stack: list = [(root_kind, root)]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            out.append(item)
+            continue
+        kind, term = item
+        if kind == _VALUE and isinstance(term, Collection):
+            parts: list = ["{"]
+            for index, element in enumerate(term.items):
+                if index:
+                    parts.append(", ")
+                parts.append((_TERM, element))
+            parts.append("}")
+            stack.extend(reversed(parts))
+            continue
+        if isinstance(term, Var):
+            out.append(f"{_type_prefix(term.type)}{term.name}")
+        elif isinstance(term, Const):
+            out.append(f"{_type_prefix(term.type)}{_const_text(term.value)}")
+        elif isinstance(term, Func):
+            if term.functor in _ARITH_INFIX and len(term.args) == 2:
+                lhs, rhs = term.args
+                stack.extend(
+                    reversed(
+                        ["(", (_TERM, lhs), f" {term.functor} ", (_TERM, rhs), ")"]
+                    )
+                )
+            else:
+                parts = [f"{_type_prefix(term.type)}{term.functor}("]
+                for index, arg in enumerate(term.args):
+                    if index:
+                        parts.append(", ")
+                    parts.append((_TERM, arg))
+                parts.append(")")
+                stack.extend(reversed(parts))
+        elif isinstance(term, LTerm):
+            parts = [(_TERM, term.base), "["]
+            for index, spec in enumerate(term.specs):
+                if index:
+                    parts.append(", ")
+                parts.append(f"{spec.label} {ARROW} ")
+                parts.append((_VALUE, spec.value))
+            parts.append("]")
+            stack.extend(reversed(parts))
+        else:
+            raise SyntaxKindError(f"not a term: {term!r}")
+    return "".join(out)
 
 
 def pretty_atom(atom: object) -> str:

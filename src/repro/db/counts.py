@@ -83,6 +83,12 @@ class FactCounts:
         the counter, e.g. a counted fact leaving the model)."""
         self._counts.pop(atom, None)
 
+    def copy(self) -> "FactCounts":
+        """An independent copy (transaction checkpoints)."""
+        clone = FactCounts()
+        clone._counts = dict(self._counts)
+        return clone
+
     def clear(self) -> None:
         self._counts.clear()
 

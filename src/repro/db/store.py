@@ -40,8 +40,21 @@ from repro.core.terms import (
     is_ground,
 )
 from repro.core.types import TypeHierarchy
+from repro.runtime.faults import fault_point, register_fault_point
 
 __all__ = ["ObjectStore", "ground_id"]
+
+# Failure points for the fault-injection harness.  Each sits at the top
+# of an atomic mutation or journal operation, *before* any state
+# changes: an injected crash leaves that operation entirely unapplied
+# and everything before it journaled, which is exactly the
+# partially-committed shape rollback has to clean up.
+_FP_BEGIN = register_fault_point("store.begin_journal")
+_FP_COMMIT = register_fault_point("store.commit_journal")
+_FP_ADD_TYPE = register_fault_point("store.add_type")
+_FP_ADD_LABEL = register_fault_point("store.add_label")
+_FP_ADD_PRED = register_fault_point("store.add_pred")
+_FP_ASSERT_CLUSTERED = register_fault_point("store.assert_clustered")
 
 
 def ground_id(term: Term) -> BaseTerm:
@@ -121,6 +134,7 @@ class ObjectStore:
         """Assert a ground complex-object description (kept clustered)."""
         changed = self._assert_term(term)
         if term not in self._clustered_set:
+            fault_point(_FP_ASSERT_CLUSTERED)
             self._clustered_set.add(term)
             self._clustered.append(term)
             if self._journal is not None:
@@ -148,12 +162,13 @@ class ObjectStore:
         object in the active domain if needed); returns True iff the
         membership is new.  This is the atomic type-assertion primitive
         the update façade builds on."""
+        if identity in self._types.get(type_name, ()):
+            return False
+        fault_point(_FP_ADD_TYPE)
         new_object = identity not in self._all_ids
         self._all_ids.add(identity)
         key = ("t", type_name, identity)
         extent = self._types.setdefault(type_name, set())
-        if identity in extent:
-            return False
         extent.add(identity)
         self._types_of.setdefault(identity, set()).add(type_name)
         self._stamps[key] = self._round
@@ -175,10 +190,11 @@ class ObjectStore:
         return self.add_type(type_name, identity)
 
     def _add_label(self, label: str, host: BaseTerm, value: BaseTerm) -> bool:
+        if value in self._labels.get(label, {}).get(host, ()):
+            return False
+        fault_point(_FP_ADD_LABEL)
         key = ("l", label, host, value)
         values = self._labels.setdefault(label, {}).setdefault(host, set())
-        if value in values:
-            return False
         values.add(value)
         self._labels_inv.setdefault(label, {}).setdefault(value, set()).add(host)
         self._label_pairs[label] = self._label_pairs.get(label, 0) + 1
@@ -189,10 +205,11 @@ class ObjectStore:
         return True
 
     def _add_pred(self, pred: str, row: tuple[BaseTerm, ...]) -> bool:
+        if row in self._preds.get((pred, len(row)), ()):
+            return False
+        fault_point(_FP_ADD_PRED)
         key = ("p", pred, row)
         rows = self._preds.setdefault((pred, len(row)), set())
-        if row in rows:
-            return False
         rows.add(row)
         self._stamps[key] = self._round
         self._by_round.setdefault(self._round, []).append(key)
@@ -211,12 +228,14 @@ class ObjectStore:
         :meth:`rollback_journal` replays them in reverse."""
         if self._journal is not None:
             raise StoreError("a store transaction is already open")
+        fault_point(_FP_BEGIN)
         self._journal = []
 
     def commit_journal(self) -> int:
         """Keep the mutations; returns how many were recorded."""
         if self._journal is None:
             raise StoreError("no store transaction is open")
+        fault_point(_FP_COMMIT)
         recorded = len(self._journal)
         self._journal = None
         return recorded
@@ -420,6 +439,45 @@ class ObjectStore:
     def merged_descriptions(self) -> Iterator[Term]:
         for identity in sorted(self._all_ids, key=repr):
             yield self.merged_description(identity)
+
+    def snapshot_state(self) -> dict:
+        """A deep, comparable copy of every piece of store state.
+
+        Fault-injection tests take one snapshot before a transaction and
+        compare it (``==``) after an injected crash + rollback: equality
+        here is the "bit-identical to its pre-transaction state"
+        guarantee — not just the fact sets, but the round stamps, the
+        per-round delta feed, the inverted indexes, the pair counters,
+        and the clustered originals *in order*.
+        """
+        return {
+            "all_ids": set(self._all_ids),
+            "types": {name: set(ids) for name, ids in self._types.items()},
+            "types_of": {
+                identity: set(names) for identity, names in self._types_of.items()
+            },
+            "labels": {
+                label: {host: set(values) for host, values in hosts.items()}
+                for label, hosts in self._labels.items()
+            },
+            "labels_inv": {
+                label: {value: set(hosts) for value, hosts in values.items()}
+                for label, values in self._labels_inv.items()
+            },
+            "label_pairs": dict(self._label_pairs),
+            "preds": {
+                signature: set(rows) for signature, rows in self._preds.items()
+            },
+            "clustered": list(self._clustered),
+            "clustered_set": set(self._clustered_set),
+            "stamps": dict(self._stamps),
+            "by_round": {
+                round_number: list(keys)
+                for round_number, keys in self._by_round.items()
+                if keys
+            },
+            "round": self._round,
+        }
 
     # ------------------------------------------------------------------
     # Statistics

@@ -28,8 +28,17 @@ from repro.core.errors import StoreError
 from repro.core.terms import OBJECT, Term
 from repro.core.types import TypeHierarchy
 from repro.db.store import ObjectStore, ground_id
+from repro.runtime.faults import fault_point, register_fault_point
 
 __all__ = ["StoreTransaction", "UpdatableStore"]
+
+# Fault points sit after the presence checks and before the first
+# mutation of each retract operation, so an injected crash leaves the
+# store untouched by that operation — the journal (plus the hardened
+# commit below) is what guarantees earlier operations roll back too.
+_FP_REMOVE_TYPE = register_fault_point("updates.remove_from_type")
+_FP_REMOVE_LABEL = register_fault_point("updates.remove_label")
+_FP_REMOVE_OBJECT = register_fault_point("updates.remove_object")
 
 
 class UpdatableStore:
@@ -90,6 +99,7 @@ class UpdatableStore:
         extent = store._types.get(type_name)
         if not extent or key not in extent:
             return False
+        fault_point(_FP_REMOVE_TYPE)
         extent.discard(key)
         store._types_of[key].discard(type_name)
         stamp = store._stamps.pop(("t", type_name, key), 0)
@@ -104,6 +114,7 @@ class UpdatableStore:
         values = store._labels.get(label, {}).get(host_id)
         if not values or value_id not in values:
             return False
+        fault_point(_FP_REMOVE_LABEL)
         values.discard(value_id)
         store._labels_inv[label][value_id].discard(host_id)
         store._label_pairs[label] -= 1
@@ -119,6 +130,7 @@ class UpdatableStore:
         key = ground_id(identity)
         if key not in store._all_ids:
             return False
+        fault_point(_FP_REMOVE_OBJECT)
         for type_name in list(store._types_of.get(key, ())):
             if type_name != OBJECT:
                 self.remove_from_type(identity, type_name)
@@ -178,9 +190,20 @@ class StoreTransaction:
         self._open = False
 
     def commit(self) -> int:
-        """Keep the batch; returns how many mutations it recorded."""
+        """Keep the batch; returns how many mutations it recorded.
+
+        If the commit itself fails, the batch is rolled back before the
+        failure propagates — a failed commit must not leave the journal
+        open with the mutations half-kept."""
+        try:
+            recorded = self._store.commit_journal()
+        except BaseException:
+            self._open = False
+            if self._store._journal is not None:
+                self._store.rollback_journal()
+            raise
         self._open = False
-        return self._store.commit_journal()
+        return recorded
 
     def rollback(self) -> int:
         """Undo the batch; returns how many mutations were reversed."""

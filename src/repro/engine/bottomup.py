@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
-from repro.core.errors import EngineError
+from repro.core.errors import BudgetExceeded, EngineError, ResourceExhausted
 from repro.fol.atoms import (
     FAtom,
     FBodyAtom,
@@ -142,17 +142,24 @@ def naive_fixpoint(
     stats: EvaluationStats | None = None,
     tracer=None,
     report=None,
-) -> FactBase:
+    governor=None,
+):
     """The minimal model of ``clauses`` as a fact base.
 
-    Raises :class:`EngineError` if the fixpoint is not reached within
-    ``max_rounds`` (a non-terminating program, e.g. unbounded identity
-    creation through function symbols).
+    Raises :class:`~repro.core.errors.BudgetExceeded` if the fixpoint is
+    not reached within ``max_rounds`` (a non-terminating program, e.g.
+    unbounded identity creation through function symbols).
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records one span per round;
     ``report`` (a :class:`repro.obs.ExplainReport`) collects the
     per-rule, per-round account.  Both default off and then cost only a
     ``None`` check per round.
+
+    ``governor`` (a :class:`repro.runtime.Governor`) bounds the run: one
+    tick per body evaluation, a fact-count check per rule per round.  A
+    tripped limit on a non-strict governor degrades to a
+    :class:`repro.runtime.PartialResult` carrying the facts derived so
+    far; strict governors (and the bare ``max_rounds`` overrun) raise.
     """
     generalized = normalize_clauses(clauses)
     _reject_negation(generalized)
@@ -176,49 +183,65 @@ def naive_fixpoint(
         # re-plan per rule per round.
         for slot, plan in zip(rule_slots, plans):
             slot.join_order = plan.order(facts)
-    for _ in range(max_rounds):
-        stats.rounds += 1
-        facts.next_round()
-        round_span = (
-            tracer.start("bottomup.round", round=stats.rounds)
-            if tracer is not None
-            else None
+    if governor is not None:
+        governor.start()
+    try:
+        for _ in range(max_rounds):
+            stats.rounds += 1
+            facts.next_round()
+            round_span = (
+                tracer.start("bottomup.round", round=stats.rounds)
+                if tracer is not None
+                else None
+            )
+            new_before_round = stats.facts_new
+            changed = False
+            for rule_index, clause in enumerate(rules):
+                row = None
+                if rule_slots is not None:
+                    row = rule_slots[rule_index].round(stats.rounds)
+                    index_before = report.index.snapshot()
+                derived_before, new_before = stats.facts_derived, stats.facts_new
+                instantiations = 0
+                for subst in plans[rule_index].run(facts):
+                    if governor is not None:
+                        governor.tick()
+                    stats.body_evaluations += 1
+                    instantiations += 1
+                    for head in clause.heads:
+                        derived = substitute_fatom(head, subst)
+                        assert isinstance(derived, FAtom)
+                        stats.facts_derived += 1
+                        if facts.add(derived):
+                            stats.facts_new += 1
+                            changed = True
+                if governor is not None:
+                    governor.tick()
+                    governor.check_facts(len(facts))
+                if row is not None:
+                    row.instantiations += instantiations
+                    row.facts_derived += stats.facts_derived - derived_before
+                    row.facts_new += stats.facts_new - new_before
+                    report.index.add_since(index_before, rule_slots[rule_index].index)
+            if round_span is not None:
+                round_span.count("facts_new", stats.facts_new - new_before_round)
+                round_span.set("changed", changed)
+                tracer.finish(round_span)
+            if not changed:
+                if rule_slots is not None:
+                    for slot, plan in zip(rule_slots, plans):
+                        slot.join_order = plan.order(facts)
+                finish_report(report, stats, facts)
+                return facts
+        raise BudgetExceeded(
+            f"no fixpoint within {max_rounds} rounds (non-terminating program?)"
         )
-        new_before_round = stats.facts_new
-        changed = False
-        for rule_index, clause in enumerate(rules):
-            row = None
-            if rule_slots is not None:
-                row = rule_slots[rule_index].round(stats.rounds)
-                index_before = report.index.snapshot()
-            derived_before, new_before = stats.facts_derived, stats.facts_new
-            instantiations = 0
-            for subst in plans[rule_index].run(facts):
-                stats.body_evaluations += 1
-                instantiations += 1
-                for head in clause.heads:
-                    derived = substitute_fatom(head, subst)
-                    assert isinstance(derived, FAtom)
-                    stats.facts_derived += 1
-                    if facts.add(derived):
-                        stats.facts_new += 1
-                        changed = True
-            if row is not None:
-                row.instantiations += instantiations
-                row.facts_derived += stats.facts_derived - derived_before
-                row.facts_new += stats.facts_new - new_before
-                report.index.add_since(index_before, rule_slots[rule_index].index)
-        if round_span is not None:
-            round_span.count("facts_new", stats.facts_new - new_before_round)
-            round_span.set("changed", changed)
-            tracer.finish(round_span)
-        if not changed:
-            if rule_slots is not None:
-                for slot, plan in zip(rule_slots, plans):
-                    slot.join_order = plan.order(facts)
-            finish_report(report, stats, facts)
-            return facts
-    raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
+    except (ResourceExhausted, RecursionError) as exc:
+        from repro.runtime.governor import as_resource_error, degrade
+
+        exc = as_resource_error(exc)
+        finish_report(report, stats, facts)
+        return degrade(governor, exc, facts, report)
 
 
 def answer_query_bottomup(

@@ -52,7 +52,13 @@ from repro.core.clauses import (
     substitute_atom,
 )
 from repro.core.decompose import spec_pairs
-from repro.core.errors import BuiltinError, EngineError, SafetyError
+from repro.core.errors import (
+    BudgetExceeded,
+    BuiltinError,
+    EngineError,
+    ResourceExhausted,
+    SafetyError,
+)
 from repro.core.formulas import PredAtom, TermAtom
 from repro.core.terms import (
     BaseTerm,
@@ -125,6 +131,7 @@ class DirectEngine:
         saturation_mode: str = "delta",
         tracer=None,
         report=None,
+        governor=None,
     ) -> None:
         if saturation_mode not in ("naive", "delta"):
             raise EngineError(f"unknown saturation mode {saturation_mode!r}")
@@ -135,6 +142,12 @@ class DirectEngine:
         self._max_rounds = max_rounds
         self._saturation_mode = saturation_mode
         self._saturated = False
+        #: The resource governor bounding this engine, or None.
+        self._governor = governor
+        #: The limit that interrupted saturation/solving, or None.  Set
+        #: when a non-strict governor degraded the run, so callers can
+        #: tell a partial model from a complete one.
+        self.interrupted: Optional[ResourceExhausted] = None
         # Per-clause delta positions (indices of positive atoms), keyed
         # by clause identity — computed once, reused every delta round.
         self._delta_positions: dict[int, list[int]] = {}
@@ -157,12 +170,22 @@ class DirectEngine:
     # Saturation (minimal model at the C-logic level)
     # ------------------------------------------------------------------
 
-    def saturate(self) -> ObjectStore:
+    def _tick(self) -> None:
+        if self._governor is not None:
+            self._governor.tick()
+
+    def saturate(self):
         """Compute the minimal model into the store (idempotent).
 
         Programs with negated body atoms are evaluated stratum by
         stratum (the perfect model); a cycle through negation raises
         :class:`EngineError`.
+
+        A non-strict governor limit tripping mid-saturation degrades to
+        a :class:`repro.runtime.PartialResult` wrapping the store with
+        the facts derived so far; ``self.interrupted`` records the
+        violation and the partial model stays in place (query answering
+        over it is sound but possibly incomplete).
         """
         if self._saturated:
             return self.store
@@ -173,8 +196,26 @@ class DirectEngine:
             if self._tracer is not None
             else None
         )
-        for stratum in self._stratify():
-            self._saturate_stratum(stratum)
+        if self._governor is not None:
+            self._governor.start()
+        try:
+            for stratum in self._stratify():
+                self._saturate_stratum(stratum)
+        except (ResourceExhausted, RecursionError) as exc:
+            from repro.runtime.governor import as_resource_error, degrade
+
+            exc = as_resource_error(exc)
+            self.interrupted = exc
+            if span is not None:
+                span.count("rounds", self.stats.rounds)
+                span.count("facts_new", self.stats.facts_new)
+                self._tracer.finish(span)
+            if self._report is not None:
+                self._report.rounds = self.stats.rounds
+                self._report.facts_total = self.store.fact_count()
+            partial = degrade(self._governor, exc, self.store, self._report)
+            self._saturated = True
+            return partial
         if span is not None:
             span.count("rounds", self.stats.rounds)
             span.count("candidates", self.stats.candidates)
@@ -235,12 +276,14 @@ class DirectEngine:
                 else None
             )
             changed = self._naive_round(rules)
+            if self._governor is not None:
+                self._governor.check_facts(self.store.fact_count())
             if round_span is not None:
                 round_span.set("changed", changed)
                 self._tracer.finish(round_span)
             if not changed:
                 return
-        raise EngineError(
+        raise BudgetExceeded(
             f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
         )
 
@@ -292,6 +335,8 @@ class DirectEngine:
                 else None
             )
             delta = self._delta_index(delta_round)
+            if self._governor is not None:
+                self._governor.check_facts(self.store.fact_count())
             changed = False
             for clause in rules:
                 row = self._rule_row(clause, self.stats.rounds)
@@ -325,7 +370,7 @@ class DirectEngine:
                 if quiet:
                     return
                 delta_round = self.store.round
-        raise EngineError(
+        raise BudgetExceeded(
             f"no fixpoint within {self._max_rounds} rounds (unbounded object creation?)"
         )
 
@@ -529,22 +574,32 @@ class DirectEngine:
     # Query answering
     # ------------------------------------------------------------------
 
-    def solve(self, query: Query) -> list[Answer]:
-        """All answers by decomposed (residual) evaluation — complete."""
+    def solve(self, query: Query):
+        """All answers by decomposed (residual) evaluation — complete
+        (over the saturated model; a governed run interrupted mid-solve
+        degrades to a :class:`repro.runtime.PartialResult` with the
+        answers found so far)."""
         self.saturate()
         variables = query.variables()
         out: list[Answer] = []
         seen: set[tuple] = set()
-        for binding in self._solve_body(query.body, {}):
-            answer = {
-                name: apply_binding(Var(name), binding)
-                for name in variables
-                if name in binding
-            }
-            key = tuple(sorted((k, repr(v)) for k, v in answer.items()))
-            if key not in seen:
-                seen.add(key)
-                out.append(answer)
+        try:
+            for binding in self._solve_body(query.body, {}):
+                answer = {
+                    name: apply_binding(Var(name), binding)
+                    for name in variables
+                    if name in binding
+                }
+                key = tuple(sorted((k, repr(v)) for k, v in answer.items()))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(answer)
+        except (ResourceExhausted, RecursionError) as exc:
+            from repro.runtime.governor import as_resource_error, degrade
+
+            exc = as_resource_error(exc)
+            self.interrupted = exc
+            return degrade(self._governor, exc, out)
         return out
 
     def holds(self, query: Query) -> bool:
@@ -675,6 +730,7 @@ class DirectEngine:
         rows,
     ) -> Iterator[dict[str, BaseTerm]]:
         for row in rows:
+            self._tick()
             current: Optional[dict[str, BaseTerm]] = dict(binding)
             for arg, element in zip(atom.args, row):
                 current = unify_identities(arg, element, current)
@@ -725,6 +781,7 @@ class DirectEngine:
             candidates = self._narrow_candidates(term, binding, candidates)
         specs = list(spec_pairs(term)) if isinstance(term, LTerm) else []
         for identity in candidates:
+            self._tick()
             self.stats.candidates += 1
             if candidates_override is not None and not self.store.has_type(
                 identity, base.type
@@ -869,6 +926,7 @@ class DirectEngine:
         query_base = query.base if isinstance(query, LTerm) else query
         query_specs = list(spec_pairs(query)) if isinstance(query, LTerm) else []
         for fact in self.store.clustered_facts():
+            self._tick()
             self.stats.candidates += 1
             fact_base = fact.base if isinstance(fact, LTerm) else fact
             if not self.hierarchy.is_subtype(fact_base.type, query_base.type):

@@ -41,8 +41,11 @@ from typing import Iterable, Iterator, Optional, Sequence
 from repro.core.errors import StoreError
 from repro.fol.atoms import FAtom, atom_is_ground
 from repro.fol.terms import FApp, FConst, FTerm
+from repro.runtime.faults import fault_point, register_fault_point
 
 __all__ = ["FactBase", "FactView", "principal_functor"]
+
+_FP_REMOVE_BATCH = register_fault_point("factbase.remove_batch")
 
 
 def principal_functor(term: FTerm) -> Optional[tuple]:
@@ -297,6 +300,10 @@ class FactBase:
                 doomed_by_pred.setdefault(atom.signature, set()).add(atom)
         removed = 0
         for signature, doomed in doomed_by_pred.items():
+            # Crash-tested: a fault here leaves earlier predicates
+            # rebuilt and this one untouched — the partially-applied
+            # state transaction rollback must recover from.
+            fault_point(_FP_REMOVE_BATCH)
             store = self._preds[signature]
             store.remove_batch(doomed)
             if not store.rows:

@@ -25,7 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Union
 
-from repro.core.errors import EngineError, SafetyError
+from repro.core.errors import (
+    BudgetExceeded,
+    EngineError,
+    ResourceExhausted,
+    SafetyError,
+)
 from repro.fol.atoms import (
     FAtom,
     FBuiltin,
@@ -191,7 +196,8 @@ def stratified_fixpoint(
     stats: EvaluationStats | None = None,
     tracer=None,
     report=None,
-) -> FactBase:
+    governor=None,
+):
     """The perfect model of a stratified program.
 
     Strata are evaluated bottom-up in order; a negative atom is checked
@@ -202,21 +208,41 @@ def stratified_fixpoint(
     stratum (with round spans nested inside) and a per-rule EXPLAIN
     account.  This engine joins in textual order, so the report carries
     no join-order plans.
+
+    A ``governor`` ticks per body evaluation across every stratum (the
+    deadline/budget covers the whole perfect-model computation).  On a
+    non-strict limit trip the run degrades to a
+    :class:`repro.runtime.PartialResult` — note the partial facts of the
+    *interrupted* stratum are only sound with respect to the completed
+    lower strata; the ``incomplete`` marker is what tells callers not to
+    trust negative conclusions drawn from them.
     """
     stats = stats if stats is not None else EvaluationStats()
     facts = FactBase()
     if report is not None:
         report.engine = report.engine or "stratified"
         facts.observe(report.index)
-    for level, level_clauses in enumerate(stratify(clauses)):
-        stratum_span = (
-            tracer.start("stratified.stratum", stratum=level, clauses=len(level_clauses))
-            if tracer is not None
-            else None
-        )
-        _saturate_stratum(level_clauses, facts, max_rounds, stats, tracer, report)
-        if stratum_span is not None:
-            tracer.finish(stratum_span)
+    if governor is not None:
+        governor.start()
+    try:
+        for level, level_clauses in enumerate(stratify(clauses)):
+            stratum_span = (
+                tracer.start("stratified.stratum", stratum=level, clauses=len(level_clauses))
+                if tracer is not None
+                else None
+            )
+            _saturate_stratum(level_clauses, facts, max_rounds, stats, tracer, report, governor)
+            if stratum_span is not None:
+                tracer.finish(stratum_span)
+    except (ResourceExhausted, RecursionError) as exc:
+        from repro.runtime.governor import as_resource_error, degrade
+
+        exc = as_resource_error(exc)
+        if report is not None:
+            report.rounds = stats.rounds
+            report.facts_total = len(facts)
+            facts.observe(None)
+        return degrade(governor, exc, facts, report)
     if report is not None:
         report.rounds = stats.rounds
         report.facts_total = len(facts)
@@ -231,6 +257,7 @@ def _saturate_stratum(
     stats: EvaluationStats,
     tracer=None,
     report=None,
+    governor=None,
 ) -> None:
     for clause in clauses:
         if not clause.body:
@@ -279,6 +306,8 @@ def _saturate_stratum(
             # compiled executor still serves candidates from the
             # adaptive indexes.
             for subst in plans[rule_index].run(facts, reorder=False):
+                if governor is not None:
+                    governor.tick()
                 stats.body_evaluations += 1
                 if row is not None:
                     row.instantiations += 1
@@ -293,9 +322,12 @@ def _saturate_stratum(
                 row.facts_derived += stats.facts_derived - derived_before
                 row.facts_new += stats.facts_new - new_before
                 report.index.add_since(index_before, rule_slots[rule_index].index)
+        if governor is not None:
+            governor.tick()
+            governor.check_facts(len(facts))
         if round_span is not None:
             round_span.set("changed", changed)
             tracer.finish(round_span)
         if not changed:
             return
-    raise EngineError(f"no fixpoint within {max_rounds} rounds")
+    raise BudgetExceeded(f"no fixpoint within {max_rounds} rounds")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Union
 
-from repro.core.errors import EngineError
+from repro.core.errors import BudgetExceeded, ResourceExhausted
 from repro.fol.atoms import FAtom, FBuiltin, FOLProgram, substitute_fatom
 from repro.engine.bottomup import (
     ClauseLike,
@@ -40,12 +40,19 @@ def seminaive_fixpoint(
     stats: EvaluationStats | None = None,
     tracer=None,
     report=None,
-) -> FactBase:
+    governor=None,
+):
     """The minimal model of ``clauses``, computed semi-naively.
 
     ``tracer``/``report`` are the observability hooks of
     :mod:`repro.obs` — one span per round, and the per-rule, per-round
     EXPLAIN account; both default off.
+
+    ``governor`` bounds the run exactly as in
+    :func:`~repro.engine.bottomup.naive_fixpoint`: one tick per body
+    evaluation, fact-count check per rule per round, and graceful
+    degradation to a :class:`repro.runtime.PartialResult` on a
+    non-strict limit trip.
     """
     generalized = normalize_clauses(clauses)
     from repro.engine.bottomup import _reject_negation
@@ -77,56 +84,74 @@ def seminaive_fixpoint(
         for clause in rules
     ]
     delta_round = 0  # facts stamped >= this round are "new"
-    for _ in range(max_rounds):
-        stats.rounds += 1
-        current_round = facts.next_round()
-        round_span = (
-            tracer.start("seminaive.round", round=stats.rounds)
-            if tracer is not None
-            else None
-        )
-        new_before_round = stats.facts_new
-        changed = False
-        for rule_index, (clause, delta_positions) in enumerate(zip(rules, positions)):
-            row = None
-            if rule_slots is not None:
-                row = rule_slots[rule_index].round(stats.rounds)
-                index_before = report.index.snapshot()
-                derived_before, new_before = stats.facts_derived, stats.facts_new
-            evals_before = stats.body_evaluations
-            plan = plans[rule_index]
-            if not delta_positions:
-                # Pure-builtin body: evaluate once, in the first round.
-                if stats.rounds > 1:
-                    continue
-                for subst in plan.run(facts):
-                    stats.body_evaluations += 1
-                    changed |= _derive(clause.heads, subst, facts, stats)
-            else:
-                # The old/delta/all partition in run_delta yields each
-                # new instantiation from exactly one position: no dedup
-                # needed.
-                for position in delta_positions:
-                    for subst in plan.run_delta(facts, position, delta_round):
+    if governor is not None:
+        governor.start()
+    try:
+        for _ in range(max_rounds):
+            stats.rounds += 1
+            current_round = facts.next_round()
+            round_span = (
+                tracer.start("seminaive.round", round=stats.rounds)
+                if tracer is not None
+                else None
+            )
+            new_before_round = stats.facts_new
+            changed = False
+            for rule_index, (clause, delta_positions) in enumerate(zip(rules, positions)):
+                row = None
+                if rule_slots is not None:
+                    row = rule_slots[rule_index].round(stats.rounds)
+                    index_before = report.index.snapshot()
+                    derived_before, new_before = stats.facts_derived, stats.facts_new
+                evals_before = stats.body_evaluations
+                plan = plans[rule_index]
+                if not delta_positions:
+                    # Pure-builtin body: evaluate once, in the first round.
+                    if stats.rounds > 1:
+                        continue
+                    for subst in plan.run(facts):
+                        if governor is not None:
+                            governor.tick()
                         stats.body_evaluations += 1
                         changed |= _derive(clause.heads, subst, facts, stats)
-            if row is not None:
-                row.instantiations += stats.body_evaluations - evals_before
-                row.facts_derived += stats.facts_derived - derived_before
-                row.facts_new += stats.facts_new - new_before
-                report.index.add_since(index_before, rule_slots[rule_index].index)
-        delta_round = current_round
-        if round_span is not None:
-            round_span.count("facts_new", stats.facts_new - new_before_round)
-            round_span.set("changed", changed)
-            tracer.finish(round_span)
-        if not changed:
-            if rule_slots is not None:
-                for slot, plan in zip(rule_slots, plans):
-                    slot.join_order = plan.order(facts)
-            finish_report(report, stats, facts)
-            return facts
-    raise EngineError(f"no fixpoint within {max_rounds} rounds (non-terminating program?)")
+                else:
+                    # The old/delta/all partition in run_delta yields each
+                    # new instantiation from exactly one position: no dedup
+                    # needed.
+                    for position in delta_positions:
+                        for subst in plan.run_delta(facts, position, delta_round):
+                            if governor is not None:
+                                governor.tick()
+                            stats.body_evaluations += 1
+                            changed |= _derive(clause.heads, subst, facts, stats)
+                if governor is not None:
+                    governor.tick()
+                    governor.check_facts(len(facts))
+                if row is not None:
+                    row.instantiations += stats.body_evaluations - evals_before
+                    row.facts_derived += stats.facts_derived - derived_before
+                    row.facts_new += stats.facts_new - new_before
+                    report.index.add_since(index_before, rule_slots[rule_index].index)
+            delta_round = current_round
+            if round_span is not None:
+                round_span.count("facts_new", stats.facts_new - new_before_round)
+                round_span.set("changed", changed)
+                tracer.finish(round_span)
+            if not changed:
+                if rule_slots is not None:
+                    for slot, plan in zip(rule_slots, plans):
+                        slot.join_order = plan.order(facts)
+                finish_report(report, stats, facts)
+                return facts
+        raise BudgetExceeded(
+            f"no fixpoint within {max_rounds} rounds (non-terminating program?)"
+        )
+    except (ResourceExhausted, RecursionError) as exc:
+        from repro.runtime.governor import as_resource_error, degrade
+
+        exc = as_resource_error(exc)
+        finish_report(report, stats, facts)
+        return degrade(governor, exc, facts, report)
 
 
 def _derive(heads, subst, facts: FactBase, stats: EvaluationStats) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
-from repro.core.errors import EngineError
+from repro.core.errors import BudgetExceeded, ResourceExhausted
 from repro.fol.atoms import (
     FAtom,
     FBodyAtom,
@@ -86,47 +86,75 @@ class TabledEngine:
         self._produced: set[FAtom] = set()
         self._changed = False
         self._rename_counter = 0
+        self._governor = None
         self.stats = TablingStats()
 
     def solve(
-        self, goals: Sequence[FBodyAtom], max_iterations: int = 10_000, tracer=None
-    ) -> list[Substitution]:
+        self,
+        goals: Sequence[FBodyAtom],
+        max_iterations: int = 10_000,
+        tracer=None,
+        governor=None,
+    ):
         """All answers to the goal list, restricted to its variables.
 
         With a ``tracer`` (:class:`repro.obs.Tracer`), each pass of the
         answer-iteration fixpoint is one ``tabling.iteration`` span
-        carrying the table/answer counters."""
+        carrying the table/answer counters.
+
+        A ``governor`` ticks once per resolution step; a tripped
+        non-strict limit degrades to a
+        :class:`repro.runtime.PartialResult` carrying the answers of the
+        last *completed* iteration (each iteration's answer set is sound
+        — tables only ever contain derivable facts — so the partial
+        answers are true, just possibly not all of them).
+        """
         variables: set[str] = set()
         for goal in goals:
             variables |= atom_variables(goal)
-        for _ in range(max_iterations):
-            self.stats.iterations += 1
-            iter_span = (
-                tracer.start("tabling.iteration", iteration=self.stats.iterations)
-                if tracer is not None
-                else None
-            )
-            consumed_before = self.stats.consumed
-            self._changed = False
-            self._produced.clear()
-            answers: set[Substitution] = set()
-            for subst in self._solve_goals(list(goals), Substitution.empty()):
-                answers.add(subst.restrict(variables))
-            if iter_span is not None:
-                iter_span.count("tables", len(self._table))
-                iter_span.count(
-                    "table_answers", sum(len(v) for v in self._table.values())
+        self._governor = governor
+        if governor is not None:
+            governor.start()
+        collected: set[Substitution] = set()
+        try:
+            for _ in range(max_iterations):
+                self.stats.iterations += 1
+                iter_span = (
+                    tracer.start("tabling.iteration", iteration=self.stats.iterations)
+                    if tracer is not None
+                    else None
                 )
-                iter_span.count("consumed", self.stats.consumed - consumed_before)
-                iter_span.set("changed", self._changed)
-                tracer.finish(iter_span)
-            if not self._changed:
-                self.stats.tables = len(self._table)
-                self.stats.answers = sum(len(v) for v in self._table.values())
-                return sorted(answers, key=repr)
-        raise EngineError(
-            f"tabling did not reach a fixpoint within {max_iterations} iterations"
-        )
+                consumed_before = self.stats.consumed
+                self._changed = False
+                self._produced.clear()
+                answers: set[Substitution] = set()
+                for subst in self._solve_goals(list(goals), Substitution.empty()):
+                    answers.add(subst.restrict(variables))
+                collected = answers
+                if iter_span is not None:
+                    iter_span.count("tables", len(self._table))
+                    iter_span.count(
+                        "table_answers", sum(len(v) for v in self._table.values())
+                    )
+                    iter_span.count("consumed", self.stats.consumed - consumed_before)
+                    iter_span.set("changed", self._changed)
+                    tracer.finish(iter_span)
+                if not self._changed:
+                    self.stats.tables = len(self._table)
+                    self.stats.answers = sum(len(v) for v in self._table.values())
+                    return sorted(answers, key=repr)
+            raise BudgetExceeded(
+                f"tabling did not reach a fixpoint within {max_iterations} iterations"
+            )
+        except (ResourceExhausted, RecursionError) as exc:
+            from repro.runtime.governor import as_resource_error, degrade
+
+            exc = as_resource_error(exc)
+            self.stats.tables = len(self._table)
+            self.stats.answers = sum(len(v) for v in self._table.values())
+            return degrade(governor, exc, sorted(collected, key=repr))
+        finally:
+            self._governor = None
 
     def has_answer(self, goals: Sequence[FBodyAtom]) -> bool:
         return bool(self.solve(goals))
@@ -143,6 +171,8 @@ class TabledEngine:
         if not goals:
             yield subst
             return
+        if self._governor is not None:
+            self._governor.tick()
         goal, rest = goals[0], goals[1:]
         if isinstance(goal, FBuiltin):
             solved = solve_builtin(goal, subst)
@@ -184,6 +214,8 @@ class TabledEngine:
             )
             assert isinstance(fresh_goal, FAtom)
             for clause in self._index.candidates(fresh_goal):
+                if self._governor is not None:
+                    self._governor.tick()
                 renamed = rename_clause(clause, self._fresh_suffix())
                 unifier = unify_atoms(fresh_goal, renamed.head, None)
                 if unifier is None:

@@ -32,7 +32,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
-from repro.core.errors import BuiltinError, EngineError
+from repro.core.errors import (
+    BudgetExceeded,
+    BuiltinError,
+    DepthExceeded,
+    EngineError,
+    ResourceExhausted,
+)
 from repro.fol.atoms import (
     FAtom,
     FBodyAtom,
@@ -83,6 +89,7 @@ class SLDEngine:
         select: str = "leftmost",
         max_steps: int | None = None,
         tracer=None,
+        governor=None,
     ) -> Iterator[Substitution]:
         """Yield answer substitutions for the goal list, restricted to
         the goal variables.
@@ -90,11 +97,18 @@ class SLDEngine:
         ``max_depth`` bounds resolution steps on a derivation branch
         (exceeding it prunes the branch and counts a cutoff);
         ``max_steps``, if given, bounds *total* resolution steps and
-        raises :class:`EngineError` when exhausted.
+        raises :class:`~repro.core.errors.BudgetExceeded` when exhausted.
 
         With a ``tracer`` (:class:`repro.obs.Tracer`) the search runs
         eagerly inside one ``sld.solve`` span carrying the search-effort
         counters; without one, answers stream lazily as before.
+
+        A ``governor`` ticks once per resolution step and once per
+        candidate clause, so deadlines and budgets interrupt even a
+        non-productive search.  A tripped limit propagates as the raised
+        :class:`~repro.core.errors.ResourceExhausted`; use
+        :meth:`solve_all` for the degrading (``PartialResult``) entry
+        point.
         """
         if select not in ("leftmost", "smallest"):
             raise EngineError(f"unknown selection rule {select!r}")
@@ -102,7 +116,10 @@ class SLDEngine:
         if tracer is not None:
             with tracer.span("sld.solve", select=select, max_depth=max_depth) as span:
                 answers = list(
-                    self.solve(goals, max_depth, stats, select, max_steps, tracer=None)
+                    self.solve(
+                        goals, max_depth, stats, select, max_steps,
+                        tracer=None, governor=governor,
+                    )
                 )
                 span.count("answers", len(answers))
                 span.count("resolutions", stats.resolutions)
@@ -110,17 +127,74 @@ class SLDEngine:
                 span.count("depth_cutoffs", stats.depth_cutoffs)
             yield from answers
             return
+        if governor is not None:
+            governor.start()
         budget = [max_steps if max_steps is not None else -1]
         variables: set[str] = set()
         for goal in goals:
             variables |= atom_variables(goal)
         seen: set[Substitution] = set()
-        iterator = self._solve(list(goals), Substitution.empty(), max_depth, stats, select, budget)
+        iterator = self._solve(
+            list(goals), Substitution.empty(), max_depth, stats, select, budget, governor
+        )
         for subst in iterator:
             answer = subst.restrict(variables)
             if answer not in seen:
                 seen.add(answer)
                 yield answer
+
+    def solve_all(
+        self,
+        goals: Sequence[FBodyAtom],
+        max_depth: int = 10_000,
+        stats: SLDStats | None = None,
+        select: str = "leftmost",
+        tracer=None,
+        governor=None,
+    ):
+        """Eager, governed answer collection.
+
+        Returns the list of answers, or — when a non-strict governor
+        limit trips mid-search — a :class:`repro.runtime.PartialResult`
+        carrying the answers found before the interruption.  The
+        governor's ``max_depth`` clamps the branch depth bound; if the
+        clamped search still suffers depth cutoffs the result is
+        reported as depth-incomplete rather than silently missing
+        answers.  A Python ``RecursionError`` on a deeply recursive
+        program is degraded the same way.
+        """
+        stats = stats if stats is not None else SLDStats()
+        if governor is not None:
+            governor.start()
+            if governor.max_depth is not None:
+                max_depth = min(max_depth, governor.max_depth)
+        answers: list[Substitution] = []
+        try:
+            try:
+                for answer in self.solve(
+                    goals, max_depth, stats, select, tracer=tracer, governor=governor
+                ):
+                    answers.append(answer)
+            except RecursionError:
+                raise DepthExceeded(
+                    "Python recursion limit hit during SLD resolution "
+                    "(deeply recursive program; use the tabled engine)"
+                ) from None
+            if (
+                governor is not None
+                and governor.max_depth is not None
+                and stats.depth_cutoffs > 0
+            ):
+                raise DepthExceeded(
+                    f"{stats.depth_cutoffs} derivation branches cut off at "
+                    f"the depth cap of {max_depth}; answers may be missing"
+                )
+            return answers
+        except (ResourceExhausted, RecursionError) as exc:
+            from repro.runtime.governor import as_resource_error, degrade
+
+            exc = as_resource_error(exc)
+            return degrade(governor, exc, answers)
 
     def has_answer(
         self, goals: Sequence[FBodyAtom], max_depth: int = 10_000, select: str = "leftmost"
@@ -158,6 +232,7 @@ class SLDEngine:
         stats: SLDStats,
         select: str,
         budget: list[int],
+        governor=None,
     ) -> Iterator[Substitution]:
         if not goals:
             yield subst
@@ -165,6 +240,8 @@ class SLDEngine:
         if depth <= 0:
             stats.depth_cutoffs += 1
             return
+        if governor is not None:
+            governor.tick()
         index = self._pick_goal(goals, subst, select)
         goal = goals[index]
         rest = goals[:index] + goals[index + 1 :]
@@ -176,17 +253,21 @@ class SLDEngine:
                     not isinstance(g, FBuiltin) for g in rest
                 ):
                     # Not ready yet: postpone behind the other goals.
-                    yield from self._solve(rest + [goal], subst, depth, stats, select, budget)
+                    yield from self._solve(
+                        rest + [goal], subst, depth, stats, select, budget, governor
+                    )
                     return
                 raise
             if solved is not None:
-                yield from self._solve(rest, solved, depth, stats, select, budget)
+                yield from self._solve(rest, solved, depth, stats, select, budget, governor)
             return
         pattern = substitute_fatom(goal, subst)
         assert isinstance(pattern, FAtom)
         for clause in self.candidates(pattern):
             if budget[0] == 0:
-                raise EngineError("SLD resolution-step budget exhausted")
+                raise BudgetExceeded("SLD resolution-step budget exhausted")
+            if governor is not None:
+                governor.tick()
             self._rename_counter += 1
             renamed = rename_clause(clause, f"_r{self._rename_counter}")
             stats.unifications += 1
@@ -197,7 +278,7 @@ class SLDEngine:
             if budget[0] > 0:
                 budget[0] -= 1
             yield from self._solve(
-                list(renamed.body) + rest, unifier, depth - 1, stats, select, budget
+                list(renamed.body) + rest, unifier, depth - 1, stats, select, budget, governor
             )
 
 
@@ -208,24 +289,43 @@ def solve_iterative_deepening(
     max_depth: int = 512,
     factor: int = 2,
     select: str = "leftmost",
-) -> list[Substitution]:
+    governor=None,
+):
     """Iterative-deepening answer collection.
 
     Deepens until a full level completes with no depth cutoff (all
-    answers found) or the depth cap is hit.  Raises
-    :class:`EngineError` at the cap with cutoffs still occurring, since
-    answers could be missing.
+    answers found) or the depth cap is hit.  At the cap with cutoffs
+    still occurring, answers could be missing: without a governor (or
+    with a strict one) that raises
+    :class:`~repro.core.errors.DepthExceeded`; a non-strict governor
+    degrades to a :class:`repro.runtime.PartialResult` carrying the
+    deepest completed level's answers.
     """
+    if governor is not None:
+        governor.start()
+        if governor.max_depth is not None:
+            max_depth = min(max_depth, governor.max_depth)
     depth = start_depth
-    while True:
-        stats = SLDStats()
-        answers = list(engine.solve(goals, max_depth=depth, stats=stats, select=select))
-        if stats.depth_cutoffs == 0:
-            return answers
-        if depth >= max_depth:
-            raise EngineError(
-                f"iterative deepening reached depth {depth} with the search "
-                "still being cut off; the program may not terminate top-down "
-                "(use the tabled engine for recursive programs)"
+    answers: list[Substitution] = []
+    try:
+        while True:
+            stats = SLDStats()
+            answers = list(
+                engine.solve(
+                    goals, max_depth=depth, stats=stats, select=select, governor=governor
+                )
             )
-        depth = min(max_depth, depth * factor)
+            if stats.depth_cutoffs == 0:
+                return answers
+            if depth >= max_depth:
+                raise DepthExceeded(
+                    f"iterative deepening reached depth {depth} with the search "
+                    "still being cut off; the program may not terminate top-down "
+                    "(use the tabled engine for recursive programs)"
+                )
+            depth = min(max_depth, depth * factor)
+    except (ResourceExhausted, RecursionError) as exc:
+        from repro.runtime.governor import as_resource_error, degrade
+
+        exc = as_resource_error(exc)
+        return degrade(governor, exc, answers)

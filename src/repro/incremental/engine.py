@@ -38,8 +38,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
-from repro.core.errors import EngineError
+from repro.core.errors import BudgetExceeded, EngineError, ResourceExhausted
 from repro.db.counts import FactCounts
+from repro.runtime.faults import fault_point, register_fault_point
 from repro.engine.bottomup import ClauseLike, normalize_clauses
 from repro.engine.factbase import FactBase
 from repro.engine.join import compile_body
@@ -54,6 +55,15 @@ from repro.fol.unify import match_atom
 from repro.incremental.strata import Stratum, StratumRule, stratify_rules
 
 __all__ = ["IncrementalEngine", "MaintenanceStats"]
+
+# Failure points for the fault-injection harness: each marks the moment
+# *before* a maintenance phase mutates engine state, so an injected
+# crash leaves the phases before it applied and the rest not — the
+# partially-maintained states transaction rollback must undo.
+_FP_APPLY_BEGIN = register_fault_point("incremental.apply.begin")
+_FP_APPLY_PROPAGATE = register_fault_point("incremental.apply.propagate")
+_FP_APPLY_EXPAND = register_fault_point("incremental.apply.expand")
+_FP_APPLY_FINISH = register_fault_point("incremental.apply.finish")
 
 
 @dataclass
@@ -158,13 +168,18 @@ class IncrementalEngine:
     # Materialization (the from-scratch baseline state)
     # ------------------------------------------------------------------
 
-    def materialize(self, tracer=None, report=None) -> FactBase:
+    def materialize(self, tracer=None, report=None, governor=None):
         """(Re)compute the model from the current external assertions.
 
         Uses the same buffered semi-naive sweeps as insertion
         maintenance, with the whole EDB as the round-0 seed delta — so
         the derivation counts recorded here are exactly the ones
         :meth:`apply` later maintains.
+
+        A non-strict ``governor`` limit tripping mid-materialization
+        degrades to a :class:`repro.runtime.PartialResult` over the
+        partial fact base; the engine stays unmaterialized, so the next
+        call recomputes from scratch.
         """
         stats = MaintenanceStats(
             operation="materialize",
@@ -178,8 +193,21 @@ class IncrementalEngine:
         self._observe(report, stats)
         for atom in self.edb:
             self.facts.add(atom)
-        for stratum in self.strata:
-            self._expand_stratum(stratum, 0, stats)
+        if governor is not None:
+            governor.start()
+        try:
+            for stratum in self.strata:
+                self._expand_stratum(stratum, 0, stats, governor)
+        except (ResourceExhausted, RecursionError) as exc:
+            from repro.runtime.governor import as_resource_error, degrade
+
+            exc = as_resource_error(exc)
+            self.version += 1
+            if span is not None:
+                span.count("facts", len(self.facts))
+                tracer.finish(span)
+            self._finish(report, stats)
+            return degrade(governor, exc, self.facts, report)
         self._materialized = True
         self.version += 1
         if span is not None:
@@ -198,6 +226,7 @@ class IncrementalEngine:
         retracts: Iterable[FAtom] = (),
         tracer=None,
         report=None,
+        governor=None,
     ) -> MaintenanceStats:
         """Apply one batch of external insertions and retractions.
 
@@ -206,9 +235,19 @@ class IncrementalEngine:
         before insertion effects, and retracting a fact that was never
         asserted is ignored (counted in ``retracts_ignored``, matching
         :meth:`repro.db.updates.UpdatableStore`'s ``False``).
+
+        A ``governor`` bounds the maintenance run; a tripped limit
+        *propagates* as :class:`~repro.core.errors.ResourceExhausted`
+        rather than degrading, because a half-maintained model is not a
+        sound partial result — the transactional caller
+        (:class:`repro.interface.kb.KnowledgeBase`) restores its
+        checkpoint and surfaces the rollback as a ``PartialResult``.
         """
         if not self._materialized:
             self.materialize()
+        fault_point(_FP_APPLY_BEGIN)
+        if governor is not None:
+            governor.start()
         stats = MaintenanceStats(
             operation="apply",
             strata=len(self.strata),
@@ -253,22 +292,25 @@ class IncrementalEngine:
                         certain.add(atom)
         span = tracer.start("incremental.apply") if tracer else None
         if certain or suspects:
+            fault_point(_FP_APPLY_PROPAGATE)
             delete_span = tracer.start("incremental.delete") if tracer else None
-            deleted = self._propagate_deletions(certain, suspects, stats)
+            deleted = self._propagate_deletions(certain, suspects, stats, governor)
             if delete_span is not None:
                 delete_span.count("deleted", len(deleted))
                 delete_span.count("overdeleted", stats.facts_overdeleted)
                 delete_span.count("rederived", stats.facts_rederived)
                 tracer.finish(delete_span)
         if batch:
+            fault_point(_FP_APPLY_EXPAND)
             insert_span = tracer.start("incremental.insert") if tracer else None
             base = self.facts.next_round()
             stats.facts_new += self.facts.add_all(batch)
             for stratum in self.strata:
-                self._expand_stratum(stratum, base, stats)
+                self._expand_stratum(stratum, base, stats, governor)
             if insert_span is not None:
                 insert_span.count("facts_new", stats.facts_new)
                 tracer.finish(insert_span)
+        fault_point(_FP_APPLY_FINISH)
         self.version += 1
         if span is not None:
             span.set("version", self.version)
@@ -281,7 +323,7 @@ class IncrementalEngine:
     # ------------------------------------------------------------------
 
     def _expand_stratum(
-        self, stratum: Stratum, base_round: int, stats: MaintenanceStats
+        self, stratum: Stratum, base_round: int, stats: MaintenanceStats, governor=None
     ) -> None:
         """Saturate one stratum, treating every fact stamped at or
         after ``base_round`` as the seed delta.  With ``base_round=0``
@@ -305,6 +347,8 @@ class IncrementalEngine:
                     # materializing; updates cannot change it.
                     if first and base_round == 0:
                         for subst in rule.plan.run(facts):
+                            if governor is not None:
+                                governor.tick()
                             stats.body_evaluations += 1
                             fact = substitute_fatom(head, subst)
                             assert isinstance(fact, FAtom)
@@ -315,6 +359,8 @@ class IncrementalEngine:
                     continue
                 for position in rule.positions:
                     for subst in rule.plan.run_delta(facts, position, delta):
+                        if governor is not None:
+                            governor.tick()
                         stats.body_evaluations += 1
                         fact = substitute_fatom(head, subst)
                         assert isinstance(fact, FAtom)
@@ -329,7 +375,10 @@ class IncrementalEngine:
             stats.rounds += 1
             delta = facts.next_round()
             stats.facts_new += facts.add_all(fresh)
-        raise EngineError(
+            if governor is not None:
+                governor.tick()
+                governor.check_facts(len(facts))
+        raise BudgetExceeded(
             f"no fixpoint within {self.max_rounds} rounds "
             "(non-terminating program?)"
         )
@@ -343,6 +392,7 @@ class IncrementalEngine:
         certain: set[FAtom],
         suspects: dict[int, set[FAtom]],
         stats: MaintenanceStats,
+        governor=None,
     ) -> set[FAtom]:
         """Drive the deleted set through the strata in dependency
         order; counted strata decrement, recursive strata run DRed.
@@ -351,12 +401,14 @@ class IncrementalEngine:
         batch (no join is live at that point)."""
         deleted: set[FAtom] = set(certain)
         for index, stratum in enumerate(self.strata):
+            if governor is not None:
+                governor.tick()
             if stratum.recursive:
                 self._dred_stratum(
-                    stratum, deleted, suspects.get(index, set()), stats
+                    stratum, deleted, suspects.get(index, set()), stats, governor
                 )
             else:
-                self._count_down_stratum(stratum, deleted, stats)
+                self._count_down_stratum(stratum, deleted, stats, governor)
         removed = self.facts.remove_all(deleted)
         stats.facts_deleted += removed
         for fact in deleted:
@@ -364,7 +416,11 @@ class IncrementalEngine:
         return deleted
 
     def _count_down_stratum(
-        self, stratum: Stratum, deleted: set[FAtom], stats: MaintenanceStats
+        self,
+        stratum: Stratum,
+        deleted: set[FAtom],
+        stats: MaintenanceStats,
+        governor=None,
     ) -> None:
         """Counting maintenance for a non-recursive stratum: every rule
         instantiation that consumed a deleted fact loses one derivation
@@ -391,6 +447,8 @@ class IncrementalEngine:
                     if seed is None:
                         continue
                     for subst in rest.run(self.facts, initial=seed):
+                        if governor is not None:
+                            governor.tick()
                         stats.body_evaluations += 1
                         if any(
                             substitute_fatom(body[p], subst) in deleted
@@ -413,6 +471,7 @@ class IncrementalEngine:
         deleted: set[FAtom],
         suspects: set[FAtom],
         stats: MaintenanceStats,
+        governor=None,
     ) -> None:
         """DRed for a recursive stratum: overdelete transitively against
         the pre-deletion state, rederive from surviving facts until
@@ -434,6 +493,8 @@ class IncrementalEngine:
         # joins run against the physically intact pre-state.
         while queue:
             victim = queue.pop()
+            if governor is not None:
+                governor.tick()
             for rule in stratum.rules:
                 body = rule.clause.body
                 head = rule.clause.head
@@ -467,6 +528,8 @@ class IncrementalEngine:
         while changed:
             changed = False
             for fact in list(over):
+                if governor is not None:
+                    governor.tick()
                 if self.edb.get(fact) > 0 or self._rederivable(
                     fact, rules_by_head, deleted, over, stats
                 ):
@@ -542,6 +605,36 @@ class IncrementalEngine:
         """The maintained model as a frozen set (what the correctness
         harness compares against a from-scratch fixpoint)."""
         return self.facts.snapshot()
+
+    # ------------------------------------------------------------------
+    # Transactional checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Capture everything :meth:`apply` mutates, for rollback.
+
+        The fact base is captured as its atom snapshot and rebuilt on
+        restore with all round stamps reset — safe, because every later
+        maintenance run seeds its delta from a *fresh* round stamped
+        after the rebuild (``next_round`` before the batch lands), so
+        pre-existing facts only ever need to be "old"."""
+        return {
+            "edb": self.edb.copy(),
+            "counts": self.counts.copy(),
+            "facts": self.facts.snapshot(),
+            "version": self.version,
+            "materialized": self._materialized,
+            "last_stats": self.last_stats,
+        }
+
+    def restore(self, checkpoint: dict) -> None:
+        """Roll the engine back to a :meth:`checkpoint`."""
+        self.edb = checkpoint["edb"].copy()
+        self.counts = checkpoint["counts"].copy()
+        self.facts = FactBase(checkpoint["facts"])
+        self.version = checkpoint["version"]
+        self._materialized = checkpoint["materialized"]
+        self.last_stats = checkpoint["last_stats"]
 
 
 def _rest_plan(body: tuple, position: int):

@@ -1,6 +1,12 @@
 """The user-facing API: knowledge bases with declarative identity
 policies (Section 2.1's high-level interface) and multi-engine queries."""
 
-from repro.interface.kb import ENGINES, Answer, KnowledgeBase
+from repro.interface.kb import (
+    ENGINES,
+    Answer,
+    KnowledgeBase,
+    QueryResult,
+    Transaction,
+)
 
-__all__ = ["ENGINES", "Answer", "KnowledgeBase"]
+__all__ = ["ENGINES", "Answer", "KnowledgeBase", "QueryResult", "Transaction"]

@@ -24,11 +24,11 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.core.clauses import DefiniteClause, Program, Query
-from repro.core.errors import EngineError, TransformError
+from repro.core.errors import EngineError, ResourceExhausted, TransformError
 from repro.core.pretty import pretty_term
 from repro.core.skolem import SkolemPolicy, skolemize_clause
 from repro.core.terms import Term
@@ -39,6 +39,8 @@ from repro.engine.topdown import SLDEngine
 from repro.engine.tabling import TabledEngine
 from repro.fol.subst import Substitution
 from repro.lang.parser import parse_program, parse_query
+from repro.runtime.faults import fault_point, register_fault_point
+from repro.runtime.governor import GovernanceSummary, Governor, PartialResult
 from repro.transform.clauses import (
     clause_to_generalized,
     program_to_fol,
@@ -46,10 +48,26 @@ from repro.transform.clauses import (
 )
 from repro.transform.terms import fol_to_identity
 
-__all__ = ["Answer", "KnowledgeBase", "Transaction", "ENGINES"]
+__all__ = [
+    "Answer",
+    "KnowledgeBase",
+    "QueryResult",
+    "Transaction",
+    "ENGINES",
+]
 
 #: The evaluation strategies `ask` accepts.
 ENGINES = ("direct", "bottomup", "seminaive", "sld", "tabled")
+
+# Failure points of the commit path, in execution order.  Each sits
+# immediately *before* the state change it names, so an injected crash
+# exercises "everything up to here happened, nothing after did" — the
+# checkpoint/restore in :meth:`Transaction.commit` must erase it all.
+_FP_COMMIT_BEGIN = register_fault_point("kb.commit.begin")
+_FP_COMMIT_REMAT = register_fault_point("kb.commit.rematerialize")
+_FP_COMMIT_APPLY = register_fault_point("kb.commit.apply")
+_FP_COMMIT_SWAP = register_fault_point("kb.commit.swap")
+_FP_COMMIT_VERSION = register_fault_point("kb.commit.version")
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,48 @@ class Answer:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k} = {v}" for k, v in self.pretty().items())
         return f"Answer({inner})"
+
+
+@dataclass
+class QueryResult:
+    """Answers plus the governance outcome of one :meth:`KnowledgeBase.query`.
+
+    Iterates and indexes like the answer list; ``complete`` says whether
+    the evaluation ran to fixpoint/exhaustion or was interrupted by a
+    limit, in which case ``limit`` names the limit family (``deadline``,
+    ``budget``, ``facts``, ``depth``, ``cancelled``) and ``reason``
+    carries the diagnostic.  An incomplete result is *sound*: every
+    answer it holds is a real answer; some answers may be missing.
+    """
+
+    answers: list[Answer] = field(default_factory=list)
+    complete: bool = True
+    limit: str = ""
+    reason: str = ""
+    elapsed: float = 0.0
+    steps: int = 0
+    governance: Optional[GovernanceSummary] = None
+    report: Any = None
+
+    @property
+    def incomplete(self) -> bool:
+        return not self.complete
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __getitem__(self, index):
+        return self.answers[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.answers)
+
+    def __repr__(self) -> str:
+        status = "complete" if self.complete else f"partial: {self.limit}"
+        return f"QueryResult({len(self.answers)} answers, {status})"
 
 
 class KnowledgeBase:
@@ -173,6 +233,36 @@ class KnowledgeBase:
         seeing the same version saw the same knowledge base."""
         return self._version
 
+    def _checkpoint(self) -> dict:
+        """Everything a failed commit must put back: the program (an
+        immutable value — a reference suffices), the version counter,
+        the derived caches, and the maintained model's deep state."""
+        return {
+            "program": self._program,
+            "version": self._version,
+            "fol_cache": self._fol_cache,
+            "fol_facts": dict(self._fol_facts),
+            "direct": self._direct,
+            "incremental": self._incremental,
+            "incremental_rules": self._incremental_rules,
+            "engine_state": (
+                self._incremental.checkpoint()
+                if self._incremental is not None
+                else None
+            ),
+        }
+
+    def _restore(self, checkpoint: dict) -> None:
+        self._program = checkpoint["program"]
+        self._version = checkpoint["version"]
+        self._fol_cache = checkpoint["fol_cache"]
+        self._fol_facts = checkpoint["fol_facts"]
+        self._direct = checkpoint["direct"]
+        self._incremental = checkpoint["incremental"]
+        self._incremental_rules = checkpoint["incremental_rules"]
+        if checkpoint["incremental"] is not None:
+            checkpoint["incremental"].restore(checkpoint["engine_state"])
+
     # ------------------------------------------------------------------
     # Identity declarations (the Section 2.1 high-level interface)
     # ------------------------------------------------------------------
@@ -257,10 +347,16 @@ class KnowledgeBase:
         """
         return Transaction(self)
 
-    def incremental_engine(self):
+    def incremental_engine(self, governor=None):
         """The maintained materialized model (built and materialized on
         first use).  Raises for negated programs — maintenance covers
-        the positive fragment, like the positive fixpoint engines."""
+        the positive fragment, like the positive fixpoint engines.
+
+        A ``governor`` bounds the first-use materialization (a governed
+        transaction commit must not hang in its warm-up); a tripped
+        limit propagates as :class:`~repro.core.errors.ResourceExhausted`
+        and the half-built engine is discarded.
+        """
         if self._uses_negation():
             from repro.core.errors import UnsupportedFeatureError
 
@@ -273,7 +369,9 @@ class KnowledgeBase:
 
             fol = self._fol_program()
             engine = IncrementalEngine(fol)
-            engine.materialize()
+            outcome = engine.materialize(governor=governor)
+            if isinstance(outcome, PartialResult) and outcome.incomplete:
+                outcome.unwrap()
             self._incremental = engine
             self._incremental_rules = self._rule_key(fol)
         return self._incremental
@@ -306,16 +404,22 @@ class KnowledgeBase:
         return list(generalized.heads)
 
     def _commit_update(
-        self, inserts, retracts, tracer=None, report=None
+        self, inserts, retracts, tracer=None, report=None, governor=None
     ):
         """Apply one committed transaction.  Retracts are matched
         against pending inserts first (same-transaction cancellation),
         then against the program (first structurally equal fact clause);
         unmatched retracts are ignored, mirroring
         :meth:`repro.db.updates.UpdatableStore.retract` returning
-        ``False``."""
+        ``False``.
+
+        This method is NOT atomic on its own — :meth:`Transaction.commit`
+        wraps it with a checkpoint and restores on any failure,
+        including a governor limit tripping mid-maintenance.
+        """
         from repro.incremental import IncrementalEngine, MaintenanceStats
 
+        fault_point(_FP_COMMIT_BEGIN)
         pending = list(inserts)
         current = list(self._program.clauses)
         effective_retracts = []
@@ -348,7 +452,7 @@ class KnowledgeBase:
                 report.engine = report.engine or "incremental"
                 report.maintenance = stats
             return stats
-        engine = self.incremental_engine()  # warm on the pre-state
+        engine = self.incremental_engine(governor)  # warm on the pre-state
         new_fol = program_to_fol(new_program)
         rule_key = self._rule_key(new_fol)
         if rule_key != self._incremental_rules:
@@ -356,8 +460,15 @@ class KnowledgeBase:
             # type axioms; rules may have been edited through another
             # door): counting/DRed bookkeeping no longer matches, so
             # re-materialize from scratch and say so.
+            fault_point(_FP_COMMIT_REMAT)
             engine = IncrementalEngine(new_fol)
-            engine.materialize(tracer=tracer, report=report)
+            outcome = engine.materialize(
+                tracer=tracer, report=report, governor=governor
+            )
+            if isinstance(outcome, PartialResult) and outcome.incomplete:
+                # A half-built replacement model cannot back a commit;
+                # surface the limit so the wrapper restores and degrades.
+                outcome.unwrap()
             stats = engine.last_stats
             stats.fallback = (
                 "translated rule set changed; model re-materialized "
@@ -383,16 +494,20 @@ class KnowledgeBase:
             for clause in effective_retracts
             for atom in self._fact_atoms(clause)
         ]
+        fault_point(_FP_COMMIT_APPLY)
         stats = engine.apply(
-            insert_atoms, retract_atoms, tracer=tracer, report=report
+            insert_atoms, retract_atoms, tracer=tracer, report=report,
+            governor=governor,
         )
         stats.retracts_ignored += ignored
+        fault_point(_FP_COMMIT_SWAP)
         self._program = new_program
         # Derived caches restate the program; the maintained model IS
         # the new state, so it survives the invalidation.
         self._direct = None
         self._fol_cache = new_fol
         self._fol_facts = {}
+        fault_point(_FP_COMMIT_VERSION)
         self._version += 1
         return stats
 
@@ -426,8 +541,85 @@ class KnowledgeBase:
             raise EngineError(f"unknown engine {engine!r}; choose from {ENGINES}")
         parsed = parse_query(query) if isinstance(query, str) else query
         if engine == "direct":
-            return self._ask_direct(parsed, tracer, report)
-        return self._ask_fol(parsed, engine, tracer, report)
+            answers, _ = self._ask_direct(parsed, tracer, report)
+        else:
+            answers, _ = self._ask_fol(parsed, engine, tracer, report)
+        return answers
+
+    def query(
+        self,
+        query: Union[str, Query],
+        engine: Optional[str] = None,
+        *,
+        deadline: Optional[float] = None,
+        budget: Optional[int] = None,
+        max_facts: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        strict: bool = False,
+        tracer=None,
+        report=None,
+    ) -> QueryResult:
+        """Answer a query under resource limits; never hangs the caller.
+
+        Like :meth:`ask`, but returns a :class:`QueryResult` carrying
+        the governance outcome alongside the answers::
+
+            result = kb.query("path: P[src => a]", deadline=0.2)
+            if result.incomplete:
+                print(f"interrupted by {result.limit}: {result.reason}")
+            for answer in result:          # sound even when partial
+                ...
+
+        ``deadline`` is wall-clock seconds, ``budget`` caps evaluation
+        steps (body evaluations / resolution attempts), ``max_facts``
+        caps the derived model size, ``max_depth`` caps SLD recursion.
+        With ``strict=True`` a tripped limit raises the
+        :class:`~repro.core.errors.ResourceExhausted` subclass instead
+        of degrading.  Governed runs always evaluate fresh — they never
+        serve or populate the cached model, so a partial evaluation can
+        never poison a later ungoverned answer.
+        """
+        governor: Optional[Governor] = None
+        if strict or any(
+            limit is not None for limit in (deadline, budget, max_facts, max_depth)
+        ):
+            governor = Governor(
+                deadline=deadline,
+                budget=budget,
+                max_facts=max_facts,
+                max_depth=max_depth,
+                strict=strict,
+            )
+        engine = engine if engine is not None else self.default_engine
+        if engine not in ENGINES:
+            raise EngineError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if engine == "direct":
+            answers, partial = self._ask_direct(parsed, tracer, report, governor)
+        else:
+            answers, partial = self._ask_fol(parsed, engine, tracer, report, governor)
+        governance = governor.summary() if governor is not None else None
+        if report is not None and governance is not None:
+            report.governance = governance
+        if partial is None:
+            return QueryResult(
+                answers=answers,
+                complete=True,
+                elapsed=governor.elapsed() if governor is not None else 0.0,
+                steps=governor.steps if governor is not None else 0,
+                governance=governance,
+                report=report,
+            )
+        return QueryResult(
+            answers=answers,
+            complete=False,
+            limit=partial.limit,
+            reason=partial.reason,
+            elapsed=partial.elapsed,
+            steps=partial.steps,
+            governance=governance,
+            report=report if report is not None else partial.report,
+        )
 
     def holds(self, query: Union[str, Query], engine: Optional[str] = None) -> bool:
         """True iff the query has at least one answer."""
@@ -455,23 +647,53 @@ class KnowledgeBase:
             rendered.append((header + "\n" if header else "") + body)
         return rendered
 
-    def _ask_direct(self, query: Query, tracer=None, report=None) -> list[Answer]:
-        if tracer is not None or report is not None:
-            engine = DirectEngine(self._program, tracer=tracer, report=report)
+    def _ask_direct(
+        self, query: Query, tracer=None, report=None, governor=None
+    ) -> tuple[list[Answer], Optional[PartialResult]]:
+        if tracer is not None or report is not None or governor is not None:
+            engine = DirectEngine(
+                self._program, tracer=tracer, report=report, governor=governor
+            )
         else:
             engine = self.direct_engine()
-        answers = engine.solve(query)
-        return sorted(
-            (Answer(tuple(sorted(a.items()))) for a in answers), key=repr
+        result = engine.solve(query)
+        partial: Optional[PartialResult] = None
+        if isinstance(result, PartialResult):
+            partial = result
+            raw = result.value
+        else:
+            raw = result
+            if engine.interrupted is not None:
+                # Saturation degraded but the query over the partial
+                # model finished without another tick: the answer set
+                # is still incomplete and must say so.
+                exc = engine.interrupted
+                partial = PartialResult(
+                    value=raw,
+                    complete=False,
+                    limit=exc.limit,
+                    reason=str(exc),
+                    elapsed=exc.elapsed or 0.0,
+                    steps=exc.steps or 0,
+                    report=report,
+                    cause=exc,
+                )
+        answers = sorted(
+            (Answer(tuple(sorted(a.items()))) for a in raw), key=repr
         )
+        return answers, partial
 
     def _ask_fol(
-        self, query: Query, engine: str, tracer=None, report=None
-    ) -> list[Answer]:
+        self, query: Query, engine: str, tracer=None, report=None, governor=None
+    ) -> tuple[list[Answer], Optional[PartialResult]]:
         goals = query_to_fol(query)
         substitutions: Iterable[Substitution]
+        partial: Optional[PartialResult] = None
         if engine in ("bottomup", "seminaive"):
-            facts = self._fol_minimal_model(engine, tracer, report)
+            facts = self._fol_minimal_model(engine, tracer, report, governor)
+            if isinstance(facts, PartialResult):
+                partial = facts
+                facts = facts.value
             from repro.engine.bottomup import answer_query_bottomup
 
             substitutions = answer_query_bottomup(goals, facts)
@@ -483,9 +705,26 @@ class KnowledgeBase:
                     "the SLD engine does not support negation; use the "
                     "direct, bottomup or seminaive engine"
                 )
-            substitutions = SLDEngine(self._fol_program()).solve(
-                goals, max_depth=self.sld_depth, select=self.sld_select, tracer=tracer
-            )
+            if governor is not None:
+                result = SLDEngine(self._fol_program()).solve_all(
+                    goals,
+                    max_depth=self.sld_depth,
+                    select=self.sld_select,
+                    tracer=tracer,
+                    governor=governor,
+                )
+                if isinstance(result, PartialResult):
+                    partial = result
+                    substitutions = result.value
+                else:
+                    substitutions = result
+            else:
+                substitutions = SLDEngine(self._fol_program()).solve(
+                    goals,
+                    max_depth=self.sld_depth,
+                    select=self.sld_select,
+                    tracer=tracer,
+                )
         else:  # tabled
             if self._uses_negation():
                 from repro.core.errors import UnsupportedFeatureError
@@ -494,14 +733,21 @@ class KnowledgeBase:
                     "the tabled engine does not support negation; use the "
                     "direct, bottomup or seminaive engine"
                 )
-            substitutions = TabledEngine(self._fol_program()).solve(goals, tracer=tracer)
+            result = TabledEngine(self._fol_program()).solve(
+                goals, tracer=tracer, governor=governor
+            )
+            if isinstance(result, PartialResult):
+                partial = result
+                substitutions = result.value
+            else:
+                substitutions = result
         out = []
         for subst in substitutions:
             binding = tuple(
                 sorted((name, fol_to_identity(value)) for name, value in subst.items())
             )
             out.append(Answer(binding))
-        return sorted(set(out), key=repr)
+        return sorted(set(out), key=repr), partial
 
     # ------------------------------------------------------------------
     # Engine plumbing
@@ -537,8 +783,8 @@ class KnowledgeBase:
             for atom in clause.body
         )
 
-    def _fol_minimal_model(self, engine: str, tracer=None, report=None):
-        observed = tracer is not None or report is not None
+    def _fol_minimal_model(self, engine: str, tracer=None, report=None, governor=None):
+        observed = tracer is not None or report is not None or governor is not None
         cached = self._fol_facts.get(engine)
         if cached is None and not observed and self._incremental is not None:
             # A maintained model is warm (some transaction committed):
@@ -557,21 +803,27 @@ class KnowledgeBase:
                 from repro.engine.negation import stratified_fixpoint
 
                 cached = stratified_fixpoint(
-                    self._fol_program(), tracer=tracer, report=report
+                    self._fol_program(), tracer=tracer, report=report,
+                    governor=governor,
                 )
             elif engine == "bottomup":
                 from repro.engine.bottomup import naive_fixpoint
 
                 cached = naive_fixpoint(
-                    self._fol_program(), tracer=tracer, report=report
+                    self._fol_program(), tracer=tracer, report=report,
+                    governor=governor,
                 )
             else:
                 from repro.engine.seminaive import seminaive_fixpoint
 
                 cached = seminaive_fixpoint(
-                    self._fol_program(), tracer=tracer, report=report
+                    self._fol_program(), tracer=tracer, report=report,
+                    governor=governor,
                 )
-            self._fol_facts[engine] = cached
+            if governor is None:
+                # Governed runs never populate the cache: a partial
+                # model must not masquerade as the fixpoint later.
+                self._fol_facts[engine] = cached
         return cached
 
     def to_fol_source(self, optimize: bool = False) -> str:
@@ -642,15 +894,42 @@ class Transaction:
 
     # -- lifecycle -----------------------------------------------------
 
-    def commit(self, tracer=None, report=None):
+    def commit(self, tracer=None, report=None, governor=None):
         """Apply the buffered batch; returns the
         :class:`~repro.incremental.engine.MaintenanceStats` of the run
-        (``tracer``/``report`` are the usual :mod:`repro.obs` hooks)."""
+        (``tracer``/``report`` are the usual :mod:`repro.obs` hooks).
+
+        Commit is **atomic**: the knowledge base is checkpointed first,
+        and *any* failure mid-maintenance — an engine error, an injected
+        fault, a ``governor`` limit tripping — restores program, version
+        counter, caches, and the maintained model to the pre-commit
+        state before the failure surfaces.  A non-strict governor limit
+        degrades to a :class:`~repro.runtime.PartialResult` (with
+        ``value=None``: no partial update is ever visible — the commit
+        either happened or it did not).
+        """
         self._ensure_open()
         self._closed = True
-        self.stats = self._kb._commit_update(
-            self._inserts, self._retracts, tracer=tracer, report=report
-        )
+        checkpoint = self._kb._checkpoint()
+        try:
+            self.stats = self._kb._commit_update(
+                self._inserts,
+                self._retracts,
+                tracer=tracer,
+                report=report,
+                governor=governor,
+            )
+        except (ResourceExhausted, RecursionError) as exc:
+            self._kb._restore(checkpoint)
+            from repro.runtime.governor import as_resource_error, degrade
+
+            # Re-raises when ungoverned or strict; otherwise a
+            # PartialResult naming the limit.  The update did NOT apply.
+            self.stats = degrade(governor, as_resource_error(exc), None, report)
+            return self.stats
+        except BaseException:
+            self._kb._restore(checkpoint)
+            raise
         return self.stats
 
     def rollback(self) -> None:

@@ -217,6 +217,11 @@ class ExplainReport:
         #: the counters named in :data:`MAINTENANCE_FIELDS` plus
         #: ``operation``/``strata``/``recursive_strata``/``fallback``.
         self.maintenance = None
+        #: Set by a governed run (:class:`repro.runtime.Governor`): an
+        #: object with ``describe()`` plus ``elapsed``/``steps``/
+        #: ``interrupted``/``reason``/``strict`` — duck-typed like
+        #: :attr:`maintenance` so this module stays dependency-free.
+        self.governance = None
         self._rules: dict[Hashable, RuleStats] = {}
 
     # ------------------------------------------------------------------
@@ -255,6 +260,31 @@ class ExplainReport:
             )
             for entry in self.index.describe_indexes():
                 lines.append(f"  {entry}")
+        if self.governance is not None:
+            gov = self.governance
+            lines.append("")
+            interrupted = getattr(gov, "interrupted", "")
+            strict = getattr(gov, "strict", False)
+            mode = "strict" if strict else "degrade to partial result"
+            lines.append(f"governance — {mode}")
+            describe = getattr(gov, "describe", None)
+            if callable(describe):
+                lines.append(f"  limits: {describe()}")
+            lines.append(
+                f"  consumed: {getattr(gov, 'elapsed', 0.0):.3f}s, "
+                f"{getattr(gov, 'steps', 0)} step(s)"
+            )
+            if interrupted:
+                lines.append(f"  INTERRUPTED by {interrupted} limit")
+                reason = getattr(gov, "reason", "")
+                if reason:
+                    lines.append(f"    {reason}")
+                lines.append(
+                    "    the account below describes the run up to the "
+                    "interruption; the model/answers are partial"
+                )
+            else:
+                lines.append("  completed within limits")
         if self.maintenance is not None:
             stats = self.maintenance
             lines.append("")

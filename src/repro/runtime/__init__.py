@@ -1,0 +1,39 @@
+"""Resource-governed evaluation runtime.
+
+Two facilities that make the five evaluation engines operable:
+
+* :mod:`repro.runtime.governor` — the :class:`Governor` (deadlines,
+  budgets, caps, cooperative cancellation) and the
+  :class:`PartialResult` engines degrade to when a limit trips.
+* :mod:`repro.runtime.faults` — deterministic fault injection for
+  proving transactional atomicity of the store and the maintained
+  model under mid-commit crashes.
+"""
+
+from repro.runtime.faults import (
+    FaultInjector,
+    InjectedFault,
+    fault_point,
+    inject_faults,
+    known_failure_points,
+    register_fault_point,
+)
+from repro.runtime.governor import (
+    GovernanceSummary,
+    Governor,
+    PartialResult,
+    degrade,
+)
+
+__all__ = [
+    "Governor",
+    "GovernanceSummary",
+    "PartialResult",
+    "degrade",
+    "FaultInjector",
+    "InjectedFault",
+    "fault_point",
+    "inject_faults",
+    "known_failure_points",
+    "register_fault_point",
+]

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the storage and maintenance layer.
+
+The transaction journal (PR 4) promises atomicity: either every
+mutation of a :meth:`kb.transaction` commit lands, or none do.  A
+promise like that is only worth what its failure testing proves, so
+this module lets tests *crash the commit path on purpose* at named,
+registered failure points and then assert that the store is
+bit-identical to its pre-transaction snapshot and the maintained model
+matches a from-scratch recompute.
+
+Design:
+
+* Instrumented modules call :func:`register_fault_point` at import time
+  and :func:`fault_point` at the top of each mutator / journal op.
+  With no injector active, ``fault_point`` is one global read and one
+  ``None`` check — cheap enough to leave compiled in permanently.
+
+* Tests activate a :class:`FaultInjector` via the
+  :func:`inject_faults` context manager with a *plan* mapping point
+  name → which hit should crash (1-based).  Everything is counted
+  deterministically; there is no randomness, so a failing scenario is
+  reproducible from its plan alone.
+
+* An injector with an empty plan doubles as a *hit counter*: run the
+  scenario once to discover which points it reaches and how often,
+  then iterate over every ``(point, k)`` pair injecting each in turn.
+
+* :class:`InjectedFault` subclasses ``RuntimeError`` — deliberately
+  **not** :class:`~repro.core.errors.CLogicError` — so no recovery
+  path in the code under test can accidentally swallow it.
+
+This module depends only on the standard library: instrumented modules
+import it, never the reverse (``known_failure_points`` imports them
+lazily).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "inject_faults",
+    "fault_point",
+    "register_fault_point",
+    "known_failure_points",
+]
+
+
+class InjectedFault(RuntimeError):
+    """The crash raised at an activated failure point.
+
+    A ``RuntimeError`` (not a ``CLogicError``) so that the library's
+    own error handling cannot mask an injected crash.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected fault at {point!r} (hit #{hit})")
+        self.point = point
+        self.hit = hit
+
+
+#: Every failure point declared by an instrumented module, in
+#: registration order.  Names are dotted paths, e.g.
+#: ``"store.commit_journal"`` or ``"kb.commit.swap"``.
+_REGISTRY: List[str] = []
+
+#: The active injector, or None.  Module-global rather than
+#: thread-local: the test suite drives one scenario at a time, and a
+#: global keeps the disabled-path cost to a single load.
+_active: Optional["FaultInjector"] = None
+
+
+def register_fault_point(name: str) -> str:
+    """Declare a failure point (idempotent).  Returns the name so call
+    sites can do ``_FP_COMMIT = register_fault_point("store.commit_journal")``."""
+    if name not in _REGISTRY:
+        _REGISTRY.append(name)
+    return name
+
+
+def fault_point(name: str) -> None:
+    """The instrumentation hook: crash here if the active plan says so."""
+    if _active is not None:
+        _active._hit(name)
+
+
+class FaultInjector:
+    """Deterministic crash scheduler plus hit counter.
+
+    ``plan`` maps failure-point name → the 1-based hit number at which
+    to raise :class:`InjectedFault`.  Points absent from the plan are
+    merely counted, so an empty-plan injector records which points a
+    scenario reaches (``injector.hits``) without perturbing it.
+    """
+
+    def __init__(self, plan: Optional[Mapping[str, int]] = None) -> None:
+        self.plan: Dict[str, int] = dict(plan or {})
+        self.hits: Dict[str, int] = {}
+        self.fired: Optional[InjectedFault] = None
+        for point, nth in self.plan.items():
+            if nth < 1:
+                raise ValueError(
+                    f"plan for {point!r} must target hit >= 1, got {nth}"
+                )
+
+    def _hit(self, name: str) -> None:
+        count = self.hits.get(name, 0) + 1
+        self.hits[name] = count
+        nth = self.plan.get(name)
+        if nth is not None and count == nth:
+            fault = InjectedFault(name, count)
+            if self.fired is None:
+                self.fired = fault
+            raise fault
+
+    def count(self, name: str) -> int:
+        """How many times ``name`` was reached so far."""
+        return self.hits.get(name, 0)
+
+
+@contextmanager
+def inject_faults(
+    plan: Optional[Mapping[str, int]] = None,
+) -> Iterator[FaultInjector]:
+    """Activate a :class:`FaultInjector` for the duration of the block.
+
+    Nested activation is rejected: overlapping injectors would make hit
+    counts ambiguous and scenarios non-reproducible.
+    """
+    global _active
+    if _active is not None:
+        raise RuntimeError("fault injection is already active")
+    injector = FaultInjector(plan)
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = None
+
+
+def known_failure_points() -> List[str]:
+    """All registered failure points, importing the instrumented
+    modules first so their registrations have run."""
+    import repro.db.store  # noqa: F401
+    import repro.db.updates  # noqa: F401
+    import repro.engine.factbase  # noqa: F401
+    import repro.incremental.engine  # noqa: F401
+    import repro.interface.kb  # noqa: F401
+
+    return list(_REGISTRY)

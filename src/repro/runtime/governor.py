@@ -1,0 +1,380 @@
+"""The resource governor: deadlines, budgets, caps, cancellation.
+
+The ROADMAP's north star is a system that serves heavy traffic; the
+operational precondition is that *no single query can hang a worker*.
+Mature logic-inference systems (IDP, FO(C) inference) treat resource
+control as core inference infrastructure, not an afterthought — every
+solver call is bounded, interruptible, and reports partial results.
+This module is that layer for the five evaluation strategies of the
+C-logic reproduction:
+
+* :class:`Governor` — one object carrying every limit (wall-clock
+  deadline, derivation/step budget, fact-count cap, recursion-depth
+  cap) plus a cooperative cancellation token.  Engines call
+  :meth:`Governor.tick` at round/resolution-step granularity, so an
+  overrun is caught within one join step, and :meth:`Governor.check_facts`
+  whenever the derived model grows.
+
+* :class:`PartialResult` — what a governed engine returns when a limit
+  trips in the default (non-strict) mode: the facts/answers derived so
+  far, an explicit ``complete=False`` marker naming the triggering
+  limit, and the obs/EXPLAIN snapshot at interruption.  In *strict*
+  mode the engine raises the
+  :class:`~repro.core.errors.ResourceExhausted` subclass instead.
+
+* :class:`GovernanceSummary` — the governance section of an EXPLAIN
+  report: the limits configured, the resources consumed, and whether
+  (and why) the run was interrupted.
+
+The governor is deliberately cooperative: it never kills threads or
+installs signal handlers.  Engines volunteer ticks on their hot paths;
+the cost with no governor attached is one ``None`` check, the same
+discipline as the :mod:`repro.obs` hooks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    DepthExceeded,
+    EvaluationCancelled,
+    FactLimitExceeded,
+    ResourceExhausted,
+)
+
+__all__ = [
+    "Governor",
+    "GovernanceSummary",
+    "PartialResult",
+    "as_resource_error",
+    "degrade",
+]
+
+
+@dataclass
+class GovernanceSummary:
+    """The EXPLAIN "governance" section of one governed run.
+
+    Duck-typed by :class:`repro.obs.report.ExplainReport` (which reads
+    the fields by name, like the maintenance section), so :mod:`repro.obs`
+    keeps its zero-dependency property.
+    """
+
+    deadline: Optional[float] = None
+    budget: Optional[int] = None
+    max_facts: Optional[int] = None
+    max_depth: Optional[int] = None
+    strict: bool = False
+    elapsed: float = 0.0
+    steps: int = 0
+    interrupted: str = ""  #: limit family, "" when the run completed
+    reason: str = ""
+
+    def describe(self) -> str:
+        """One line per the report's conventions."""
+        def cap(value, unit=""):
+            return f"{value}{unit}" if value is not None else "unlimited"
+
+        return (
+            f"deadline: {cap(self.deadline, 's')}   budget: {cap(self.budget)}   "
+            f"max facts: {cap(self.max_facts)}   max depth: {cap(self.max_depth)}"
+        )
+
+
+@dataclass
+class PartialResult:
+    """A governed evaluation outcome: possibly partial, never silent.
+
+    ``value`` is whatever the engine would have returned had it
+    finished — a :class:`~repro.engine.factbase.FactBase` for the
+    fixpoint engines, a list of substitutions/answers for the provers,
+    an :class:`~repro.db.store.ObjectStore` for the direct engine, a
+    ``MaintenanceStats`` for an interrupted transaction commit.  When
+    ``complete`` is False, ``limit`` names the limit family that
+    tripped and ``reason`` is the human-readable diagnostic; ``report``
+    is the EXPLAIN snapshot at interruption when the run was observed.
+    """
+
+    value: Any
+    complete: bool = False
+    limit: str = ""
+    reason: str = ""
+    elapsed: float = 0.0
+    steps: int = 0
+    report: Any = None
+    cause: Optional[ResourceExhausted] = None
+
+    @property
+    def incomplete(self) -> bool:
+        return not self.complete
+
+    def unwrap(self) -> Any:
+        """The value if complete, else re-raise the triggering limit."""
+        if self.complete:
+            return self.value
+        if self.cause is not None:
+            raise self.cause
+        raise ResourceExhausted(self.reason or f"{self.limit} limit hit")
+
+    @classmethod
+    def done(cls, value: Any, governor: "Optional[Governor]" = None, report=None) -> "PartialResult":
+        """Wrap a completed value (uniform return type for callers that
+        always want a :class:`PartialResult`)."""
+        return cls(
+            value=value,
+            complete=True,
+            elapsed=governor.elapsed() if governor is not None else 0.0,
+            steps=governor.steps if governor is not None else 0,
+            report=report,
+        )
+
+
+class Governor:
+    """Every resource limit of one evaluation, plus a cancel token.
+
+    Thread one instance through an engine run; all limits are optional
+    and independent:
+
+    ``deadline``
+        wall-clock seconds from :meth:`start` (engines start the
+        governor on entry; the first :meth:`tick` starts it lazily).
+    ``budget``
+        total step budget — a step is one body evaluation (bottom-up),
+        one resolution attempt (SLD/tabling), one candidate/label probe
+        (direct), one maintenance body evaluation (incremental).
+    ``max_facts``
+        cap on the derived model size, checked as the model grows.
+    ``max_depth``
+        recursion-depth cap for the top-down provers.
+    ``strict``
+        when True, engines re-raise the
+        :class:`~repro.core.errors.ResourceExhausted` instead of
+        degrading to a :class:`PartialResult`.
+
+    The clock is injectable for deterministic tests.
+    """
+
+    __slots__ = (
+        "deadline",
+        "budget",
+        "max_facts",
+        "max_depth",
+        "strict",
+        "steps",
+        "_clock",
+        "_started_at",
+        "_deadline_at",
+        "_cancel_reason",
+        "_violation",
+    )
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        budget: Optional[int] = None,
+        max_facts: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        strict: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.deadline = deadline
+        self.budget = budget
+        self.max_facts = max_facts
+        self.max_depth = max_depth
+        self.strict = strict
+        self.steps = 0
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._deadline_at: Optional[float] = None
+        self._cancel_reason: Optional[str] = None
+        self._violation: Optional[ResourceExhausted] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Governor":
+        """Arm the clock (idempotent — the first caller wins, so nested
+        engine calls share one deadline)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+            if self.deadline is not None:
+                self._deadline_at = self._started_at + self.deadline
+        return self
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since :meth:`start` (0.0 before it)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def cancel(self, reason: str = "evaluation cancelled") -> None:
+        """Request cooperative cancellation; the next tick trips it."""
+        self._cancel_reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_reason is not None
+
+    @property
+    def interrupted(self) -> Optional[ResourceExhausted]:
+        """The violation that tripped this governor, if any."""
+        return self._violation
+
+    # ------------------------------------------------------------------
+    # Checks (the engine hot-path API)
+    # ------------------------------------------------------------------
+
+    def tick(self, steps: int = 1) -> None:
+        """Account ``steps`` units of work; raise on any tripped limit.
+
+        Engines call this at round/resolution-step granularity — cheap
+        enough for the hot loop (an int add, two compares, one clock
+        read), tight enough that an overrun is caught within one join
+        step.
+        """
+        self.steps += steps
+        if self._cancel_reason is not None:
+            self._trip(EvaluationCancelled(self._cancel_reason))
+        if self.budget is not None and self.steps > self.budget:
+            self._trip(
+                BudgetExceeded(
+                    f"step budget of {self.budget} exhausted "
+                    f"(after {self.steps} steps)"
+                )
+            )
+        if self._deadline_at is not None:
+            if self._started_at is None:
+                self.start()
+            if self._clock() > self._deadline_at:
+                self._trip(
+                    DeadlineExceeded(
+                        f"deadline of {self.deadline:.3f}s exceeded "
+                        f"(elapsed {self.elapsed():.3f}s)"
+                    )
+                )
+        elif self.deadline is not None and self._started_at is None:
+            # Lazy start: the first tick arms the clock.
+            self.start()
+
+    def check_facts(self, count: int) -> None:
+        """Enforce the fact-count cap against the current model size."""
+        if self.max_facts is not None and count > self.max_facts:
+            self._trip(
+                FactLimitExceeded(
+                    f"derived model grew past the cap of {self.max_facts} "
+                    f"facts ({count} derived)"
+                )
+            )
+
+    def check_depth(self, depth: int) -> None:
+        """Enforce the recursion-depth cap (top-down provers)."""
+        if self.max_depth is not None and depth > self.max_depth:
+            self._trip(
+                DepthExceeded(
+                    f"recursion depth {depth} exceeded the cap of "
+                    f"{self.max_depth}"
+                )
+            )
+
+    def _trip(self, violation: ResourceExhausted) -> None:
+        violation.elapsed = self.elapsed()
+        violation.steps = self.steps
+        if self._violation is None:
+            self._violation = violation
+        raise violation
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> GovernanceSummary:
+        """The governance section for EXPLAIN reports."""
+        violation = self._violation
+        return GovernanceSummary(
+            deadline=self.deadline,
+            budget=self.budget,
+            max_facts=self.max_facts,
+            max_depth=self.max_depth,
+            strict=self.strict,
+            elapsed=self.elapsed(),
+            steps=self.steps,
+            interrupted=violation.limit if violation is not None else "",
+            reason=str(violation) if violation is not None else "",
+        )
+
+    def __repr__(self) -> str:
+        limits = []
+        if self.deadline is not None:
+            limits.append(f"deadline={self.deadline}s")
+        if self.budget is not None:
+            limits.append(f"budget={self.budget}")
+        if self.max_facts is not None:
+            limits.append(f"max_facts={self.max_facts}")
+        if self.max_depth is not None:
+            limits.append(f"max_depth={self.max_depth}")
+        if self.strict:
+            limits.append("strict")
+        return f"Governor({', '.join(limits) or 'unlimited'})"
+
+
+def as_resource_error(exc: BaseException) -> ResourceExhausted:
+    """Normalize an evaluation interruption to a typed limit error.
+
+    Engines catch ``(ResourceExhausted, RecursionError)`` at their
+    boundaries: a :class:`RecursionError` means the derived terms got
+    deep enough that even *hashing* one recurses past Python's stack —
+    a resource exhaustion in every sense that matters, so it degrades
+    like a depth cap instead of crashing the caller.
+    """
+    if isinstance(exc, ResourceExhausted):
+        return exc
+    return DepthExceeded(
+        "Python recursion limit hit (the derived terms nest too deeply "
+        "to process); treat as a depth-cap interruption"
+    )
+
+
+def degrade(
+    governor: Optional[Governor],
+    violation: ResourceExhausted,
+    value: Any,
+    report=None,
+) -> PartialResult:
+    """The uniform engine-boundary policy for a tripped limit.
+
+    Strict governors (and runs with no governor at all — legacy hard
+    parameters such as ``max_rounds``) re-raise; the default governed
+    mode returns a :class:`PartialResult` carrying the partial
+    ``value``, and stamps the governance section onto the EXPLAIN
+    ``report`` so the interruption is visible exactly where the run's
+    account is.
+    """
+    if governor is None or governor.strict:
+        raise violation
+    if governor._violation is None:
+        # A limit the engine enforced itself (e.g. a max_rounds overrun)
+        # rather than one the governor tripped: record it so summary()
+        # reports the interruption either way.
+        governor._violation = violation
+    if report is not None:
+        report.governance = governor.summary()
+    return PartialResult(
+        value=value,
+        complete=False,
+        limit=violation.limit,
+        reason=str(violation),
+        elapsed=(
+            violation.elapsed
+            if violation.elapsed is not None
+            else governor.elapsed()
+        ),
+        steps=violation.steps if violation.steps is not None else governor.steps,
+        report=report,
+        cause=violation,
+    )

@@ -206,12 +206,12 @@ class TestUpdateSubcommand:
         assert cmd_update([tc_file], out=io.StringIO()) == 1
 
     def test_rule_insert_errors(self, tc_file):
-        from repro.cli import cmd_update
+        from repro.cli import EXIT_ENGINE, cmd_update
 
         code = cmd_update(
             [tc_file, "--insert", "p(X) :- tc(X, Y)"], out=io.StringIO()
         )
-        assert code == 1
+        assert code == EXIT_ENGINE
 
     def test_trace_prints_spans(self, tc_file):
         from repro.cli import cmd_update

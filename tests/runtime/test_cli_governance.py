@@ -1,0 +1,169 @@
+"""The CLI side of resource governance: --deadline/--budget flags,
+partial-result output, strict-mode exit codes, and the per-family
+error exit codes at the command boundary."""
+
+import io
+
+import pytest
+
+from repro.cli import (
+    EXIT_ENGINE,
+    EXIT_RESOURCE,
+    EXIT_SEMANTIC,
+    EXIT_STORE,
+    EXIT_SYNTAX,
+    cmd_query,
+    cmd_update,
+    error_exit_code,
+    main,
+)
+from repro.core.errors import (
+    BudgetExceeded,
+    CLogicError,
+    ConsistencyError,
+    DeadlineExceeded,
+    EngineError,
+    LexError,
+    ParseError,
+    SafetyError,
+    SemanticsError,
+    StoreError,
+    TransformError,
+    TypeOrderError,
+    UnsupportedFeatureError,
+)
+
+NAT_SOURCE = """
+nat: zero.
+nat: s(X) :- nat: X.
+:- nat: s(zero).
+"""
+
+TC_SOURCE = """
+edge(a, b).  edge(b, c).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+:- tc(a, X).
+"""
+
+
+@pytest.fixture
+def nat_file(tmp_path):
+    path = tmp_path / "nat.cl"
+    path.write_text(NAT_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def tc_file(tmp_path):
+    path = tmp_path / "tc.cl"
+    path.write_text(TC_SOURCE)
+    return str(path)
+
+
+class TestExitCodeFamilies:
+    def test_family_mapping(self):
+        cases = [
+            (LexError("bad char", 1, 1), EXIT_SYNTAX),
+            (ParseError("bad token"), EXIT_SYNTAX),
+            (TypeOrderError("cycle"), EXIT_SEMANTIC),
+            (SemanticsError("bad structure"), EXIT_SEMANTIC),
+            (TransformError("bad clause"), EXIT_SEMANTIC),
+            (ConsistencyError("label clash"), EXIT_SEMANTIC),
+            (UnsupportedFeatureError("sets"), EXIT_SEMANTIC),
+            (EngineError("broken"), EXIT_ENGINE),
+            (SafetyError("unsafe"), EXIT_ENGINE),
+            (DeadlineExceeded("late"), EXIT_RESOURCE),
+            (BudgetExceeded("spent"), EXIT_RESOURCE),
+            (StoreError("non-ground"), EXIT_STORE),
+            (CLogicError("other"), 1),
+        ]
+        for error, expected in cases:
+            assert error_exit_code(error) == expected, type(error).__name__
+
+    def test_resource_beats_engine(self):
+        # ResourceExhausted IS an EngineError; the more specific family
+        # must win.
+        assert error_exit_code(BudgetExceeded("x")) == EXIT_RESOURCE
+
+    def test_main_boundary_reports_family_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cl"
+        bad.write_text("p(a \x01 b).\n")
+        code = main(["query", str(bad), "--query", "p(X)"])
+        assert code == EXIT_SYNTAX
+        err = capsys.readouterr().err
+        assert err.startswith("error [LexError]:")
+        assert err.count("\n") == 1  # one diagnostic line, no traceback
+
+
+class TestGovernedQueryCommand:
+    def test_deadline_prints_incomplete_marker(self, nat_file):
+        out = io.StringIO()
+        code = cmd_query(
+            [nat_file, "--engine", "seminaive", "--deadline", "0.2"], out=out
+        )
+        assert code == 0  # degraded, not failed
+        text = out.getvalue()
+        assert "INCOMPLETE — deadline limit" in text
+
+    def test_budget_with_explain_renders_governance_section(self, nat_file):
+        out = io.StringIO()
+        code = cmd_query(
+            [
+                nat_file,
+                "--engine",
+                "seminaive",
+                "--budget",
+                "40",
+                "--explain",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "INCOMPLETE — budget limit" in text
+        assert "governance" in text
+        assert "INTERRUPTED by budget limit" in text
+
+    def test_strict_limits_exit_resource(self, nat_file, capsys):
+        code = cmd_query(
+            [
+                nat_file,
+                "--engine",
+                "seminaive",
+                "--budget",
+                "40",
+                "--strict-limits",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == EXIT_RESOURCE
+        assert "error [BudgetExceeded]:" in capsys.readouterr().err
+
+    def test_generous_limits_complete_normally(self, tc_file):
+        out = io.StringIO()
+        code = cmd_query([tc_file, "--deadline", "60"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "(2 answer(s))" in text
+        assert "INCOMPLETE" not in text
+
+
+class TestGovernedUpdateCommand:
+    def test_budget_trip_reports_rollback(self, nat_file, capsys):
+        out = io.StringIO()
+        code = cmd_update(
+            [nat_file, "--insert", "nat: one", "--budget", "60"], out=out
+        )
+        assert code == EXIT_RESOURCE
+        text = out.getvalue()
+        assert "NOT committed" in text
+        assert "rolled back" in text
+
+    def test_generous_budget_commits(self, tc_file):
+        out = io.StringIO()
+        code = cmd_update(
+            [tc_file, "--insert", "edge(c, d)", "--budget", "1000000"], out=out
+        )
+        assert code == 0
+        assert "committed (version" in out.getvalue()

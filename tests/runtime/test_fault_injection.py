@@ -1,0 +1,283 @@
+"""Crash the commit path on purpose at every registered failure point
+and prove the atomicity promise: the store comes back bit-identical to
+its pre-transaction snapshot, and the maintained model still matches a
+from-scratch recompute."""
+
+import pytest
+
+from repro.core.terms import Const
+from repro.db.updates import UpdatableStore
+from repro.interface.kb import KnowledgeBase
+from repro.lang.parser import parse_atom, parse_term
+from repro.runtime.faults import (
+    FaultInjector,
+    InjectedFault,
+    inject_faults,
+    known_failure_points,
+)
+
+ALL_POINTS = (
+    "store.begin_journal",
+    "store.commit_journal",
+    "store.add_type",
+    "store.add_label",
+    "store.add_pred",
+    "store.assert_clustered",
+    "factbase.remove_batch",
+    "updates.remove_from_type",
+    "updates.remove_label",
+    "updates.remove_object",
+    "incremental.apply.begin",
+    "incremental.apply.propagate",
+    "incremental.apply.expand",
+    "incremental.apply.finish",
+    "kb.commit.begin",
+    "kb.commit.rematerialize",
+    "kb.commit.apply",
+    "kb.commit.swap",
+    "kb.commit.version",
+)
+
+
+class TestHarness:
+    def test_every_point_is_registered(self):
+        assert set(ALL_POINTS) <= set(known_failure_points())
+
+    def test_nested_injection_rejected(self):
+        with inject_faults():
+            with pytest.raises(RuntimeError, match="already active"):
+                with inject_faults():
+                    pass
+
+    def test_plan_requires_positive_hit(self):
+        with pytest.raises(ValueError):
+            FaultInjector({"store.add_type": 0})
+
+    def test_empty_plan_counts_without_perturbing(self):
+        db = UpdatableStore()
+        with inject_faults() as counter:
+            db.insert(parse_term("person: ann"))
+        assert counter.count("store.add_type") >= 1
+        assert counter.fired is None
+        assert db.store.has_type(Const("ann"), "person")
+
+    def test_injected_fault_is_not_a_clogic_error(self):
+        # Library error handling must never be able to swallow a crash.
+        from repro.core.errors import CLogicError
+
+        assert not issubclass(InjectedFault, CLogicError)
+        assert issubclass(InjectedFault, RuntimeError)
+
+    def test_fault_fires_at_the_requested_hit(self):
+        db = UpdatableStore()
+        with inject_faults({"store.add_type": 2}) as injector:
+            db.insert(parse_term("person: ann"))  # hit 1 — survives
+            with pytest.raises(InjectedFault) as info:
+                db.insert(parse_term("person: bob"))  # hit 2 — crash
+        assert info.value.point == "store.add_type"
+        assert info.value.hit == 2
+        assert injector.fired is info.value
+
+
+# ----------------------------------------------------------------------
+# Store layer: every mutator crash under the undo journal rolls back to
+# a bit-identical snapshot.
+# ----------------------------------------------------------------------
+
+
+def fresh_store() -> UpdatableStore:
+    db = UpdatableStore()
+    db.insert(parse_term("person: john[children => {bob, bill}]"))
+    db.insert(parse_term("person: mary[spouse => john]"))
+    db.store.assert_atom(parse_atom("edge(a, b)"))
+    return db
+
+
+def store_scenario(db: UpdatableStore) -> None:
+    """One transaction touching every store-layer mutator family."""
+    with db.transaction():
+        db.insert(parse_term("person: ann[children => {joe}]"))
+        db.store.assert_atom(parse_atom("edge(b, c)"))
+        db.remove_label(Const("john"), "children", Const("bob"))
+        db.remove_from_type(Const("mary"), "person")
+        db.remove_object(Const("john"))
+
+
+STORE_POINTS = (
+    "store.begin_journal",
+    "store.commit_journal",
+    "store.add_type",
+    "store.add_label",
+    "store.add_pred",
+    "store.assert_clustered",
+    "updates.remove_from_type",
+    "updates.remove_label",
+    "updates.remove_object",
+)
+
+
+class TestStoreRollback:
+    def test_scenario_reaches_every_store_point(self):
+        db = fresh_store()  # setup outside: count the scenario alone
+        with inject_faults() as counter:
+            store_scenario(db)
+        for point in STORE_POINTS:
+            assert counter.count(point) >= 1, point
+
+    @pytest.mark.parametrize("point", STORE_POINTS)
+    def test_first_hit_crash_rolls_back_bit_identical(self, point):
+        db = fresh_store()
+        before = db.store.snapshot_state()
+        with inject_faults({point: 1}):
+            with pytest.raises(InjectedFault):
+                store_scenario(db)
+        assert db.store.snapshot_state() == before
+        assert db.store._journal is None  # the journal was closed
+
+    def test_every_hit_of_every_point_rolls_back(self):
+        # Exhaustive: crash at hit 1, 2, ..., n of each point the
+        # scenario reaches — deterministic, so n is stable.  Build the
+        # store outside the injector so counts cover the scenario alone,
+        # matching what each trial below replays.
+        db = fresh_store()
+        with inject_faults() as counter:
+            store_scenario(db)
+        schedule = [
+            (point, hit)
+            for point in STORE_POINTS
+            for hit in range(1, counter.count(point) + 1)
+        ]
+        assert schedule
+        for point, hit in schedule:
+            db = fresh_store()
+            before = db.store.snapshot_state()
+            with inject_faults({point: hit}):
+                with pytest.raises(InjectedFault):
+                    store_scenario(db)
+            assert db.store.snapshot_state() == before, (point, hit)
+
+    def test_late_hit_after_scenario_commits_cleanly(self):
+        # A plan targeting a hit the scenario never reaches must not
+        # perturb it at all.
+        db = fresh_store()
+        with inject_faults({"store.add_type": 999}):
+            store_scenario(db)
+        assert not db.store.has_type(Const("john"), "person")
+        assert db.store.has_type(Const("ann"), "person")
+
+    def test_commit_journal_crash_restores_pre_transaction_state(self):
+        # The hardened StoreTransaction.commit: a crash inside the
+        # commit itself (after all mutations succeeded) still rolls
+        # back, because the journal is only discarded on success.
+        db = fresh_store()
+        before = db.store.snapshot_state()
+        with inject_faults({"store.commit_journal": 1}):
+            with pytest.raises(InjectedFault):
+                with db.transaction():
+                    db.insert(parse_term("person: ann"))
+        assert db.store.snapshot_state() == before
+
+
+# ----------------------------------------------------------------------
+# KB layer: a crash anywhere inside Transaction.commit leaves the
+# knowledge base (program, version, caches, maintained model) exactly
+# as it was, and later queries agree with a from-scratch recompute.
+# ----------------------------------------------------------------------
+
+KB_SOURCE = """
+edge(a, b).  edge(b, c).  edge(c, d).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+KB_POINTS = (
+    "kb.commit.begin",
+    "kb.commit.apply",
+    "kb.commit.swap",
+    "kb.commit.version",
+    "incremental.apply.begin",
+    "incremental.apply.propagate",
+    "incremental.apply.expand",
+    "incremental.apply.finish",
+    "factbase.remove_batch",
+)
+
+
+def kb_state(kb: KnowledgeBase):
+    return (
+        kb.version,
+        sorted(repr(clause) for clause in kb.program.clauses),
+        sorted(repr(answer) for answer in kb.ask("tc(X, Y)", engine="seminaive")),
+    )
+
+
+def kb_commit_scenario(kb: KnowledgeBase) -> None:
+    txn = kb.transaction()
+    txn.insert("edge(d, e).")
+    txn.retract("edge(a, b).")
+    txn.commit()
+
+
+class TestKBRollback:
+    def test_scenario_reaches_every_kb_point(self):
+        kb = KnowledgeBase.from_source(KB_SOURCE)
+        with inject_faults() as counter:
+            kb_commit_scenario(kb)
+        for point in KB_POINTS:
+            assert counter.count(point) >= 1, point
+
+    @pytest.mark.parametrize("point", KB_POINTS)
+    def test_first_hit_crash_rolls_back(self, point):
+        kb = KnowledgeBase.from_source(KB_SOURCE)
+        before = kb_state(kb)
+        with inject_faults({point: 1}):
+            with pytest.raises(InjectedFault):
+                kb_commit_scenario(kb)
+        assert kb_state(kb) == before, point
+        # Maintained model still agrees with a from-scratch recompute.
+        recomputed = KnowledgeBase(kb.program)
+        assert kb.ask("tc(X, Y)") == recomputed.ask("tc(X, Y)")
+        # And the KB is not wedged: the same update applies cleanly now.
+        kb_commit_scenario(kb)
+        assert kb.version == 1
+        assert kb.ask("tc(X, Y)") == KnowledgeBase(kb.program).ask("tc(X, Y)")
+
+    def test_every_hit_of_every_point_rolls_back(self):
+        discovery = KnowledgeBase.from_source(KB_SOURCE)
+        with inject_faults() as counter:
+            kb_commit_scenario(discovery)
+        schedule = [
+            (point, hit)
+            for point in KB_POINTS
+            for hit in range(1, counter.count(point) + 1)
+        ]
+        assert schedule
+        for point, hit in schedule:
+            kb = KnowledgeBase.from_source(KB_SOURCE)
+            before = kb_state(kb)
+            with inject_faults({point: hit}):
+                with pytest.raises(InjectedFault):
+                    kb_commit_scenario(kb)
+            assert kb_state(kb) == before, (point, hit)
+
+    def test_rematerialize_crash_rolls_back(self):
+        # Inserting a fact of a brand-new type symbol forces the
+        # re-materialize path instead of incremental apply.
+        kb = KnowledgeBase.from_source(KB_SOURCE)
+        before = kb_state(kb)
+        with inject_faults({"kb.commit.rematerialize": 1}) as counter:
+            with pytest.raises(InjectedFault):
+                txn = kb.transaction()
+                txn.insert("widget: w1.")
+                txn.commit()
+        assert counter.count("kb.commit.rematerialize") == 1
+        assert kb_state(kb) == before
+
+    def test_context_manager_commit_rolls_back_too(self):
+        kb = KnowledgeBase.from_source(KB_SOURCE)
+        before = kb_state(kb)
+        with inject_faults({"kb.commit.swap": 1}):
+            with pytest.raises(InjectedFault):
+                with kb.transaction() as txn:
+                    txn.insert("edge(d, e).")
+        assert kb_state(kb) == before

@@ -1,0 +1,272 @@
+"""Every engine honors the same governor: deadline/budget/cap trips
+degrade to sound partial results, strict mode raises, transactions
+roll back — and a non-terminating program comes back within twice the
+configured deadline on all five engines."""
+
+import time
+
+import pytest
+
+from repro.core.errors import ResourceExhausted
+from repro.engine.negation import stratified_fixpoint
+from repro.interface.kb import ENGINES, KnowledgeBase, QueryResult
+from repro.lang.parser import parse_program
+from repro.runtime import Governor, PartialResult
+from repro.transform.clauses import program_to_fol
+
+# Bottom-up divergent: the least model is all of s^n(zero).
+NAT_SOURCE = """
+nat: zero.
+nat: s(X) :- nat: X.
+"""
+
+# Terminating workload for complete-run and soundness checks.
+TC_SOURCE = """
+edge(a, b).  edge(b, c).  edge(c, d).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+# The fixpoint engines (direct, bottomup, seminaive) saturate the model
+# regardless of the query, so a ground query interrupts mid-saturation
+# with cheap answer extraction.  The goal-directed engines (sld, tabled)
+# answer a ground query in a handful of steps, so they get the variable
+# query, which has infinitely many answers.
+DIVERGENT_QUERY = {
+    "direct": "nat: s(zero)",
+    "bottomup": "nat: s(zero)",
+    "seminaive": "nat: s(zero)",
+    "sld": "nat: X",
+    "tabled": "nat: X",
+}
+
+
+def nat_kb():
+    kb = KnowledgeBase.from_source(NAT_SOURCE)
+    kb.sld_depth = 10**9  # don't let SLD's own depth ceiling terminate it
+    return kb
+
+
+class TestCompleteRuns:
+    def test_generous_limits_leave_answers_untouched(self):
+        # Plain SLD explodes on the recursive translation (the §4
+        # point), so it gets a flat program; the rest run the recursive
+        # one.
+        flat = KnowledgeBase.from_source("p(a). p(b). q(X) :- p(X).")
+        flat.sld_depth = 12
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        for engine in ENGINES:
+            base = flat if engine == "sld" else kb
+            query = "q(X)" if engine == "sld" else "tc(a, X)"
+            expected = base.ask(query, engine=engine)
+            result = base.query(
+                query, engine=engine, deadline=60.0, budget=10**9
+            )
+            assert isinstance(result, QueryResult)
+            assert result.complete, engine
+            assert not result.incomplete
+            assert list(result) == expected, engine
+            assert result.steps > 0, engine  # the governor really ticked
+
+    def test_unlimited_query_matches_ask(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        result = kb.query("tc(a, X)")
+        assert result.complete
+        assert len(result) == 3
+        assert bool(result)
+        assert result[0] is result.answers[0]
+
+
+class TestBudgetTrips:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_small_budget_degrades_to_partial(self, engine):
+        result = nat_kb().query(
+            DIVERGENT_QUERY[engine], engine=engine, budget=25
+        )
+        assert result.incomplete, engine
+        assert result.limit == "budget", engine
+        assert "budget" in result.reason
+        assert result.steps >= 25
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_strict_mode_raises(self, engine):
+        with pytest.raises(ResourceExhausted):
+            nat_kb().query(
+                DIVERGENT_QUERY[engine], engine=engine, budget=25, strict=True
+            )
+
+    def test_partial_answers_are_sound(self):
+        # Soundness under interruption: every answer in a partial result
+        # is an answer of the full model (some may be missing).
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        full = {repr(answer) for answer in kb.ask("tc(X, Y)", engine="seminaive")}
+        for budget in (1, 5, 20, 100):
+            result = kb.query("tc(X, Y)", engine="seminaive", budget=budget)
+            assert {repr(answer) for answer in result} <= full
+
+
+class TestOtherCaps:
+    def test_fact_cap_interrupts_saturation(self):
+        result = nat_kb().query("nat: s(zero)", engine="seminaive", max_facts=10)
+        assert result.incomplete
+        assert result.limit == "facts"
+
+    def test_depth_cap_interrupts_sld(self):
+        result = nat_kb().query("nat: X", engine="sld", max_depth=5)
+        assert result.incomplete
+        assert result.limit == "depth"
+
+    def test_cancellation_via_explicit_governor(self):
+        from repro.engine.seminaive import seminaive_fixpoint
+
+        governor = Governor()
+        governor.cancel("shutting down")
+        clauses = program_to_fol(parse_program(NAT_SOURCE).program)
+        outcome = seminaive_fixpoint(clauses, governor=governor)
+        assert isinstance(outcome, PartialResult)
+        assert outcome.incomplete
+        assert outcome.limit == "cancelled"
+
+
+class TestDeadlineSmoke:
+    """The acceptance bound: a 200ms deadline on a non-terminating
+    program returns a PartialResult within 2x the deadline."""
+
+    DEADLINE = 0.2
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_partial_within_twice_the_deadline(self, engine):
+        kb = nat_kb()
+        begin = time.monotonic()
+        result = kb.query(
+            DIVERGENT_QUERY[engine], engine=engine, deadline=self.DEADLINE
+        )
+        wall = time.monotonic() - begin
+        assert result.incomplete, engine
+        assert wall < 2 * self.DEADLINE, (engine, wall)
+        # The interruption reason lands in the result, never a hang.
+        assert result.limit, engine
+        assert result.reason, engine
+
+
+class TestGovernedNegation:
+    def test_stratified_fixpoint_degrades(self):
+        source = """
+        node: a[linkto => b].
+        node: b[linkto => c].
+        node: c.
+        haslink(X) :- node: X[linkto => Y].
+        sink(X) :- node: X, \\+ haslink(X).
+        """
+        clauses = program_to_fol(parse_program(source).program)
+        outcome = stratified_fixpoint(clauses, governor=Governor(budget=2))
+        assert isinstance(outcome, PartialResult)
+        assert outcome.incomplete
+        assert outcome.limit == "budget"
+
+    def test_stratified_fixpoint_completes_under_generous_governor(self):
+        source = """
+        node: a[linkto => b].
+        node: b.
+        haslink(X) :- node: X[linkto => Y].
+        sink(X) :- node: X, \\+ haslink(X).
+        """
+        clauses = program_to_fol(parse_program(source).program)
+        governed = stratified_fixpoint(clauses, governor=Governor(budget=10**6))
+        ungoverned = stratified_fixpoint(clauses)
+        if isinstance(governed, PartialResult):
+            assert governed.complete
+            governed = governed.value
+        assert governed.snapshot() == ungoverned.snapshot()
+
+
+class TestCacheIsolation:
+    def test_partial_evaluation_never_poisons_the_cache(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        partial = kb.query("tc(a, X)", engine="seminaive", budget=1)
+        assert partial.incomplete
+        assert len(partial) < 3
+        # The ungoverned path must still see the full model.
+        assert len(kb.ask("tc(a, X)", engine="seminaive")) == 3
+
+    def test_warm_cache_does_not_serve_governed_queries(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        assert len(kb.ask("tc(a, X)", engine="seminaive")) == 3  # warm it
+        # A fresh governed run with a starvation budget cannot have
+        # re-derived the model; if it served the cache it would claim
+        # completeness with 3 answers at ~0 steps.
+        result = kb.query("tc(a, X)", engine="seminaive", budget=1)
+        assert result.incomplete
+
+
+class TestGovernedTransactions:
+    def test_budget_trip_rolls_back_and_reports(self):
+        kb = KnowledgeBase.from_source(NAT_SOURCE)
+        version = kb.version
+        program_size = len(kb.program)
+        txn = kb.transaction()
+        txn.insert("nat: one.")
+        stats = txn.commit(governor=Governor(budget=50))
+        assert isinstance(stats, PartialResult)
+        assert stats.incomplete
+        assert kb.version == version  # nothing committed
+        assert len(kb.program) == program_size  # fact buffer discarded
+
+    def test_strict_budget_trip_raises_and_rolls_back(self):
+        kb = KnowledgeBase.from_source(NAT_SOURCE)
+        version = kb.version
+        txn = kb.transaction()
+        txn.insert("nat: one.")
+        with pytest.raises(ResourceExhausted):
+            txn.commit(governor=Governor(budget=50, strict=True))
+        assert kb.version == version
+
+    def test_generous_governor_commits_normally(self):
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        version = kb.version
+        txn = kb.transaction()
+        txn.insert("edge(d, e).")
+        stats = txn.commit(governor=Governor(budget=10**9, deadline=60.0))
+        assert not isinstance(stats, PartialResult)
+        assert kb.version == version + 1
+        assert len(kb.ask("tc(a, X)", engine="seminaive")) == 4
+
+    def test_update_deadline_smoke(self):
+        # The transactional analogue of the 2x-deadline bound.
+        kb = KnowledgeBase.from_source(NAT_SOURCE)
+        txn = kb.transaction()
+        txn.insert("nat: one.")
+        begin = time.monotonic()
+        stats = txn.commit(governor=Governor(deadline=0.2))
+        wall = time.monotonic() - begin
+        assert isinstance(stats, PartialResult)
+        assert wall < 0.4, wall
+        assert kb.version == 0
+
+
+class TestExplainGovernance:
+    def test_interrupted_report_names_the_limit(self):
+        from repro.obs import ExplainReport
+
+        kb = nat_kb()
+        report = ExplainReport()
+        result = kb.query(
+            "nat: s(zero)", engine="seminaive", budget=30, report=report
+        )
+        assert result.incomplete
+        assert report.governance is not None
+        assert report.governance.interrupted == "budget"
+        rendered = report.render()
+        assert "governance" in rendered
+        assert "INTERRUPTED by budget limit" in rendered
+
+    def test_complete_report_says_within_limits(self):
+        from repro.obs import ExplainReport
+
+        kb = KnowledgeBase.from_source(TC_SOURCE)
+        report = ExplainReport()
+        result = kb.query(
+            "tc(a, X)", engine="seminaive", deadline=60.0, report=report
+        )
+        assert result.complete
+        assert "completed within limits" in report.render()

@@ -1,0 +1,218 @@
+"""Unit tests for the resource governor: limits, cancellation, the
+degrade policy, and partial-result plumbing — all with an injected
+clock, so nothing here depends on wall time."""
+
+import pytest
+
+from repro.core.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    DepthExceeded,
+    EngineError,
+    EvaluationCancelled,
+    FactLimitExceeded,
+    ResourceExhausted,
+)
+from repro.runtime.governor import (
+    GovernanceSummary,
+    Governor,
+    PartialResult,
+    as_resource_error,
+    degrade,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLimits:
+    def test_unlimited_governor_never_trips(self):
+        governor = Governor()
+        for _ in range(10_000):
+            governor.tick()
+        governor.check_facts(10**9)
+        governor.check_depth(10**9)
+        assert governor.interrupted is None
+
+    def test_deadline_trips_after_clock_passes(self):
+        clock = FakeClock()
+        governor = Governor(deadline=1.0, clock=clock).start()
+        governor.tick()
+        clock.advance(0.999)
+        governor.tick()
+        clock.advance(0.002)
+        with pytest.raises(DeadlineExceeded):
+            governor.tick()
+        assert governor.interrupted is not None
+        assert governor.interrupted.limit == "deadline"
+
+    def test_first_tick_arms_the_clock_lazily(self):
+        clock = FakeClock()
+        governor = Governor(deadline=0.5, clock=clock)
+        clock.advance(100.0)  # before start: irrelevant
+        governor.tick()  # arms here
+        clock.advance(0.4)
+        governor.tick()
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded):
+            governor.tick()
+
+    def test_start_is_idempotent_first_caller_wins(self):
+        clock = FakeClock()
+        governor = Governor(deadline=1.0, clock=clock).start()
+        clock.advance(0.8)
+        governor.start()  # must NOT reset the deadline
+        clock.advance(0.3)
+        with pytest.raises(DeadlineExceeded):
+            governor.tick()
+
+    def test_budget_counts_steps(self):
+        governor = Governor(budget=5)
+        for _ in range(5):
+            governor.tick()
+        with pytest.raises(BudgetExceeded):
+            governor.tick()
+
+    def test_budget_bulk_steps(self):
+        governor = Governor(budget=10)
+        with pytest.raises(BudgetExceeded):
+            governor.tick(steps=11)
+        assert governor.steps == 11
+
+    def test_fact_cap(self):
+        governor = Governor(max_facts=100)
+        governor.check_facts(100)
+        with pytest.raises(FactLimitExceeded):
+            governor.check_facts(101)
+
+    def test_depth_cap(self):
+        governor = Governor(max_depth=7)
+        governor.check_depth(7)
+        with pytest.raises(DepthExceeded):
+            governor.check_depth(8)
+
+    def test_cancellation_trips_next_tick(self):
+        governor = Governor()
+        governor.tick()
+        governor.cancel("operator said stop")
+        assert governor.cancelled
+        with pytest.raises(EvaluationCancelled, match="operator said stop"):
+            governor.tick()
+
+    def test_violation_carries_elapsed_and_steps(self):
+        clock = FakeClock()
+        governor = Governor(budget=2, clock=clock).start()
+        clock.advance(1.5)
+        governor.tick()
+        governor.tick()
+        with pytest.raises(BudgetExceeded) as info:
+            governor.tick()
+        assert info.value.steps == 3
+        assert info.value.elapsed == pytest.approx(1.5)
+
+    def test_limits_are_sticky(self):
+        governor = Governor(budget=1)
+        governor.tick()
+        with pytest.raises(BudgetExceeded):
+            governor.tick()
+        # Once tripped, every further tick re-raises: an engine that
+        # swallowed the first trip cannot keep burning resources.
+        with pytest.raises(BudgetExceeded):
+            governor.tick()
+
+    def test_resource_errors_are_engine_errors(self):
+        # Backward compatibility: code catching EngineError for the old
+        # ad-hoc limit raises still catches every governed limit.
+        for exc_type in (
+            ResourceExhausted,
+            DeadlineExceeded,
+            BudgetExceeded,
+            DepthExceeded,
+            FactLimitExceeded,
+            EvaluationCancelled,
+        ):
+            assert issubclass(exc_type, EngineError)
+
+
+class TestSummary:
+    def test_summary_of_a_clean_run(self):
+        clock = FakeClock()
+        governor = Governor(deadline=2.0, budget=100, clock=clock).start()
+        governor.tick(steps=7)
+        clock.advance(0.25)
+        summary = governor.summary()
+        assert isinstance(summary, GovernanceSummary)
+        assert summary.interrupted == ""
+        assert summary.steps == 7
+        assert summary.elapsed == pytest.approx(0.25)
+        assert "deadline: 2.0s" in summary.describe()
+
+    def test_summary_of_an_interrupted_run(self):
+        governor = Governor(budget=1)
+        governor.tick()
+        with pytest.raises(BudgetExceeded):
+            governor.tick()
+        summary = governor.summary()
+        assert summary.interrupted == "budget"
+        assert "budget" in summary.reason
+
+
+class TestDegrade:
+    def test_no_governor_reraises(self):
+        violation = BudgetExceeded("out of rounds")
+        with pytest.raises(BudgetExceeded):
+            degrade(None, violation, value=[])
+
+    def test_strict_governor_reraises(self):
+        governor = Governor(budget=1, strict=True)
+        with pytest.raises(BudgetExceeded):
+            degrade(governor, BudgetExceeded("x"), value=[])
+
+    def test_nonstrict_governor_returns_partial(self):
+        governor = Governor(budget=1)
+        partial = degrade(governor, BudgetExceeded("x"), value=[1, 2])
+        assert isinstance(partial, PartialResult)
+        assert partial.incomplete
+        assert partial.limit == "budget"
+        assert partial.value == [1, 2]
+
+    def test_engine_enforced_limit_recorded_on_summary(self):
+        # A max_rounds overrun the engine raised itself (not via tick)
+        # must still show up as the interruption in the summary.
+        governor = Governor(deadline=100.0)
+        degrade(governor, BudgetExceeded("no fixpoint within 3 rounds"), value=[])
+        assert governor.summary().interrupted == "budget"
+
+    def test_degrade_stamps_report_governance(self):
+        class Report:
+            governance = None
+
+        report = Report()
+        governor = Governor(budget=1)
+        partial = degrade(governor, BudgetExceeded("x"), value=[], report=report)
+        assert report.governance is not None
+        assert report.governance.interrupted == "budget"
+        assert partial.report is report
+
+    def test_unwrap_reraises_the_cause(self):
+        governor = Governor(budget=1)
+        partial = degrade(governor, BudgetExceeded("the cause"), value=[])
+        with pytest.raises(BudgetExceeded, match="the cause"):
+            partial.unwrap()
+
+    def test_unwrap_of_complete_result_returns_value(self):
+        assert PartialResult.done("payload").unwrap() == "payload"
+
+    def test_as_resource_error_passthrough_and_conversion(self):
+        original = DeadlineExceeded("late")
+        assert as_resource_error(original) is original
+        converted = as_resource_error(RecursionError())
+        assert isinstance(converted, DepthExceeded)
